@@ -1,0 +1,259 @@
+package braid
+
+// The benchmark harness: one testing.B benchmark per experiment of the
+// evaluation suite (DESIGN.md Section 5, EXPERIMENTS.md for the recorded
+// tables). Each benchmark runs the experiment's workload once per iteration;
+// the experiment *tables* (who wins, by what factor) are printed by
+// cmd/braid-bench, while these benchmarks track the real CPU cost of each
+// configuration and report the headline simulated metrics via ReportMetric.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/caql"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ie"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+	"repro/internal/subsume"
+	"repro/internal/workload"
+)
+
+// BenchmarkE1_ICRange: inference strategies along the interpreted-compiled
+// range (loose data layer isolates the strategy dimension; the braid variant
+// shows the bridge's effect on the interpreted extreme).
+func BenchmarkE1_ICRange(b *testing.B) {
+	cases := []struct {
+		name  string
+		strat ie.Strategy
+		braid bool
+		all   bool
+	}{
+		{"interpreted/loose/all", ie.StrategyInterpreted, false, true},
+		{"interpreted/loose/first", ie.StrategyInterpreted, false, false},
+		{"conjunction/loose/all", ie.StrategyConjunction, false, true},
+		{"compiled/loose/all", ie.StrategyCompiled, false, true},
+		{"compiled/loose/first", ie.StrategyCompiled, false, false},
+		{"interpreted/braid/all", ie.StrategyInterpreted, true, true},
+		{"interpreted/braid/first", ie.StrategyInterpreted, true, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var lastSim float64
+			var lastRemote int64
+			for i := 0; i < b.N; i++ {
+				st, _ := experiments.RunE1(c.strat, c.braid, c.all)
+				lastSim, lastRemote = st.ResponseSimMS, st.RemoteRequests
+			}
+			b.ReportMetric(lastSim, "simMS")
+			b.ReportMetric(float64(lastRemote), "remoteReqs")
+		})
+	}
+}
+
+// BenchmarkE2_CachingStrategies: reuse regimes on the overlapping CAQL mix.
+func BenchmarkE2_CachingStrategies(b *testing.B) {
+	for _, comp := range []core.Comparator{core.ComparatorLoose, core.ComparatorExact, core.ComparatorSingleRel, core.ComparatorBrAID} {
+		b.Run(string(comp), func(b *testing.B) {
+			var sim float64
+			var remote int64
+			for i := 0; i < b.N; i++ {
+				st := experiments.RunE2(comp)
+				sim, remote = st.ResponseSimMS, st.RemoteRequests
+			}
+			b.ReportMetric(sim, "simMS")
+			b.ReportMetric(float64(remote), "remoteReqs")
+		})
+	}
+}
+
+// BenchmarkE3_LazyVsEager: generator vs extension answers under varying
+// demand.
+func BenchmarkE3_LazyVsEager(b *testing.B) {
+	for _, lazy := range []bool{false, true} {
+		for _, k := range []int{1, 0} {
+			name := fmt.Sprintf("lazy=%v/demand=%d", lazy, k)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					experiments.RunE3(lazy, k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE4_Prefetching: path-expression prefetch on/off at 50ms latency.
+func BenchmarkE4_Prefetching(b *testing.B) {
+	for _, pf := range []bool{false, true} {
+		b.Run(fmt.Sprintf("prefetch=%v", pf), func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				st := experiments.RunE4(pf, 50)
+				sim = st.ResponseSimMS
+			}
+			b.ReportMetric(sim, "simMS")
+		})
+	}
+}
+
+// BenchmarkE5_Generalization: repeated consumer-bound instances with and
+// without query generalization.
+func BenchmarkE5_Generalization(b *testing.B) {
+	for _, gen := range []bool{false, true} {
+		b.Run(fmt.Sprintf("generalize=%v", gen), func(b *testing.B) {
+			var remote int64
+			for i := 0; i < b.N; i++ {
+				st := experiments.RunE5(gen, 16)
+				remote = st.RemoteRequests
+			}
+			b.ReportMetric(float64(remote), "remoteReqs")
+		})
+	}
+}
+
+// BenchmarkE6_AttributeIndexing: consumer-annotation-driven indexing on the
+// cached extension.
+func BenchmarkE6_AttributeIndexing(b *testing.B) {
+	for _, ix := range []bool{false, true} {
+		b.Run(fmt.Sprintf("indexing=%v", ix), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunE6(ix, 4000)
+			}
+		})
+	}
+}
+
+// BenchmarkE7_Replacement: plain LRU vs advice-modified replacement under
+// cache pressure.
+func BenchmarkE7_Replacement(b *testing.B) {
+	for _, prot := range []bool{false, true} {
+		b.Run(fmt.Sprintf("advice=%v", prot), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunE7(prot)
+			}
+		})
+	}
+}
+
+// BenchmarkE8_ParallelSubqueries: sequential vs parallel cache/remote plan
+// execution.
+func BenchmarkE8_ParallelSubqueries(b *testing.B) {
+	for _, par := range []bool{false, true} {
+		b.Run(fmt.Sprintf("parallel=%v", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.RunE8(par, 100)
+			}
+		})
+	}
+}
+
+// BenchmarkE9_SubsumptionOverhead: one full subsumption pass (every cached
+// element checked against the probe query) per iteration.
+func BenchmarkE9_SubsumptionOverhead(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("elements=%d", n), func(b *testing.B) {
+			elements := experiments.E9Elements(n)
+			q := experiments.E9Query()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, e := range elements {
+					subsume.DeriveFull(e, q)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10_FeatureAblation: the full configuration vs everything off on
+// the mixed ablation session.
+func BenchmarkE10_FeatureAblation(b *testing.B) {
+	for _, full := range []bool{true, false} {
+		name := "full"
+		if !full {
+			name = "alloff"
+		}
+		b.Run(name, func(b *testing.B) {
+			f := cache.Features{}
+			if full {
+				f = cache.AllFeatures()
+			}
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				st := experiments.RunE10(f)
+				sim = st.ResponseSimMS
+			}
+			b.ReportMetric(sim, "simMS")
+		})
+	}
+}
+
+// BenchmarkDeriveApply: the derive-and-apply fast path serving a query from
+// a cached extension.
+func BenchmarkDeriveApply(b *testing.B) {
+	w := workload.Chain(41, 2000, 40)
+	ext := w.Tables[2] // b3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.E9DeriveApply(ext)
+	}
+}
+
+// BenchmarkEndToEndAsk: a whole Ask (compile advice, open session, SLD
+// search, answer) on the public API.
+func BenchmarkEndToEndAsk(b *testing.B) {
+	w := workload.Kinship(43, 80)
+	for _, strat := range []ie.Strategy{ie.StrategyInterpreted, ie.StrategyCompiled} {
+		b.Run(strat.String(), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.IE.Strategy = strat
+			client := remotedb.NewInProcClient(w.Engine(), remotedb.DefaultCosts())
+			sys, err := core.NewSystem(w.KB, client, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := sys.AskText("grandparent(X, Z)?")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sol.All()
+			}
+		})
+	}
+}
+
+// BenchmarkCAQLEval: the reference conjunctive evaluator on a 3-way join.
+func BenchmarkCAQLEval(b *testing.B) {
+	w := workload.Chain(47, 2000, 40)
+	src := w.Source()
+	q := caql.MustParse(`q(X, W) :- b2(X, Z) & b3(Z, "c2", W) & W < 30`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := caql.Eval(q, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashJoin: the storage-layer join on 10k x 10k inputs.
+func BenchmarkHashJoin(b *testing.B) {
+	mk := func(n int, name string) *relation.Relation {
+		r := relation.New(name, relation.NewSchema(
+			relation.Attr{Name: "a", Kind: relation.KindInt},
+			relation.Attr{Name: "b", Kind: relation.KindInt}))
+		for i := 0; i < n; i++ {
+			r.MustAppend(relation.Tuple{relation.Int(int64(i % 512)), relation.Int(int64(i))})
+		}
+		return r
+	}
+	l, r := mk(10000, "l"), mk(10000, "r")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := relation.HashJoin(l.Iter(), r.Iter(), []relation.JoinCond{{Left: 0, Right: 0}})
+		relation.Count(it)
+	}
+}

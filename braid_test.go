@@ -1,0 +1,254 @@
+package braid
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickstartSystem(t *testing.T, opts ...Option) *System {
+	t.Helper()
+	kb := MustParseKB(`
+		:- base(parent/2).
+		:- base(male/1).
+		grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+		grandfather(X, Z) :- grandparent(X, Z), male(X).
+	`)
+	db := NewDB()
+	db.MustExec(`CREATE TABLE parent (p TEXT, c TEXT)`)
+	db.MustExec(`INSERT INTO parent VALUES ('ann','bob'), ('bob','cal'), ('bob','dee'), ('cal','eve')`)
+	db.MustExec(`CREATE TABLE male (x TEXT)`)
+	db.MustExec(`INSERT INTO male VALUES ('bob'), ('cal')`)
+	sys, err := New(kb, db, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := quickstartSystem(t)
+	ans, err := sys.Ask("grandparent(X, Z)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ans.All()
+	if ans.Err() != nil {
+		t.Fatal(ans.Err())
+	}
+	// ann->bob->cal, ann->bob->dee, bob->cal->eve.
+	if len(rows) != 3 {
+		t.Fatalf("grandparent rows = %d: %v", len(rows), rows)
+	}
+	found := false
+	for _, r := range rows {
+		if r["X"] == "ann" && r["Z"] == "cal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing ann/cal: %v", rows)
+	}
+}
+
+func TestPublicAPIStrategiesAgree(t *testing.T) {
+	var counts []int
+	for _, strat := range []string{"interpreted", "conjunction", "compiled"} {
+		sys := quickstartSystem(t, WithStrategy(strat))
+		ans, err := sys.Ask("grandfather(X, Z)?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, ans.Count())
+		if ans.Err() != nil {
+			t.Fatal(ans.Err())
+		}
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("strategies disagree: %v", counts)
+	}
+	if counts[0] == 0 {
+		t.Fatal("expected grandfather answers")
+	}
+}
+
+func TestPublicAPIAdviceAndStats(t *testing.T) {
+	sys := quickstartSystem(t, WithStrategy("conjunction"))
+	adv, err := sys.Advice("grandfather(X, Z)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(adv, "view d1") || !strings.Contains(adv, "path ") {
+		t.Fatalf("advice missing pieces:\n%s", adv)
+	}
+	ans, _ := sys.Ask("grandfather(X, Z)?")
+	ans.Count()
+	st := sys.Stats()
+	if st.Queries == 0 || st.RemoteRequests == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if s := st.String(); !strings.Contains(s, "remote=") {
+		t.Errorf("stats string = %q", s)
+	}
+	if cm := sys.CacheModel(); cm == "" {
+		t.Error("cache model should be non-empty after queries")
+	}
+}
+
+func TestPublicAPIComparators(t *testing.T) {
+	for _, comp := range []string{"braid", "loose", "exact", "singlerel"} {
+		sys := quickstartSystem(t, WithComparator(comp))
+		ans, err := sys.Ask("grandparent(X, Z)?")
+		if err != nil {
+			t.Fatalf("%s: %v", comp, err)
+		}
+		if got := ans.Count(); got != 3 {
+			t.Fatalf("%s: rows = %d, want 3", comp, got)
+		}
+		if ans.Err() != nil {
+			t.Fatalf("%s: %v", comp, ans.Err())
+		}
+	}
+	if _, err := New(MustParseKB(":- base(b/1)."), NewDB(), WithComparator("bogus")); err == nil {
+		t.Error("bogus comparator should error")
+	}
+}
+
+func TestPublicAPIFeatureToggles(t *testing.T) {
+	sys := quickstartSystem(t, WithFeature("prefetch", false), WithFeature("lazy", false), WithCacheBytes(1<<20), WithThinkTime(50))
+	ans, err := sys.Ask("grandparent(X, Z)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans.Count()
+	if _, err := New(MustParseKB(":- base(b/1)."), NewDB(), WithFeature("warp-drive", true)); err == nil {
+		t.Error("unknown feature should error")
+	}
+	if _, err := New(MustParseKB(":- base(b/1)."), NewDB(), WithStrategy("psychic")); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+func TestPublicAPIOverTCP(t *testing.T) {
+	kb := MustParseKB(`
+		:- base(parent/2).
+		grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+	`)
+	db := NewDB()
+	db.MustExec(`CREATE TABLE parent (p TEXT, c TEXT)`)
+	db.MustExec(`INSERT INTO parent VALUES ('ann','bob'), ('bob','cal')`)
+	srv, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sys, err := New(kb, nil, WithRemote(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.Ask("grandparent(X, Z)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ans.All()
+	if ans.Err() != nil {
+		t.Fatal(ans.Err())
+	}
+	if len(rows) != 1 || rows[0]["X"] != "ann" || rows[0]["Z"] != "cal" {
+		t.Fatalf("tcp rows = %v", rows)
+	}
+}
+
+func TestPublicAPIEarlyClose(t *testing.T) {
+	sys := quickstartSystem(t)
+	ans, err := sys.Ask("grandparent(X, Z)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ans.Next(); !ok {
+		t.Fatal("expected at least one answer")
+	}
+	ans.Close()
+	if _, ok := ans.Next(); ok {
+		t.Fatal("Next after Close")
+	}
+}
+
+func TestDBErrorsAndIndex(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("SELECT * FROM nothing"); err == nil {
+		t.Error("bad SQL should error")
+	}
+	db.MustExec("CREATE TABLE t (a INT, b INT)")
+	db.MustExec("INSERT INTO t VALUES (1, 2)")
+	if err := db.CreateIndex("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("t", 0); err == nil {
+		t.Error("0-based index position should error")
+	}
+	if len(db.Tables()) != 1 {
+		t.Error("tables listing wrong")
+	}
+	out := db.MustExec("SELECT a FROM t")
+	if !strings.Contains(out, "1 tuples") {
+		t.Errorf("select output = %q", out)
+	}
+}
+
+func TestPublicAPIExplanations(t *testing.T) {
+	sys := quickstartSystem(t, WithExplanations())
+	ans, err := sys.Ask("grandfather(X, Z)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ans.Close()
+	row, why, ok := ans.NextExplained()
+	if !ok {
+		t.Fatal("expected a solution")
+	}
+	if row["X"] == nil || why == "" {
+		t.Fatalf("explained answer incomplete: %v / %q", row, why)
+	}
+	if !strings.Contains(why, "by rule r") {
+		t.Errorf("justification missing rule identifiers:\n%s", why)
+	}
+	// Without the option, explanations are empty.
+	sys2 := quickstartSystem(t)
+	ans2, _ := sys2.Ask("grandparent(X, Z)?")
+	defer ans2.Close()
+	if _, why, ok := ans2.NextExplained(); ok && why != "" {
+		t.Error("explanations should be empty without WithExplanations")
+	}
+}
+
+func TestPublicAPIDirectCAQLAndClosure(t *testing.T) {
+	kb := MustParseKB(`:- base(edge/2).`)
+	db := NewDB()
+	db.MustExec(`CREATE TABLE edge (a INT, b INT)`)
+	db.MustExec(`INSERT INTO edge VALUES (1,2), (2,3), (3,4)`)
+	sys, err := New(kb, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sys.QueryCAQL("q(X, Y) :- edge(X, Y) & X < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("direct CAQL rows = %d, want 2: %v", len(rows), rows)
+	}
+	closure, err := sys.Closure("r(X, Y) :- edge(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closure) != 6 {
+		t.Fatalf("closure rows = %d, want 6: %v", len(closure), closure)
+	}
+	if _, err := sys.Closure("r(X) :- edge(X, Y)"); err == nil {
+		t.Error("non-binary closure should error")
+	}
+	if _, err := sys.QueryCAQL("broken("); err == nil {
+		t.Error("parse error should propagate")
+	}
+}

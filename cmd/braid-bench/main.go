@@ -1,0 +1,65 @@
+// Command braid-bench runs the reproduction's evaluation suite (experiments
+// E1–E10, DESIGN.md Section 5) and prints one table per experiment — the
+// reproduction's analogue of the paper's deferred performance evaluation.
+//
+// Usage:
+//
+//	braid-bench            # run every experiment
+//	braid-bench E2 E5      # run selected experiments
+//	braid-bench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var registry = []struct {
+	id    string
+	title string
+	run   func() *experiments.Table
+}{
+	{"E1", "inference strategy along the I-C range", experiments.E1ICRange},
+	{"E2", "caching strategies on overlapping queries", experiments.E2CachingStrategies},
+	{"E3", "lazy vs eager evaluation", experiments.E3LazyVsEager},
+	{"E4", "path-expression prefetching", experiments.E4Prefetching},
+	{"E5", "query generalization", experiments.E5Generalization},
+	{"E6", "attribute indexing", experiments.E6AttributeIndexing},
+	{"E7", "advice-modified replacement", experiments.E7Replacement},
+	{"E8", "parallel cache/remote subqueries", experiments.E8ParallelSubqueries},
+	{"E9", "subsumption overhead", experiments.E9SubsumptionOverhead},
+	{"E10", "feature ablation (Figure 2)", experiments.E10FeatureAblation},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Println(e.run().String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "braid-bench: no experiment matched %v (use -list)\n", flag.Args())
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+// Command braid-gen dumps a built-in synthetic workload as a SQL script plus
+// a knowledge base file, so workloads can be inspected, edited, and replayed
+// through braid-server and braid-repl.
+//
+// Usage:
+//
+//	braid-gen -workload kinship -scale 150 -out family
+//	  -> family.sql, family.pl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "kinship", "workload: kinship | suppliers | chain")
+	scale := flag.Int("scale", 100, "workload scale")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	out := flag.String("out", "", "output file prefix (default: workload name)")
+	flag.Parse()
+
+	var w *workload.Workload
+	switch *wl {
+	case "kinship":
+		w = workload.Kinship(*seed, *scale)
+	case "suppliers":
+		w = workload.Suppliers(*seed, *scale)
+	case "chain":
+		w = workload.Chain(*seed, *scale, 32)
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+	prefix := *out
+	if prefix == "" {
+		prefix = w.Name
+	}
+
+	var sql strings.Builder
+	for _, t := range w.Tables {
+		fmt.Fprintf(&sql, "CREATE TABLE %s (%s);\n", t.Name, columnDefs(t))
+		for _, tu := range t.Tuples() {
+			vals := make([]string, len(tu))
+			for i, v := range tu {
+				vals[i] = sqlLit(v)
+			}
+			fmt.Fprintf(&sql, "INSERT INTO %s VALUES (%s);\n", t.Name, strings.Join(vals, ", "))
+		}
+	}
+	if err := os.WriteFile(prefix+".sql", []byte(sql.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(prefix+".pl", []byte(w.KB.String()+kbBaseDecls(w)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s.sql (%d tables) and %s.pl (%d clauses)\n",
+		prefix, len(w.Tables), prefix, w.KB.NumClauses())
+	fmt.Println("suggested queries:")
+	for _, q := range w.Queries {
+		fmt.Printf("  %s?\n", q)
+	}
+}
+
+func columnDefs(t *relation.Relation) string {
+	parts := make([]string, t.Schema().Arity())
+	for i := 0; i < t.Schema().Arity(); i++ {
+		a := t.Schema().Attr(i)
+		typ := "TEXT"
+		switch a.Kind {
+		case relation.KindInt:
+			typ = "INT"
+		case relation.KindFloat:
+			typ = "FLOAT"
+		case relation.KindBool:
+			typ = "BOOL"
+		}
+		parts[i] = fmt.Sprintf("%s %s", a.Name, typ)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func sqlLit(v relation.Value) string {
+	if v.Kind() == relation.KindString {
+		return "'" + strings.ReplaceAll(v.AsString(), "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// kbBaseDecls re-emits base declarations (KB.String omits them because
+// base-ness is implied by having no rules; the file must declare them).
+func kbBaseDecls(w *workload.Workload) string {
+	var b strings.Builder
+	for _, t := range w.Tables {
+		fmt.Fprintf(&b, ":- base(%s/%d).\n", t.Name, t.Schema().Arity())
+	}
+	return b.String()
+}

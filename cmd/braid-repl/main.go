@@ -1,0 +1,191 @@
+// Command braid-repl is an interactive BrAID session: load a knowledge base,
+// connect to a database (in-process SQL script or a remote braid-server),
+// and ask AI queries. Meta-commands inspect the machinery the paper
+// describes: generated advice, the cache model, session statistics.
+//
+// Usage:
+//
+//	braid-repl -kb family.pl -load family.sql
+//	braid-repl -kb family.pl -remote 127.0.0.1:7700 -strategy conjunction
+//
+// At the prompt:
+//
+//	grandparent(X, Z)?      ask a query (all solutions)
+//	.first uncle(X, Y)?     ask for the first solution only
+//	.advice k1(X, Y)?       show the advice bundle for a query
+//	.cache                  dump the cache model
+//	.stats                  show data-layer statistics
+//	.sql SELECT * FROM t    run raw SQL on the local database
+//	.quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	braid "repro"
+)
+
+func main() {
+	kbPath := flag.String("kb", "", "knowledge base file (required)")
+	load := flag.String("load", "", "SQL script for the in-process database")
+	remote := flag.String("remote", "", "braid-server address (instead of -load)")
+	strategy := flag.String("strategy", "interpreted", "inference strategy: interpreted | conjunction | compiled")
+	comparator := flag.String("comparator", "braid", "data layer: braid | loose | exact | singlerel")
+	flag.Parse()
+
+	if *kbPath == "" {
+		fmt.Fprintln(os.Stderr, "braid-repl: -kb is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	kbSrc, err := os.ReadFile(*kbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb, err := braid.ParseKB(string(kbSrc))
+	if err != nil {
+		log.Fatalf("knowledge base: %v", err)
+	}
+
+	var db *braid.DB
+	opts := []braid.Option{
+		braid.WithStrategy(*strategy),
+		braid.WithComparator(*comparator),
+		braid.WithExplanations(),
+	}
+	if *remote != "" {
+		opts = append(opts, braid.WithRemote(*remote))
+	} else {
+		db = braid.NewDB()
+		if *load != "" {
+			src, err := os.ReadFile(*load)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, stmt := range strings.Split(string(src), ";") {
+				stmt = strings.TrimSpace(stmt)
+				if stmt == "" {
+					continue
+				}
+				if _, err := db.Exec(stmt); err != nil {
+					log.Fatalf("%s: %v", stmt, err)
+				}
+			}
+		}
+	}
+
+	sys, err := braid.New(kb, db, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("braid-repl: strategy=%s comparator=%s; type queries like p(X)? or .help\n", *strategy, *comparator)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("?- ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println("queries: p(X, Y)?   meta: .first <q>, .why <q>, .advice <q>, .cache, .stats, .sql <stmt>, .quit")
+		case line == ".cache":
+			if cm := sys.CacheModel(); cm != "" {
+				fmt.Println(cm)
+			} else {
+				fmt.Println("(no cache)")
+			}
+		case line == ".stats":
+			fmt.Println(sys.Stats())
+		case strings.HasPrefix(line, ".sql "):
+			if db == nil {
+				fmt.Println("no local database (-remote mode)")
+				break
+			}
+			out, err := db.Exec(strings.TrimPrefix(line, ".sql "))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else if out != "" {
+				fmt.Println(out)
+			}
+		case strings.HasPrefix(line, ".advice "):
+			adv, err := sys.Advice(strings.TrimPrefix(line, ".advice "))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(adv)
+			}
+		case strings.HasPrefix(line, ".first "):
+			ask(sys, strings.TrimPrefix(line, ".first "), 1)
+		case strings.HasPrefix(line, ".why "):
+			why(sys, strings.TrimPrefix(line, ".why "))
+		case strings.HasPrefix(line, "."):
+			fmt.Println("unknown meta-command; .help")
+		default:
+			ask(sys, line, 0)
+		}
+		fmt.Print("?- ")
+	}
+}
+
+// why prints the first solution with its justification (answer
+// justification, paper Section 4.2.1).
+func why(sys *braid.System, query string) {
+	ans, err := sys.Ask(query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer ans.Close()
+	row, proof, ok := ans.NextExplained()
+	if !ok {
+		if err := ans.Err(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("no solutions")
+		}
+		return
+	}
+	fmt.Printf("solution: %v\nbecause:\n%s", row, proof)
+}
+
+func ask(sys *braid.System, query string, limit int) {
+	ans, err := sys.Ask(query)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer ans.Close()
+	vars := ans.Vars()
+	n := 0
+	for {
+		row, ok := ans.Next()
+		if !ok {
+			break
+		}
+		n++
+		if len(vars) == 0 {
+			fmt.Println("true")
+		} else {
+			parts := make([]string, 0, len(vars))
+			for _, v := range vars {
+				parts = append(parts, fmt.Sprintf("%s = %v", v, row[v]))
+			}
+			fmt.Println("  " + strings.Join(parts, ", "))
+		}
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	if err := ans.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d solution(s)\n", n)
+}

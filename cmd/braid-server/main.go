@@ -1,0 +1,86 @@
+// Command braid-server runs the remote DBMS half of a BrAID deployment: it
+// loads a database (a SQL script, a built-in synthetic workload, or both)
+// and serves it over TCP, reproducing the paper's split of CMS/IE on a
+// workstation and the DBMS on a separate database server.
+//
+// Usage:
+//
+//	braid-server -addr :7700 -load schema.sql
+//	braid-server -addr :7700 -workload kinship -scale 200
+//
+// Clients connect with braid.WithRemote(addr) or braid-repl -remote addr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "listen address")
+	load := flag.String("load", "", "SQL script to execute at startup (one statement per ; terminated line group)")
+	wl := flag.String("workload", "", "built-in workload to load: kinship | suppliers | chain")
+	scale := flag.Int("scale", 100, "workload scale")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	engine := remotedb.NewEngine()
+
+	switch *wl {
+	case "":
+	case "kinship":
+		for _, t := range workload.Kinship(*seed, *scale).Tables {
+			engine.LoadTable(t)
+		}
+	case "suppliers":
+		for _, t := range workload.Suppliers(*seed, *scale).Tables {
+			engine.LoadTable(t)
+		}
+	case "chain":
+		for _, t := range workload.Chain(*seed, *scale, 32).Tables {
+			engine.LoadTable(t)
+		}
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	if *load != "" {
+		src, err := os.ReadFile(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, stmt := range strings.Split(string(src), ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if _, _, err := engine.ExecuteSQL(stmt); err != nil {
+				log.Fatalf("%s: %v", stmt, err)
+			}
+		}
+	}
+
+	srv := remotedb.NewServer(engine)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("braid-server: serving %d tables on %s\n", len(engine.Tables()), bound)
+	for _, t := range engine.Tables() {
+		st, _ := engine.Stats(t)
+		fmt.Printf("  %-16s %d rows\n", t, st.Rows)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+	srv.Close()
+}

@@ -1,0 +1,81 @@
+package braid
+
+import (
+	"fmt"
+
+	"repro/internal/remotedb"
+)
+
+// DB is the (simulated) remote relational DBMS: a from-scratch engine
+// accepting the SQL subset described in DESIGN.md (CREATE TABLE, INSERT,
+// conjunctive SELECT with joins, aggregates, ORDER BY, LIMIT). It stands in
+// for the INGRES / IDM-500 servers of the paper's prototype and can be used
+// in-process or served over TCP.
+type DB struct {
+	engine *remotedb.Engine
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB { return &DB{engine: remotedb.NewEngine()} }
+
+// Exec parses and executes one SQL statement, returning the result rendered
+// as text for SELECTs (DDL/DML return "").
+func (db *DB) Exec(sql string) (string, error) {
+	rel, _, err := db.engine.ExecuteSQL(sql)
+	if err != nil {
+		return "", err
+	}
+	if rel == nil {
+		return "", nil
+	}
+	return rel.String(), nil
+}
+
+// MustExec is Exec panicking on error; for fixtures and examples.
+func (db *DB) MustExec(sql string) string {
+	out, err := db.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("braid: %s: %v", sql, err))
+	}
+	return out
+}
+
+// Tables lists the table names.
+func (db *DB) Tables() []string { return db.engine.Tables() }
+
+// CreateIndex builds a hash index on the 1-based column positions of a
+// table (server-side indexing, independent of the CMS's cached-extension
+// indexes).
+func (db *DB) CreateIndex(table string, cols ...int) error {
+	zero := make([]int, len(cols))
+	for i, c := range cols {
+		if c < 1 {
+			return fmt.Errorf("braid: index positions are 1-based")
+		}
+		zero[i] = c - 1
+	}
+	return db.engine.CreateIndex(table, zero)
+}
+
+// Server is a running TCP DBMS server.
+type Server struct {
+	inner *remotedb.Server
+	addr  string
+}
+
+// Serve exposes the database over TCP at addr ("127.0.0.1:0" picks a free
+// port) and returns the running server with its bound address.
+func (db *DB) Serve(addr string) (*Server, error) {
+	srv := remotedb.NewServer(db.engine)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: srv, addr: bound}, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.inner.Close() }

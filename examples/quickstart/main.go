@@ -1,0 +1,60 @@
+// Command quickstart is the smallest end-to-end BrAID session: a knowledge
+// base with one derived relation, a two-table database, one AI query, and
+// the data-layer statistics that show what the Cache Management System did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	braid "repro"
+)
+
+func main() {
+	kb, err := braid.ParseKB(`
+		:- base(parent/2).
+		:- base(male/1).
+		grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+		grandfather(X, Z) :- grandparent(X, Z), male(X).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db := braid.NewDB()
+	db.MustExec(`CREATE TABLE parent (p TEXT, c TEXT)`)
+	db.MustExec(`INSERT INTO parent VALUES
+		('ann','bob'), ('ann','cat'),
+		('bob','dan'), ('bob','eve'),
+		('cat','fay'), ('dan','gus')`)
+	db.MustExec(`CREATE TABLE male (x TEXT)`)
+	db.MustExec(`INSERT INTO male VALUES ('bob'), ('dan'), ('gus')`)
+
+	sys, err := braid.New(kb, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== grandparent(X, Z)? ==")
+	ans, err := sys.Ask("grandparent(X, Z)?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for row, ok := ans.Next(); ok; row, ok = ans.Next() {
+		fmt.Printf("  %s is a grandparent of %s\n", row["X"], row["Z"])
+	}
+	if ans.Err() != nil {
+		log.Fatal(ans.Err())
+	}
+
+	// The same query again: answered from the cache, no new remote requests.
+	before := sys.Stats().RemoteRequests
+	ans2, _ := sys.Ask("grandparent(X, Z)?")
+	n := ans2.Count()
+	fmt.Printf("\nre-asked: %d answers, new remote requests: %d\n",
+		n, sys.Stats().RemoteRequests-before)
+
+	fmt.Printf("\nstats: %s\n", sys.Stats())
+	fmt.Println("\ncache model:")
+	fmt.Println(sys.CacheModel())
+}

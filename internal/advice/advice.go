@@ -1,0 +1,185 @@
+// Package advice implements BrAID's advice language (Section 4.2 of the
+// paper): the problem-specific information the inference engine transmits to
+// the Cache Management System at the start of a session. Advice has two
+// forms — view specifications with producer/consumer binding annotations
+// (Section 4.2.1) and path expressions (Section 4.2.2) — plus the degenerate
+// simplest form, a bare list of relevant base relations.
+//
+// Advice is never mandatory: the CMS functions without it (Section 3), but
+// uses it for prefetching, result caching, replacement, attribute indexing,
+// cache-vs-DBMS execution split, lazy-vs-eager choice, and query
+// generalization.
+package advice
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/caql"
+	"repro/internal/logic"
+)
+
+// Binding is a head-argument binding annotation on a view specification.
+type Binding uint8
+
+// Binding annotations: a producer argument ("^") will be a free variable in
+// the corresponding CAQL queries (the query produces bindings for it); a
+// consumer argument ("?") will be a constant (the IE supplies a binding).
+// Consumer annotations advise the CMS to index the attribute; producer
+// annotations advise against it (Section 4.2.1).
+const (
+	BindNone Binding = iota
+	BindProducer
+	BindConsumer
+)
+
+// String returns the surface annotation.
+func (b Binding) String() string {
+	switch b {
+	case BindProducer:
+		return "^"
+	case BindConsumer:
+		return "?"
+	default:
+		return ""
+	}
+}
+
+// ViewSpec is a view specification: a named CAQL definition with binding
+// annotations and the rule identifiers it derives from (the latter "for
+// human consumption", per the paper).
+type ViewSpec struct {
+	Query    *caql.Query
+	Bindings []Binding // one per head argument
+	Rules    []string
+}
+
+// Name returns the d_i identifier.
+func (v *ViewSpec) Name() string { return v.Query.Name() }
+
+// ConsumerCols returns the head positions annotated as consumers — the
+// prime candidates for indexing.
+func (v *ViewSpec) ConsumerCols() []int {
+	var out []int
+	for i, b := range v.Bindings {
+		if b == BindConsumer {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StrictProducer reports whether no argument is a consumer: such relations
+// are "well advised to produce ... lazily and without any indexing".
+func (v *ViewSpec) StrictProducer() bool {
+	for _, b := range v.Bindings {
+		if b == BindConsumer {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks annotation arity.
+func (v *ViewSpec) Validate() error {
+	if v.Query == nil {
+		return fmt.Errorf("advice: view spec without query")
+	}
+	if err := v.Query.Validate(); err != nil {
+		return err
+	}
+	if len(v.Bindings) != len(v.Query.Head.Args) {
+		return fmt.Errorf("advice: view %s has %d bindings for %d head arguments",
+			v.Name(), len(v.Bindings), len(v.Query.Head.Args))
+	}
+	return nil
+}
+
+// String renders the spec: "d1(Y^) :- b1("c1", Y) (R1)."
+func (v *ViewSpec) String() string {
+	var b strings.Builder
+	b.WriteString(v.Query.Name())
+	b.WriteByte('(')
+	for i, t := range v.Query.Head.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+		if i < len(v.Bindings) {
+			b.WriteString(v.Bindings[i].String())
+		}
+	}
+	b.WriteString(") :- ")
+	all := v.Query.Body()
+	for i, a := range all {
+		if i > 0 {
+			b.WriteString(" & ")
+		}
+		b.WriteString(a.String())
+	}
+	if len(v.Rules) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(v.Rules, ","))
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Advice is the bundle transmitted at the start of a session.
+type Advice struct {
+	// Views are the view specifications, indexed by name via ViewByName.
+	Views []*ViewSpec
+	// Path is the session's path expression; nil when not provided.
+	Path Expr
+	// BaseRels is the simplest form of advice: the base relations relevant
+	// to the current problem.
+	BaseRels []logic.PredRef
+}
+
+// ViewByName finds a view specification.
+func (a *Advice) ViewByName(name string) *ViewSpec {
+	if a == nil {
+		return nil
+	}
+	for _, v := range a.Views {
+		if v.Name() == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// Validate checks all components.
+func (a *Advice) Validate() error {
+	seen := make(map[string]bool)
+	for _, v := range a.Views {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+		if seen[v.Name()] {
+			return fmt.Errorf("advice: duplicate view %s", v.Name())
+		}
+		seen[v.Name()] = true
+	}
+	return nil
+}
+
+// String renders the whole bundle.
+func (a *Advice) String() string {
+	var b strings.Builder
+	for _, v := range a.Views {
+		b.WriteString("view ")
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	if a.Path != nil {
+		fmt.Fprintf(&b, "path %s.\n", a.Path)
+	}
+	if len(a.BaseRels) > 0 {
+		refs := make([]string, len(a.BaseRels))
+		for i, r := range a.BaseRels {
+			refs[i] = r.String()
+		}
+		fmt.Fprintf(&b, "base %s.\n", strings.Join(refs, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package advice
+
+import "sort"
+
+// Tracker performs path expression tracking (Section 4.2.2): it associates
+// the CAQL queries the IE actually submits with positions in the session's
+// path expression, so the CMS can predict which view specifications will be
+// needed soon (prefetching) and which cached elements are poor replacement
+// victims.
+//
+// The path expression compiles to a small nondeterministic automaton whose
+// transitions are labeled with view names. Symbolic and large repetition
+// bounds are approximated by unbounded loops — the tracker is a predictor,
+// not a validator, so over-approximation merely widens predictions.
+type Tracker struct {
+	edges   map[int][]tEdge
+	eps     map[int][]int
+	start   int
+	current map[int]bool
+	lost    bool
+}
+
+type tEdge struct {
+	label string
+	to    int
+}
+
+// NewTracker compiles the expression; a nil expression yields a tracker that
+// predicts nothing.
+func NewTracker(e Expr) *Tracker {
+	t := &Tracker{edges: map[int][]tEdge{}, eps: map[int][]int{}}
+	next := 0
+	newState := func() int { next++; return next - 1 }
+	t.start = newState()
+	var compile func(e Expr, from int) int
+	compile = func(e Expr, from int) int {
+		switch v := e.(type) {
+		case *Pattern:
+			to := newState()
+			t.edges[from] = append(t.edges[from], tEdge{label: v.Name, to: to})
+			return to
+		case *Sequence:
+			accept := newState()
+			cur := from
+			for i, el := range v.Elems {
+				cur = compile(el, cur)
+				// Sequences are prefix-closed: the paper's own valid-sequence
+				// list for the tracking example includes "d1, d4, d1, ..." —
+				// a branch abandoned after its first element (the IE failed
+				// partway). Every intermediate point may therefore exit.
+				if i < len(v.Elems)-1 {
+					t.eps[cur] = append(t.eps[cur], accept)
+				}
+			}
+			t.eps[cur] = append(t.eps[cur], accept)
+			if v.Lo == 0 {
+				t.eps[from] = append(t.eps[from], accept)
+			}
+			if v.Hi.Unbounded() || v.Hi.N > 1 {
+				t.eps[cur] = append(t.eps[cur], from) // repeat
+			}
+			return accept
+		case *Alternation:
+			accept := newState()
+			for _, el := range v.Elems {
+				end := compile(el, from)
+				t.eps[end] = append(t.eps[end], accept)
+				if v.Select != 1 {
+					// More than one alternative may fire per occurrence.
+					t.eps[end] = append(t.eps[end], from)
+				}
+			}
+			// Zero alternatives may fire ("some members may never appear").
+			t.eps[from] = append(t.eps[from], accept)
+			return accept
+		default:
+			return from
+		}
+	}
+	if e != nil {
+		compile(e, t.start)
+	}
+	t.current = t.closure(map[int]bool{t.start: true})
+	return t
+}
+
+func (t *Tracker) closure(states map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(states))
+	var stack []int
+	for s := range states {
+		out[s] = true
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range t.eps[s] {
+			if !out[n] {
+				out[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return out
+}
+
+// Lost reports whether an observed query fell outside the path expression;
+// once lost, the tracker stops predicting.
+func (t *Tracker) Lost() bool { return t.lost }
+
+// Observe advances the tracker on a query against view name. It returns
+// false (and enters the lost state) when the query does not fit the path
+// expression at the current position.
+func (t *Tracker) Observe(name string) bool {
+	if t.lost {
+		return false
+	}
+	next := make(map[int]bool)
+	for s := range t.current {
+		for _, e := range t.edges[s] {
+			if e.label == name {
+				next[e.to] = true
+			}
+		}
+	}
+	if len(next) == 0 {
+		t.lost = true
+		return false
+	}
+	t.current = t.closure(next)
+	return true
+}
+
+// PredictNext returns the view names that could be the very next query,
+// sorted.
+func (t *Tracker) PredictNext() []string {
+	return t.keysWithin(1)
+}
+
+// PredictWithin returns, for each view name reachable within k observations,
+// the minimum number of observations before a query against it can occur
+// (1 = could be next). Names not reachable within k are absent.
+func (t *Tracker) PredictWithin(k int) map[string]int {
+	if t.lost || k <= 0 {
+		return nil
+	}
+	dist := make(map[string]int)
+	frontier := t.current
+	seen := make(map[int]bool)
+	for s := range frontier {
+		seen[s] = true
+	}
+	for step := 1; step <= k; step++ {
+		next := make(map[int]bool)
+		for s := range frontier {
+			for _, e := range t.edges[s] {
+				if _, ok := dist[e.label]; !ok {
+					dist[e.label] = step
+				}
+				next[e.to] = true
+			}
+		}
+		next = t.closure(next)
+		// Stop early when no new states appear.
+		fresh := false
+		for s := range next {
+			if !seen[s] {
+				seen[s] = true
+				fresh = true
+			}
+		}
+		frontier = next
+		if !fresh && step > 1 {
+			break
+		}
+	}
+	return dist
+}
+
+func (t *Tracker) keysWithin(k int) []string {
+	m := t.PredictWithin(k)
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SequenceFollowers returns, for a just-observed view name, the view names
+// that belong to the same innermost sequence and follow it — the paper's
+// prefetch rule: "the sequence grouping ... indicates that all items in that
+// group are likely to be evaluated when the first item is evaluated"
+// (Section 5.3.1). This is computed structurally from the expression rather
+// than from tracker state, so it is usable even when the CMS chooses not to
+// track.
+func SequenceFollowers(e Expr, name string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] && n != name {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	var collect func(Expr)
+	collect = func(x Expr) {
+		switch v := x.(type) {
+		case *Pattern:
+			add(v.Name)
+		case *Sequence:
+			for _, c := range v.Elems {
+				collect(c)
+			}
+		case *Alternation:
+			for _, c := range v.Elems {
+				collect(c)
+			}
+		}
+	}
+	contains := func(x Expr) bool {
+		for _, n := range Names(x) {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch v := x.(type) {
+		case *Sequence:
+			// Find the direct child containing name; followers are the
+			// later siblings. Recurse into that child for the innermost
+			// sequence semantics first.
+			for i, c := range v.Elems {
+				if contains(c) {
+					walk(c)
+					for _, later := range v.Elems[i+1:] {
+						collect(later)
+					}
+					return
+				}
+			}
+		case *Alternation:
+			for _, c := range v.Elems {
+				if contains(c) {
+					walk(c)
+					return
+				}
+			}
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package bridge defines the interface between BrAID's inference engine and
+// its data layer (Figure 3 of the paper): sessions that accept advice
+// followed by a sequence of CAQL queries, answered as streams. The Cache
+// Management System (internal/cache) is the primary implementation; the
+// comparison baselines (internal/baseline) implement the same surface so the
+// IE can run unchanged against loose coupling or exact-match caching.
+package bridge
+
+import (
+	"repro/internal/advice"
+	"repro/internal/caql"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+)
+
+// Stream delivers a query result tuple-at-a-time. "The CMS returns the
+// result for the query using a stream" (Section 3). A stream backed by a
+// generator performs lazy evaluation: tuples are computed on demand.
+type Stream struct {
+	schema *relation.Schema
+	next   func() (relation.Tuple, bool)
+	lazy   bool
+}
+
+// NewStream builds a stream over an iterator.
+func NewStream(schema *relation.Schema, it relation.Iterator, lazy bool) *Stream {
+	return &Stream{schema: schema, next: it.Next, lazy: lazy}
+}
+
+// NewEagerStream builds a stream over a materialized relation.
+func NewEagerStream(rel *relation.Relation) *Stream {
+	return NewStream(rel.Schema(), rel.Iter(), false)
+}
+
+// Schema returns the result schema.
+func (s *Stream) Schema() *relation.Schema { return s.schema }
+
+// Lazy reports whether the stream is generator-backed (lazy evaluation).
+func (s *Stream) Lazy() bool { return s.lazy }
+
+// Next produces the next tuple; ok is false at end of stream.
+func (s *Stream) Next() (relation.Tuple, bool) { return s.next() }
+
+// Drain materializes the remainder of the stream.
+func (s *Stream) Drain(name string) *relation.Relation {
+	return relation.Drain(name, s.schema, relation.IteratorFunc(s.next))
+}
+
+// Take consumes up to n tuples.
+func (s *Stream) Take(n int) []relation.Tuple {
+	return relation.Take(relation.IteratorFunc(s.next), n)
+}
+
+// SourceStats aggregates a data source's cost and behaviour counters. All
+// simulated times are in virtual milliseconds under the experiment cost
+// model.
+type SourceStats struct {
+	Queries         int64   // CAQL queries served
+	RemoteRequests  int64   // DML requests issued to the remote DBMS
+	RemoteTuples    int64   // tuples shipped from the remote DBMS
+	RemoteSimMS     float64 // simulated remote time (requests + transfer + server ops)
+	LocalSimMS      float64 // simulated CMS-local processing time
+	ResponseSimMS   float64 // simulated session response time (overlaps collapsed)
+	CacheHits       int64   // queries answered entirely from the cache
+	PartialHits     int64   // queries partially answered from the cache
+	ExactHits       int64   // full hits that were exact result-cache matches
+	Prefetches      int64   // prefetch requests issued
+	PrefetchHits    int64   // queries answered by previously prefetched data
+	Generalizations int64   // queries widened before remote execution
+	Evictions       int64   // cache elements evicted
+	IndexBuilds     int64   // attribute indexes built on cached extensions
+	LazyAnswers     int64   // queries answered with a generator (lazy)
+}
+
+// Session is one advice-then-queries interaction (Section 3: "a session ...
+// consists of a set of advice. This is followed by a sequence of CAQL
+// queries").
+type Session interface {
+	// Query answers one CAQL query.
+	Query(q *caql.Query) (*Stream, error)
+	// QueryText parses and answers a query in CAQL surface syntax.
+	QueryText(src string) (*Stream, error)
+	// End closes the session.
+	End()
+}
+
+// DataSource is the IE-facing surface of the CMS and of the baseline
+// comparators.
+type DataSource interface {
+	// BeginSession starts a session; adv may be nil (advice is optional).
+	BeginSession(adv *advice.Advice) Session
+	// RelationSchema resolves a base relation schema (caql.SchemaSource).
+	RelationSchema(name string, arity int) (*relation.Schema, error)
+	// RelationStats returns catalog statistics (cardinality, per-column
+	// distinct counts) for a base relation; the IE's problem-graph shaper
+	// consumes these for conjunct ordering (Section 4.1).
+	RelationStats(name string) (remotedb.TableStats, error)
+	// Stats returns cumulative counters.
+	Stats() SourceStats
+}

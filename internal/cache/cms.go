@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/advice"
+	"repro/internal/bridge"
+	"repro/internal/caql"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+)
+
+// Features toggles the CMS's optimization techniques. Every feature has a
+// sound fallback, so any subset is valid — the experiment suite ablates them
+// individually (Figure 2 of the paper maps techniques to the aspects of the
+// impedance mismatch they alleviate).
+type Features struct {
+	// Subsumption enables reuse of cached views via subsumption and query
+	// decomposition (Section 5.3.2). Without it only exact result matches
+	// are reused.
+	Subsumption bool
+	// ExactMatch enables exact-match result-cache lookups.
+	ExactMatch bool
+	// ResultCaching stores query results as cache elements at all.
+	ResultCaching bool
+	// Generalization widens consumer-bound queries before remote execution
+	// (Section 5.3.1 step 1).
+	Generalization bool
+	// Prefetch issues predicted queries ahead of demand using the path
+	// expression (Section 4.2.2 / 5.3.1).
+	Prefetch bool
+	// Lazy answers cache-only queries with generators (Section 5.1).
+	Lazy bool
+	// Indexing builds attribute indexes on consumer-annotated columns
+	// (Section 4.2.1).
+	Indexing bool
+	// Parallel overlaps cache-local and remote subquery execution
+	// (Section 5, feature (e)).
+	Parallel bool
+	// AdviceReplacement protects predicted-soon elements from LRU eviction.
+	AdviceReplacement bool
+}
+
+// AllFeatures enables everything (the full BrAID configuration).
+func AllFeatures() Features {
+	return Features{
+		Subsumption:       true,
+		ExactMatch:        true,
+		ResultCaching:     true,
+		Generalization:    true,
+		Prefetch:          true,
+		Lazy:              true,
+		Indexing:          true,
+		Parallel:          true,
+		AdviceReplacement: true,
+	}
+}
+
+// Options configures a CMS instance.
+type Options struct {
+	Features Features
+	// CacheBytes bounds the cache footprint (<= 0: unbounded).
+	CacheBytes int64
+	// Costs is the virtual cost model shared with the remote client.
+	Costs remotedb.Costs
+	// ThinkTimeMS is the simulated IE think time between consecutive queries
+	// of a session; prefetches overlap with it.
+	ThinkTimeMS float64
+	// PredictHorizon is how many queries ahead advice-based predictions
+	// look (replacement protection, reuse prediction). Default 8.
+	PredictHorizon int
+}
+
+// CMS is the Cache Management System. It implements bridge.DataSource.
+type CMS struct {
+	opts Options
+	rdi  *RDI
+	mgr  *Manager
+
+	mu    sync.Mutex
+	stats bridge.SourceStats
+}
+
+var _ bridge.DataSource = (*CMS)(nil)
+
+// New builds a CMS over a remote client.
+func New(client remotedb.Client, opts Options) *CMS {
+	if opts.PredictHorizon <= 0 {
+		opts.PredictHorizon = 8
+	}
+	return &CMS{
+		opts: opts,
+		rdi:  NewRDI(client),
+		mgr:  NewManager(opts.CacheBytes),
+	}
+}
+
+// Manager exposes the cache manager (cache model introspection, tests).
+func (c *CMS) Manager() *Manager { return c.mgr }
+
+// RDI exposes the remote interface (stats, tests).
+func (c *CMS) RDI() *RDI { return c.rdi }
+
+// RelationSchema implements bridge.DataSource / caql.SchemaSource.
+func (c *CMS) RelationSchema(name string, arity int) (*relation.Schema, error) {
+	return c.rdi.RelationSchema(name, arity)
+}
+
+// Stats implements bridge.DataSource, folding in the remote client's
+// transfer counters.
+func (c *CMS) Stats() bridge.SourceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	remote := c.rdi.Stats()
+	st.RemoteRequests = remote.Requests
+	st.RemoteTuples = remote.TuplesReturned
+	st.RemoteSimMS = remote.SimMS
+	st.Evictions = c.mgr.Evictions()
+	return st
+}
+
+// BeginSession implements bridge.DataSource. A session accepts optional
+// advice and then a sequence of CAQL queries (Section 3).
+func (c *CMS) BeginSession(adv *advice.Advice) bridge.Session {
+	s := &Session{cms: c, adv: adv, genSeen: make(map[string]int)}
+	if adv != nil && adv.Path != nil {
+		s.tracker = advice.NewTracker(adv.Path)
+	}
+	if c.opts.Features.AdviceReplacement && s.tracker != nil {
+		c.mgr.SetPredictor(func(e *Element) (int, bool) {
+			if e.AdviceName == "" || s.tracker.Lost() {
+				return 0, false
+			}
+			d, ok := s.tracker.PredictWithin(c.opts.PredictHorizon)[e.AdviceName]
+			return d, ok
+		})
+	}
+	return s
+}
+
+// Session is a CMS session. Sessions are not safe for concurrent use (a
+// session models a single IE's query sequence); open one session per
+// concurrent client.
+type Session struct {
+	cms     *CMS
+	adv     *advice.Advice
+	tracker *advice.Tracker
+
+	simNow  float64
+	queries int64
+	ended   bool
+
+	// genSeen counts occurrences of each query's fully-generalized canonical
+	// form; repeated instances trigger generalization even without a path
+	// expression (frequency-based fallback).
+	genSeen map[string]int
+	// tcMemo memoizes per-session transitive closures (QueryFixpoint).
+	tcMemo map[string]*relation.Relation
+}
+
+// SimNow returns the session's virtual clock (milliseconds).
+func (s *Session) SimNow() float64 { return s.simNow }
+
+// End implements bridge.Session.
+func (s *Session) End() {
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.cms.mgr.SetPredictor(nil)
+}
+
+// QueryText parses and answers a CAQL query.
+func (s *Session) QueryText(src string) (*bridge.Stream, error) {
+	q, err := caql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(q)
+}
+
+// advance moves the session clock by d simulated milliseconds and accounts
+// it as response time.
+func (s *Session) advance(d float64) {
+	s.simNow += d
+	s.cms.mu.Lock()
+	s.cms.stats.ResponseSimMS += d
+	s.cms.mu.Unlock()
+}
+
+// advanceLocal additionally accounts CMS-local processing time.
+func (s *Session) advanceLocal(d float64) {
+	s.advance(d)
+	s.cms.mu.Lock()
+	s.cms.stats.LocalSimMS += d
+	s.cms.mu.Unlock()
+}
+
+func (s *Session) bump(f func(*bridge.SourceStats)) {
+	s.cms.mu.Lock()
+	f(&s.cms.stats)
+	s.cms.mu.Unlock()
+}
+
+// RelationStats implements bridge.DataSource by proxying the remote catalog.
+func (c *CMS) RelationStats(name string) (remotedb.TableStats, error) {
+	return c.rdi.TableStats(name)
+}

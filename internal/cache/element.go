@@ -1,0 +1,423 @@
+// Package cache implements BrAID's Cache Management System (Section 5 of
+// the paper): a main-memory relational store of *views* (cache elements
+// defined by CAQL expressions), a query planner/optimizer that reuses cached
+// data through subsumption, an advice manager driving prefetching, indexing,
+// replacement, generalization and lazy evaluation, an execution monitor for
+// parallel cache/remote subqueries, and the Remote DBMS Interface that
+// translates CAQL to the remote DML.
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/caql"
+	"repro/internal/relation"
+)
+
+// Mode distinguishes the two representations of a relation in the cache
+// (Section 5.1): a full extension, or a generator producing tuples on
+// demand.
+type Mode uint8
+
+// Element representation modes.
+const (
+	ModeExtension Mode = iota
+	ModeGenerator
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeGenerator {
+		return "generator"
+	}
+	return "extension"
+}
+
+// Element is one cache element: a relation defined by a CAQL expression,
+// stored as an extension or a (memoized) generator, with optional attribute
+// indexes and bookkeeping for replacement decisions.
+type Element struct {
+	ID  int
+	Def *caql.Query
+	// AdviceName is the view specification the element instantiates or
+	// generalizes, when known; it links the element to path-expression
+	// predictions.
+	AdviceName string
+
+	Mode   Mode
+	schema *relation.Schema
+	ext    *relation.Relation // valid in ModeExtension
+	memo   *relation.Memo     // valid in ModeGenerator
+
+	indexes map[int]*relation.Index // by column
+	// sorted holds co-existing, alternative representations of the same
+	// extension (Section 5.2: "the case where alternative sortings are
+	// required"); keyed by sort column, built on demand and memoized.
+	sorted map[int]*relation.Relation
+
+	// Replacement bookkeeping (Section 5.4: LRU modified by advice).
+	lastUse int64
+	hits    int64
+	size    int64
+	pinned  bool
+	// readyAtSim is the virtual time at which the element's data is fully
+	// present (prefetched elements may still be "in flight").
+	readyAtSim float64
+	// prefetched marks elements loaded ahead of demand by path-expression
+	// advice.
+	prefetched bool
+	// selUses counts equality selections per column, driving heuristic
+	// index builds on unadvised columns.
+	selUses map[int]int
+}
+
+// noteSelection records an equality selection on a column (index heuristics).
+func (e *Element) noteSelection(col int) {
+	if e.selUses == nil {
+		e.selUses = make(map[int]int)
+	}
+	e.selUses[col]++
+}
+
+// newExtensionElement builds an extension-mode element.
+func newExtensionElement(id int, def *caql.Query, ext *relation.Relation) *Element {
+	return &Element{
+		ID:      id,
+		Def:     def,
+		Mode:    ModeExtension,
+		schema:  ext.Schema(),
+		ext:     ext,
+		indexes: make(map[int]*relation.Index),
+		size:    ext.SizeBytes(),
+	}
+}
+
+// newGeneratorElement builds a generator-mode element over a source
+// iterator; tuples are memoized as they are demanded.
+func newGeneratorElement(id int, def *caql.Query, schema *relation.Schema, src relation.Iterator) *Element {
+	return &Element{
+		ID:      id,
+		Def:     def,
+		Mode:    ModeGenerator,
+		schema:  schema,
+		memo:    relation.NewMemo(src),
+		indexes: make(map[int]*relation.Index),
+	}
+}
+
+// Schema returns the element's schema.
+func (e *Element) Schema() *relation.Schema { return e.schema }
+
+// Iter returns an iterator over the element's tuples. For generator-mode
+// elements this re-reads memoized tuples and produces further ones on
+// demand.
+func (e *Element) Iter() relation.Iterator {
+	if e.Mode == ModeGenerator {
+		return e.memo.Iter()
+	}
+	return e.ext.Iter()
+}
+
+// Extension forces materialization and returns the full extension, flipping
+// a generator-mode element to extension mode (eager upgrade).
+func (e *Element) Extension() *relation.Relation {
+	if e.Mode == ModeGenerator {
+		tuples := e.memo.DrainAll()
+		e.ext = relation.FromTuples(e.Def.Name(), e.schema, tuples)
+		e.Mode = ModeExtension
+		e.memo = nil
+		e.size = e.ext.SizeBytes()
+	}
+	return e.ext
+}
+
+// Materialized reports whether the element's data is fully present.
+func (e *Element) Materialized() bool {
+	return e.Mode == ModeExtension || e.memo.Exhausted()
+}
+
+// SizeBytes returns the current resource accounting for the element,
+// including indexes.
+func (e *Element) SizeBytes() int64 {
+	n := e.size
+	if e.Mode == ModeGenerator && e.memo != nil {
+		n += int64(e.memo.Produced()) * 64
+	}
+	for _, ix := range e.indexes {
+		n += ix.SizeBytes()
+	}
+	for _, r := range e.sorted {
+		n += int64(8 * r.Len()) // shared tuples; count the slice overhead
+	}
+	return n
+}
+
+// SortedBy returns the extension ordered by the given column — a
+// co-existing alternative representation of the same data, memoized so one
+// build serves every later ordered use (Section 5.2). It forces
+// materialization.
+func (e *Element) SortedBy(col int) *relation.Relation {
+	if r, ok := e.sorted[col]; ok {
+		return r
+	}
+	if e.sorted == nil {
+		e.sorted = make(map[int]*relation.Relation)
+	}
+	r := e.Extension().Clone().SortBy([]int{col})
+	e.sorted[col] = r
+	return r
+}
+
+// Index returns the element's index on the given column, building it if
+// requested and absent. Index building requires materialization.
+func (e *Element) Index(col int, build bool) *relation.Index {
+	if ix, ok := e.indexes[col]; ok {
+		return ix
+	}
+	if !build {
+		return nil
+	}
+	ix := relation.BuildIndex(e.Extension(), []int{col})
+	e.indexes[col] = ix
+	return ix
+}
+
+// String renders a cache-model row for humans.
+func (e *Element) String() string {
+	return fmt.Sprintf("E%d[%s, %s, %dB, hits=%d] %s",
+		e.ID, e.Mode, e.AdviceName, e.SizeBytes(), e.hits, strings.TrimSuffix(e.Def.String(), "."))
+}
+
+// Manager is the Cache Manager (Section 5.4): it stores and replaces cache
+// elements (LRU modified by advice), tracks resources, and maintains the
+// cache model. It is safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	budget   int64
+	elements map[int]*Element
+	byCanon  map[string]*Element // exact-match result cache index
+	byPred   map[string][]*Element
+	nextID   int
+	tick     int64
+	evicted  int64
+
+	// predict returns the number of queries until an element is predicted to
+	// be needed again (advice-modified replacement); ok is false when the
+	// advice predicts nothing for it. Set per session.
+	predict func(e *Element) (distance int, ok bool)
+}
+
+// NewManager creates a cache manager with the given byte budget (<= 0 means
+// unbounded).
+func NewManager(budget int64) *Manager {
+	return &Manager{
+		budget:   budget,
+		elements: make(map[int]*Element),
+		byCanon:  make(map[string]*Element),
+		byPred:   make(map[string][]*Element),
+	}
+}
+
+// SetPredictor installs the advice-driven replacement predictor (nil
+// clears): given an element, the predicted number of queries until its next
+// use.
+func (m *Manager) SetPredictor(f func(e *Element) (int, bool)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.predict = f
+}
+
+// Len returns the number of cached elements.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.elements)
+}
+
+// SizeBytes returns the total cache footprint.
+func (m *Manager) SizeBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sizeLocked()
+}
+
+func (m *Manager) sizeLocked() int64 {
+	var n int64
+	for _, e := range m.elements {
+		n += e.SizeBytes()
+	}
+	return n
+}
+
+// Evictions returns the cumulative eviction count.
+func (m *Manager) Evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evicted
+}
+
+// Insert stores an element built from the given parts and returns it.
+// Insertion may evict LRU victims to respect the budget; elements larger
+// than the whole budget are returned unstored (callers still use them for
+// the current answer).
+func (m *Manager) Insert(e *Element) (stored bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	size := e.SizeBytes()
+	if m.budget > 0 && size > m.budget {
+		return false
+	}
+	m.tick++
+	e.lastUse = m.tick
+	if old, ok := m.byCanon[e.Def.Canonical()]; ok {
+		m.removeLocked(old)
+	}
+	m.elements[e.ID] = e
+	m.byCanon[e.Def.Canonical()] = e
+	for _, p := range e.Def.Preds() {
+		m.byPred[p] = append(m.byPred[p], e)
+	}
+	m.ensureSpaceLocked()
+	_, still := m.elements[e.ID]
+	return still
+}
+
+// NewElementID allocates a fresh element ID.
+func (m *Manager) NewElementID() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return m.nextID
+}
+
+// ensureSpaceLocked evicts elements until within budget. The victim is the
+// element predicted to be needed *farthest* in the future (unpredicted
+// elements count as infinitely far), ties broken by least recent use — the
+// paper's replacement use of path expressions: an element predicted "for one
+// of the next two queries ... is not the best candidate". Without a
+// predictor this degenerates to plain LRU.
+func (m *Manager) ensureSpaceLocked() {
+	if m.budget <= 0 {
+		return
+	}
+	const farAway = int(^uint(0) >> 1)
+	for m.sizeLocked() > m.budget {
+		var victim *Element
+		victimDist := -1
+		for _, e := range m.elements {
+			if e.pinned {
+				continue
+			}
+			dist := farAway
+			if m.predict != nil {
+				if d, ok := m.predict(e); ok {
+					dist = d
+				}
+			}
+			if victim == nil || dist > victimDist ||
+				(dist == victimDist && e.lastUse < victim.lastUse) {
+				victim = e
+				victimDist = dist
+			}
+		}
+		if victim == nil {
+			return
+		}
+		m.removeLocked(victim)
+		m.evicted++
+	}
+}
+
+func (m *Manager) removeLocked(e *Element) {
+	delete(m.elements, e.ID)
+	if cur, ok := m.byCanon[e.Def.Canonical()]; ok && cur.ID == e.ID {
+		delete(m.byCanon, e.Def.Canonical())
+	}
+	for _, p := range e.Def.Preds() {
+		list := m.byPred[p]
+		for i, x := range list {
+			if x.ID == e.ID {
+				m.byPred[p] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Touch records a use of the element for LRU purposes.
+func (m *Manager) Touch(e *Element) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	e.lastUse = m.tick
+	e.hits++
+}
+
+// ExactMatch finds an element whose definition exactly matches q up to
+// variable renaming (result caching).
+func (m *Manager) ExactMatch(q *caql.Query) *Element {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byCanon[q.Canonical()]
+}
+
+// CandidatesFor returns elements sharing at least one predicate with q — the
+// paper's "(predicate name, cache element)" index for expediting step 2.
+func (m *Manager) CandidatesFor(q *caql.Query) []*Element {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[int]bool)
+	var out []*Element
+	for _, p := range q.Preds() {
+		for _, e := range m.byPred[p] {
+			if !seen[e.ID] {
+				seen[e.ID] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Elements returns a snapshot of all elements.
+func (m *Manager) Elements() []*Element {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Element, 0, len(m.elements))
+	for _, e := range m.elements {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Model returns the cache model (Section 5.4: "the cache model represents
+// the state and statistical information about the cache") as a relation, so
+// the IE can query it through the normal interface.
+func (m *Manager) Model() *relation.Relation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	schema := relation.NewSchema(
+		relation.Attr{Name: "e_id", Kind: relation.KindInt},
+		relation.Attr{Name: "e_def", Kind: relation.KindString},
+		relation.Attr{Name: "mode", Kind: relation.KindString},
+		relation.Attr{Name: "size_bytes", Kind: relation.KindInt},
+		relation.Attr{Name: "hits", Kind: relation.KindInt},
+		relation.Attr{Name: "last_use", Kind: relation.KindInt},
+		relation.Attr{Name: "advice_name", Kind: relation.KindString},
+	)
+	out := relation.New("cache_model", schema)
+	for _, e := range m.elements {
+		out.MustAppend(relation.Tuple{
+			relation.Int(int64(e.ID)),
+			relation.Str(e.Def.String()),
+			relation.Str(e.Mode.String()),
+			relation.Int(e.SizeBytes()),
+			relation.Int(e.hits),
+			relation.Int(e.lastUse),
+			relation.Str(e.AdviceName),
+		})
+	}
+	return out.SortBy([]int{0})
+}

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/advice"
+	"repro/internal/caql"
+)
+
+// Prefetching is best-effort: a follower view over a nonexistent relation
+// must not fail the foreground query (Section 5.3.1's prefetch is an
+// optimization, never a correctness dependency).
+func TestPrefetchFailureIsSilent(t *testing.T) {
+	e, _ := fixtureEngine(t, 71, 20)
+	adv := advice.MustParse(`
+		view d1(Y^) :- b1("a", Y).
+		view d2(X^, Y?) :- nosuch(X, Y).
+		path (d1(Y^), d2(X^, Y?))<1,1>.
+	`)
+	cms := newCMS(t, e, Options{Features: AllFeatures(), ThinkTimeMS: 10})
+	s := cms.BeginSession(adv).(*Session)
+	defer s.End()
+	// d1 answers fine; the prefetch of d2 (unknown relation) fails silently.
+	out := drainQ(t, s, `d1(Y) :- b1("a", Y)`)
+	if out.Len() == 0 {
+		t.Fatal("foreground query should succeed")
+	}
+	if cms.Stats().Prefetches != 0 {
+		t.Fatal("failed prefetch must not count as a prefetch")
+	}
+}
+
+// A mid-session error (unknown relation) leaves the session usable and the
+// cache consistent.
+func TestMidSessionErrorRecovery(t *testing.T) {
+	e, _ := fixtureEngine(t, 72, 20)
+	cms := newCMS(t, e, Options{Features: AllFeatures()})
+	s := cms.BeginSession(nil).(*Session)
+	defer s.End()
+	drainQ(t, s, "q(X, Y) :- b2(X, Y)")
+	if _, err := s.QueryText("bad(X) :- missing(X)"); err == nil {
+		t.Fatal("unknown relation should error")
+	}
+	// Session still answers, and the earlier element still hits.
+	before := cms.Stats().RemoteRequests
+	drainQ(t, s, "q2(P, Q) :- b2(P, Q)")
+	if cms.Stats().RemoteRequests != before {
+		t.Fatal("session should recover and serve from cache")
+	}
+}
+
+// Concurrent sessions over one CMS must be safe (each session is
+// single-threaded; the CMS and manager are shared).
+func TestConcurrentSessions(t *testing.T) {
+	e, src := fixtureEngine(t, 73, 40)
+	cms := newCMS(t, e, Options{Features: AllFeatures(), CacheBytes: 200_000})
+	want, err := caql.Eval(caql.MustParse(`q(X, Z) :- b3(X, "a", Z)`), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := cms.BeginSession(nil)
+			defer s.End()
+			for i := 0; i < 20; i++ {
+				stream, err := s.QueryText(`q(X, Z) :- b3(X, "a", Z)`)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				got := stream.Drain("got")
+				if !got.EqualAsSet(want) {
+					errs <- "inconsistent concurrent answer"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

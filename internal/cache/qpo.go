@@ -1,0 +1,689 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/advice"
+	"repro/internal/bridge"
+	"repro/internal/caql"
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/subsume"
+)
+
+// This file is the Query Planner/Optimizer (Figure 5) and the Execution
+// Monitor. Planning follows the paper's three steps (Section 5.3):
+//
+//  1. determine the query to be evaluated (possibly a generalization of the
+//     IE-query, prefetching extra data for predicted future instances);
+//  2. determine the relevant cache elements via subsumption;
+//  3. generate a plan: a partially ordered set of subqueries split between
+//     the Cache Manager and the remote DBMS, executed in parallel when
+//     possible.
+
+// Query implements bridge.Session.
+func (s *Session) Query(q *caql.Query) (*bridge.Stream, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	c := s.cms
+	s.bump(func(st *bridge.SourceStats) { st.Queries++ })
+	if s.queries > 0 {
+		// IE think time between queries: the session clock advances but it
+		// is not response time; prefetches issued earlier overlap with it.
+		s.simNow += c.opts.ThinkTimeMS
+	}
+	s.queries++
+
+	name := q.Name()
+	var vs *advice.ViewSpec
+	if s.adv != nil {
+		vs = s.adv.ViewByName(name)
+	}
+	if s.tracker != nil {
+		s.tracker.Observe(name)
+	}
+
+	stream, err := s.answer(q, vs)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.Features.Prefetch && s.adv != nil && s.adv.Path != nil {
+		s.prefetchFollowers(q, vs)
+	}
+	return stream, nil
+}
+
+// answer runs the three planning steps for one query.
+func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, error) {
+	c := s.cms
+	f := c.opts.Features
+
+	// Step 2a: exact-match result cache ([IOAN88]-style reuse, subsumed by
+	// full subsumption but cheaper: a single map lookup).
+	if f.ExactMatch && f.ResultCaching {
+		if e := c.mgr.ExactMatch(q); e != nil {
+			if d, ok := subsume.DeriveFull(e.Def, q); ok {
+				s.bump(func(st *bridge.SourceStats) {
+					st.CacheHits++
+					st.ExactHits++
+					if e.prefetched {
+						st.PrefetchHits++
+					}
+				})
+				return s.serveFromElement(e, d, q, vs)
+			}
+		}
+	}
+
+	// Step 2b: full derivation from a single cache element via subsumption.
+	if f.Subsumption {
+		var bestE *Element
+		var bestD *subsume.Derivation
+		for _, e := range c.mgr.CandidatesFor(q) {
+			d, ok := subsume.DeriveFull(e.Def, q)
+			if !ok {
+				continue
+			}
+			if bestE == nil || e.SizeBytes() < bestE.SizeBytes() {
+				bestE, bestD = e, d
+			}
+		}
+		if bestE != nil {
+			e := bestE
+			s.bump(func(st *bridge.SourceStats) {
+				st.CacheHits++
+				if e.prefetched {
+					st.PrefetchHits++
+				}
+			})
+			return s.serveFromElement(bestE, bestD, q, vs)
+		}
+	}
+
+	// Step 1: consider generalizing the query before remote execution, when
+	// either the path expression predicts further instances of this view or
+	// the session has already seen a sibling instance (frequency fallback
+	// for sessions without usable advice).
+	if f.Generalization && (s.predictsReuse(q.Name()) || s.repeatedInstance(q)) {
+		if gq := s.generalizationOf(q, vs); gq != nil {
+			ext, sim, err := c.rdi.Fetch(gq)
+			if err == nil {
+				s.advance(sim)
+				e := s.cacheResult(gq, ext, vs, false)
+				if d, ok := subsume.DeriveFull(gq, q); ok {
+					s.bump(func(st *bridge.SourceStats) { st.Generalizations++ })
+					return s.serveFromElement(e, d, q, vs)
+				}
+			}
+			// On any failure fall through to the normal paths.
+		}
+	}
+
+	// Step 2c/3: decomposition — cover what we can from the cache, fetch the
+	// residue remotely, join locally (in parallel when enabled).
+	if f.Subsumption {
+		stream, handled, err := s.answerDecomposed(q, vs)
+		if handled || err != nil {
+			return stream, err
+		}
+	}
+
+	// Fallback: the whole query goes to the remote DBMS.
+	ext, sim, err := c.rdi.Fetch(q)
+	if err != nil {
+		return nil, err
+	}
+	s.advance(sim)
+	if s.shouldCache(vs) {
+		s.cacheResult(q, ext, vs, false)
+	}
+	return bridge.NewEagerStream(ext), nil
+}
+
+// serveFromElement answers q from a cached element through a derivation,
+// choosing lazy (generator) or eager representation per advice (Section
+// 5.3.3's guideline: strict producers evaluate lazily; consumer-annotated
+// queries evaluate eagerly with indexes).
+func (s *Session) serveFromElement(e *Element, d *subsume.Derivation, q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, error) {
+	c := s.cms
+	c.mgr.Touch(e)
+	if e.readyAtSim > s.simNow {
+		// Prefetched data still in flight: wait out the remainder.
+		s.advance(e.readyAtSim - s.simNow)
+	}
+	schema, err := q.OutputSchema(c.rdi)
+	if err != nil {
+		// Element-backed queries can involve piece relations unknown to the
+		// remote catalog; fall back to the element-derived schema.
+		schema = derivedSchema(q, d, e)
+	}
+
+	lazy := c.opts.Features.Lazy && vs != nil && vs.StrictProducer()
+	if lazy {
+		per := c.opts.Costs.PerLocalOp
+		src := chargeIter(e.Iter(), func(n int) { s.advanceLocal(per * float64(n)) })
+		s.bump(func(st *bridge.SourceStats) { st.LazyAnswers++ })
+		return bridge.NewStream(schema, d.ApplyLazy(src), true), nil
+	}
+
+	it, ops := s.derivedIter(e, d, vs)
+	out := relation.Drain(q.Name(), schema, it)
+	s.advanceLocal(c.opts.Costs.PerLocalOp * float64(ops+out.Len()))
+	return bridge.NewEagerStream(out), nil
+}
+
+// derivedIter builds the tuple pipeline for a derivation, using an attribute
+// index for an equality selection when available (or worth building), and
+// returns the estimated number of local tuple operations.
+func (s *Session) derivedIter(e *Element, d *subsume.Derivation, vs *advice.ViewSpec) (relation.Iterator, int) {
+	c := s.cms
+	if c.opts.Features.Indexing && !d.Empty {
+		for i, cond := range d.Candidate.Conds {
+			if cond.Right >= 0 || cond.Op != relation.OpEq {
+				continue
+			}
+			if ix := e.Index(cond.Left, s.shouldIndex(e, cond.Left)); ix != nil {
+				rows := ix.Lookup([]relation.Value{cond.Const})
+				rest := append(append([]relation.Cond(nil), d.Candidate.Conds[:i]...), d.Candidate.Conds[i+1:]...)
+				cand := *d.Candidate
+				cand.Conds = rest
+				d2 := *d
+				d2.Candidate = &cand
+				return d2.ApplyLazy(relation.NewSliceIterator(rows)), len(rows)
+			}
+			e.noteSelection(cond.Left)
+		}
+	}
+	ext := e.Extension()
+	return d.ApplyLazy(ext.Iter()), ext.Len()
+}
+
+// shouldIndex decides whether to build an index on the element column:
+// consumer-annotated columns are prime candidates (Section 4.2.1); other
+// columns earn an index after repeated equality selections.
+func (s *Session) shouldIndex(e *Element, col int) bool {
+	if e.indexes[col] != nil {
+		return true
+	}
+	if !e.Materialized() {
+		return false
+	}
+	build := false
+	if e.AdviceName != "" && s.adv != nil {
+		if vs := s.adv.ViewByName(e.AdviceName); vs != nil {
+			for _, cc := range vs.ConsumerCols() {
+				if cc == col {
+					build = true
+				}
+			}
+		}
+	}
+	if e.selUses[col] >= 2 {
+		build = true
+	}
+	if build {
+		s.bump(func(st *bridge.SourceStats) { st.IndexBuilds++ })
+	}
+	return build
+}
+
+// generalizationOf widens the IE-query at its consumer-bound constant
+// positions (all constant head positions when no view spec applies),
+// returning nil when nothing would change.
+func (s *Session) generalizationOf(q *caql.Query, vs *advice.ViewSpec) *caql.Query {
+	var positions []int
+	if vs != nil {
+		for _, i := range vs.ConsumerCols() {
+			if i < len(q.Head.Args) && q.Head.Args[i].IsConst() {
+				positions = append(positions, i)
+			}
+		}
+	} else {
+		for i, t := range q.Head.Args {
+			if t.IsConst() {
+				positions = append(positions, i)
+			}
+		}
+	}
+	if len(positions) == 0 {
+		return nil
+	}
+	gq := caql.Generalize(q, positions)
+	if gq.Canonical() == q.Canonical() {
+		return nil
+	}
+	return gq
+}
+
+// repeatedInstance records the query's fully-generalized canonical form and
+// reports whether a sibling instance was seen before in this session — the
+// signal that paying for the general fetch will amortize.
+func (s *Session) repeatedInstance(q *caql.Query) bool {
+	var positions []int
+	for i, t := range q.Head.Args {
+		if t.IsConst() {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return false
+	}
+	key := caql.Generalize(q, positions).Canonical()
+	s.genSeen[key]++
+	return s.genSeen[key] >= 2
+}
+
+// predictsReuse reports whether the path expression predicts another query
+// against the same view within the horizon.
+func (s *Session) predictsReuse(name string) bool {
+	if s.tracker == nil || s.tracker.Lost() {
+		return false
+	}
+	_, ok := s.tracker.PredictWithin(s.cms.opts.PredictHorizon)[name]
+	return ok
+}
+
+// shouldCache decides result caching: strict-producer views with no
+// predicted reuse are not cached (Section 4.2.1: the CMS "may also choose
+// not to cache the relation if there are no other predicted requests").
+func (s *Session) shouldCache(vs *advice.ViewSpec) bool {
+	if !s.cms.opts.Features.ResultCaching {
+		return false
+	}
+	if vs != nil && vs.StrictProducer() && s.tracker != nil && !s.predictsReuse(vs.Name()) {
+		return false
+	}
+	return true
+}
+
+// cacheResult stores (budget permitting) and returns an element holding a
+// query result.
+func (s *Session) cacheResult(def *caql.Query, ext *relation.Relation, vs *advice.ViewSpec, prefetched bool) *Element {
+	c := s.cms
+	e := newExtensionElement(c.mgr.NewElementID(), def.Clone(), ext)
+	if vs != nil {
+		e.AdviceName = vs.Name()
+	}
+	e.prefetched = prefetched
+	e.readyAtSim = s.simNow
+	if c.opts.Features.ResultCaching {
+		c.mgr.Insert(e)
+	}
+	return e
+}
+
+// answerDecomposed implements step 3 for partially cache-answerable queries:
+// greedy disjoint candidate covers become local pieces, the residue is
+// shipped to the remote DBMS as one conjunctive subquery, and the final join
+// runs locally. handled is false when no cache element covers anything.
+func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, bool, error) {
+	c := s.cms
+	needed := neededVars(q)
+
+	type pick struct {
+		e    *Element
+		cand *subsume.Candidate
+	}
+	covered := make([]bool, len(q.Rels))
+	cmpCovered := make([]bool, len(q.Cmps))
+	var picks []pick
+	for _, e := range c.mgr.CandidatesFor(q) {
+		if !e.Materialized() && e.readyAtSim > s.simNow {
+			continue
+		}
+		for _, cand := range subsume.Match(e.Def, q, needed) {
+			if overlapsCover(cand.Cover, covered) {
+				continue
+			}
+			picks = append(picks, pick{e, cand})
+			for _, i := range cand.Cover {
+				covered[i] = true
+			}
+			for _, i := range cand.CoveredCmps {
+				cmpCovered[i] = true
+			}
+			break
+		}
+	}
+	if len(picks) == 0 {
+		return nil, false, nil
+	}
+
+	var residualIdx []int
+	for i, cov := range covered {
+		if !cov {
+			residualIdx = append(residualIdx, i)
+		}
+	}
+
+	// Variables produced by the pieces.
+	pieceVars := make(map[string]bool)
+	for _, p := range picks {
+		for _, v := range p.cand.InterfaceVars() {
+			pieceVars[v] = true
+		}
+	}
+
+	// Classify comparisons: shipped with the residual when fully inside it,
+	// leftover when they span parts or were not covered.
+	residualVarSet := make(map[string]bool)
+	for _, i := range residualIdx {
+		for _, t := range q.Rels[i].Args {
+			if t.IsVar() {
+				residualVarSet[t.Var] = true
+			}
+		}
+	}
+	var shippedCmps, leftoverCmps []logic.Atom
+	for ci, cmp := range q.Cmps {
+		if cmpCovered[ci] {
+			continue
+		}
+		inResidual := len(residualIdx) > 0
+		for _, t := range cmp.Args {
+			if t.IsVar() && !residualVarSet[t.Var] {
+				inResidual = false
+			}
+		}
+		if inResidual {
+			shippedCmps = append(shippedCmps, cmp)
+		} else {
+			leftoverCmps = append(leftoverCmps, cmp)
+		}
+	}
+
+	// Assemble the plan: local piece materialization and the remote residual
+	// fetch, run in parallel when enabled (Section 5: "parallel execution of
+	// subqueries on both the CMS and the remote DBMS").
+	overlay := caql.MapSource{}
+	var atoms []logic.Atom
+	var localDur, remoteDur float64
+
+	localWork := func() error {
+		var ops int
+		for i, p := range picks {
+			name := fmt.Sprintf("__p%d", i)
+			c.mgr.Touch(p.e)
+			if p.e.readyAtSim > s.simNow {
+				localDur += p.e.readyAtSim - s.simNow
+			}
+			ext := p.e.Extension()
+			piece := p.cand.Materialize(name, ext)
+			overlay[name] = piece
+			atoms = append(atoms, p.cand.PieceAtom(name))
+			ops += ext.Len() + piece.Len()
+		}
+		localDur += c.opts.Costs.PerLocalOp * float64(ops)
+		return nil
+	}
+
+	var residualExt *relation.Relation
+	var rq *caql.Query
+	remoteWork := func() error {
+		if len(residualIdx) == 0 {
+			return nil
+		}
+		// Export set: residual variables needed by the head, the pieces, or
+		// leftover comparisons.
+		export := make(map[string]bool)
+		for v := range residualVarSet {
+			if neededForJoin(v, q, pieceVars, leftoverCmps) {
+				export[v] = true
+			}
+		}
+		var exportList []string
+		for v := range export {
+			exportList = append(exportList, v)
+		}
+		sort.Strings(exportList)
+		var head []logic.Term
+		for _, v := range exportList {
+			head = append(head, logic.V(v))
+		}
+		existenceTest := len(head) == 0
+		if existenceTest {
+			// The residual shares nothing with the rest of the query: it is
+			// a pure existence test (e.g. a fully ground atom). Ship it with
+			// a constant head; a non-empty (deduplicated) result keeps the
+			// local join unchanged, an empty one annihilates it.
+			head = []logic.Term{logic.CInt(1)}
+		}
+		var rAtoms []logic.Atom
+		for _, i := range residualIdx {
+			rAtoms = append(rAtoms, q.Rels[i])
+		}
+		rAtoms = append(rAtoms, shippedCmps...)
+		rq = caql.NewQuery(logic.A("__r", head...), rAtoms)
+		ext, sim, err := c.rdi.Fetch(rq)
+		if err != nil {
+			return err
+		}
+		if existenceTest {
+			ext = relation.DistinctRel(ext)
+		}
+		remoteDur = sim
+		residualExt = ext
+		return nil
+	}
+
+	var err error
+	if c.opts.Features.Parallel && len(residualIdx) > 0 {
+		done := make(chan error, 1)
+		go func() { done <- remoteWork() }()
+		lerr := localWork()
+		rerr := <-done
+		if lerr != nil {
+			err = lerr
+		} else {
+			err = rerr
+		}
+		s.advance(maxF(localDur, remoteDur))
+	} else {
+		if err = localWork(); err == nil {
+			err = remoteWork()
+		}
+		s.advance(localDur + remoteDur)
+	}
+	if err != nil {
+		return nil, true, err
+	}
+
+	if residualExt != nil {
+		overlay["__r"] = residualExt
+		atoms = append(atoms, rq.Head)
+		if s.cms.opts.Features.ResultCaching {
+			// The residual result is itself reusable.
+			s.cacheResult(rq, residualExt, nil, false)
+		}
+	}
+
+	atoms = append(atoms, leftoverCmps...)
+	rew := caql.NewQuery(q.Head, atoms)
+	out, err := caql.Eval(rew, overlay)
+	if err != nil {
+		return nil, true, err
+	}
+	var inputs int
+	for _, rel := range overlay {
+		inputs += rel.Len()
+	}
+	s.advanceLocal(c.opts.Costs.PerLocalOp * float64(inputs+out.Len()))
+
+	if len(residualIdx) == 0 {
+		s.bump(func(st *bridge.SourceStats) { st.CacheHits++ })
+	} else {
+		s.bump(func(st *bridge.SourceStats) { st.PartialHits++ })
+	}
+	if s.shouldCache(vs) {
+		s.cacheResult(q, out, vs, false)
+	}
+	return bridge.NewEagerStream(out), true, nil
+}
+
+// prefetchFollowers issues predicted follow-up queries after answering q:
+// the items following q's view in its sequence grouping are "likely to be
+// evaluated when the first item is evaluated" (Section 5.3.1). Consumer
+// arguments are instantiated from the current query's constants; followers
+// with unresolved consumers are skipped.
+func (s *Session) prefetchFollowers(q *caql.Query, vs *advice.ViewSpec) {
+	if vs == nil {
+		return
+	}
+	c := s.cms
+	binds := map[string]relation.Value{}
+	for _, i := range vs.ConsumerCols() {
+		if i < len(q.Head.Args) && vs.Query.Head.Args[i].IsVar() && q.Head.Args[i].IsConst() {
+			binds[vs.Query.Head.Args[i].Var] = q.Head.Args[i].Const
+		}
+	}
+	for _, fname := range advice.SequenceFollowers(s.adv.Path, q.Name()) {
+		fvs := s.adv.ViewByName(fname)
+		if fvs == nil {
+			continue
+		}
+		pq := fvs.Query.Instantiate(binds)
+		unresolved := false
+		for _, i := range fvs.ConsumerCols() {
+			if i < len(pq.Head.Args) && pq.Head.Args[i].IsVar() {
+				unresolved = true
+			}
+		}
+		if unresolved {
+			continue
+		}
+		if c.opts.Features.ResultCaching && c.mgr.ExactMatch(pq) != nil {
+			continue
+		}
+		if c.opts.Features.Subsumption && s.derivableFromCache(pq) {
+			continue
+		}
+		ext, sim, err := c.rdi.Fetch(pq)
+		if err != nil {
+			continue // prefetching is best-effort
+		}
+		e := s.cacheResult(pq, ext, fvs, true)
+		// The fetch proceeds during IE think time: the element becomes ready
+		// sim ms from now without charging response time.
+		e.readyAtSim = s.simNow + sim
+		s.bump(func(st *bridge.SourceStats) { st.Prefetches++ })
+	}
+}
+
+func (s *Session) derivableFromCache(q *caql.Query) bool {
+	for _, e := range s.cms.mgr.CandidatesFor(q) {
+		if _, ok := subsume.DeriveFull(e.Def, q); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// neededVars is the conservative variable set the decomposition must be able
+// to recover from covered pieces: head variables, comparison variables, and
+// join variables (those in two or more relational atoms).
+func neededVars(q *caql.Query) map[string]bool {
+	needed := make(map[string]bool)
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			needed[t.Var] = true
+		}
+	}
+	for _, cmp := range q.Cmps {
+		for _, t := range cmp.Args {
+			if t.IsVar() {
+				needed[t.Var] = true
+			}
+		}
+	}
+	counts := make(map[string]int)
+	for _, a := range q.Rels {
+		seen := make(map[string]bool)
+		for _, t := range a.Args {
+			if t.IsVar() && !seen[t.Var] {
+				seen[t.Var] = true
+				counts[t.Var]++
+			}
+		}
+	}
+	for v, n := range counts {
+		if n >= 2 {
+			needed[v] = true
+		}
+	}
+	return needed
+}
+
+func neededForJoin(v string, q *caql.Query, pieceVars map[string]bool, leftoverCmps []logic.Atom) bool {
+	for _, t := range q.Head.Args {
+		if t.IsVar() && t.Var == v {
+			return true
+		}
+	}
+	if pieceVars[v] {
+		return true
+	}
+	for _, cmp := range leftoverCmps {
+		for _, t := range cmp.Args {
+			if t.IsVar() && t.Var == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func overlapsCover(cover []int, covered []bool) bool {
+	for _, i := range cover {
+		if covered[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// chargeIter charges a cost callback per tuple pulled from the iterator.
+func chargeIter(it relation.Iterator, charge func(n int)) relation.Iterator {
+	return relation.IteratorFunc(func() (relation.Tuple, bool) {
+		t, ok := it.Next()
+		if ok {
+			charge(1)
+		}
+		return t, ok
+	})
+}
+
+// derivedSchema builds a fallback output schema for q from the element's
+// column kinds through the derivation.
+func derivedSchema(q *caql.Query, d *subsume.Derivation, e *Element) *relation.Schema {
+	attrs := make([]relation.Attr, len(d.OutCols))
+	used := make(map[string]bool)
+	for i, col := range d.OutCols {
+		var name string
+		var kind relation.Kind
+		if col < 0 {
+			name = fmt.Sprintf("c%d", i)
+			kind = d.Consts[i].Kind()
+		} else {
+			name = e.Schema().Attr(col).Name
+			kind = e.Schema().Attr(col).Kind
+			if t := q.Head.Args[i]; t.IsVar() {
+				name = t.Var
+			}
+		}
+		for used[name] {
+			name += "_"
+		}
+		used[name] = true
+		attrs[i] = relation.Attr{Name: name, Kind: kind}
+	}
+	return relation.NewSchema(attrs...)
+}

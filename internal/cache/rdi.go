@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/caql"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+)
+
+// RDI is the Remote DBMS Interface (Figure 5): it translates CAQL queries to
+// the remote DML, issues them over a Client, buffers results, and keeps a
+// local copy of the remote database schema (Section 3: "the Cache Manager
+// manages ... (a copy of) the remote database schema").
+type RDI struct {
+	client remotedb.Client
+
+	mu      sync.Mutex
+	schemas map[string]*relation.Schema
+}
+
+// NewRDI wraps a remote client.
+func NewRDI(client remotedb.Client) *RDI {
+	return &RDI{client: client, schemas: make(map[string]*relation.Schema)}
+}
+
+// RelationSchema implements caql.SchemaSource with a schema cache.
+func (r *RDI) RelationSchema(name string, arity int) (*relation.Schema, error) {
+	r.mu.Lock()
+	sch, ok := r.schemas[name]
+	r.mu.Unlock()
+	if !ok {
+		var err error
+		sch, err = r.client.RelationSchema(name, -1)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.schemas[name] = sch
+		r.mu.Unlock()
+	}
+	if arity >= 0 && sch.Arity() != arity {
+		return nil, fmt.Errorf("cache: relation %s has arity %d, query uses %d", name, sch.Arity(), arity)
+	}
+	return sch, nil
+}
+
+// Fetch evaluates a CAQL conjunctive query entirely on the remote DBMS:
+// translate, execute, reassemble. It returns the result extension and the
+// simulated time of the request.
+func (r *RDI) Fetch(q *caql.Query) (*relation.Relation, float64, error) {
+	tr, err := remotedb.TranslateCAQL(q, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := r.client.Exec(tr.SQL)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cache: remote execution of %q: %w", tr.SQL, err)
+	}
+	schema, err := q.OutputSchema(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := tr.Reassemble(q.Name(), schema, res.Rel)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, res.SimMS, nil
+}
+
+// Stats returns the client's cumulative transfer statistics.
+func (r *RDI) Stats() remotedb.Stats { return r.client.Stats() }
+
+// Tables lists remote tables.
+func (r *RDI) Tables() ([]string, error) { return r.client.Tables() }
+
+// TableStats returns remote catalog statistics.
+func (r *RDI) TableStats(name string) (remotedb.TableStats, error) {
+	return r.client.TableStats(name)
+}

@@ -1,0 +1,533 @@
+package caql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+func fixtureSource() MapSource {
+	b1 := relation.New("b1", relation.NewSchema(at("x", relation.KindString), at("y", relation.KindInt)))
+	b1.MustAppend(relation.Tuple{relation.Str("c1"), relation.Int(1)})
+	b1.MustAppend(relation.Tuple{relation.Str("c1"), relation.Int(2)})
+	b1.MustAppend(relation.Tuple{relation.Str("d"), relation.Int(3)})
+	b2 := relation.New("b2", relation.NewSchema(at("x", relation.KindInt), at("y", relation.KindInt)))
+	b2.MustAppend(relation.Tuple{relation.Int(1), relation.Int(10)})
+	b2.MustAppend(relation.Tuple{relation.Int(2), relation.Int(20)})
+	b2.MustAppend(relation.Tuple{relation.Int(3), relation.Int(10)})
+	b3 := relation.New("b3", relation.NewSchema(at("x", relation.KindInt), at("y", relation.KindString), at("z", relation.KindInt)))
+	b3.MustAppend(relation.Tuple{relation.Int(10), relation.Str("c2"), relation.Int(100)})
+	b3.MustAppend(relation.Tuple{relation.Int(10), relation.Str("zz"), relation.Int(200)})
+	b3.MustAppend(relation.Tuple{relation.Int(20), relation.Str("c2"), relation.Int(300)})
+	return MapSource{"b1": b1, "b2": b2, "b3": b3}
+}
+
+func TestParseAndString(t *testing.T) {
+	q, err := Parse(`d2(X, Y) :- b2(X, Z) & b3(Z, "c2", Y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name() != "d2" || len(q.Rels) != 2 || len(q.Cmps) != 0 {
+		t.Fatalf("parse shape wrong: %v", q)
+	}
+	// Re-parse of String.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Errorf("round trip: %q vs %q", q.String(), q2.String())
+	}
+}
+
+func TestParseCommaSeparator(t *testing.T) {
+	q, err := Parse("d(X) :- b2(X, Z), Z > 5.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rels) != 1 || len(q.Cmps) != 1 {
+		t.Fatalf("comma-separated parse wrong: %v", q)
+	}
+}
+
+func TestValidateSafety(t *testing.T) {
+	if _, err := Parse("d(X, W) :- b2(X, Z)"); err == nil {
+		t.Error("unbound head variable should be rejected")
+	}
+	if _, err := Parse("d(X) :- b2(X, Z) & W < 3"); err == nil {
+		t.Error("unbound comparison variable should be rejected")
+	}
+	if _, err := Parse("d(X) :- X < 3"); err == nil {
+		t.Error("no relational atoms should be rejected")
+	}
+}
+
+func TestEvalSimpleSelect(t *testing.T) {
+	src := fixtureSource()
+	q := MustParse(`d1(Y) :- b1("c1", Y)`)
+	out, err := Eval(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("d1 rows = %d, want 2", out.Len())
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	src := fixtureSource()
+	// d2(X, Y) :- b2(X, Z) & b3(Z, "c2", Y): joins b2.y = b3.x, selects y="c2".
+	q := MustParse(`d2(X, Y) :- b2(X, Z) & b3(Z, "c2", Y)`)
+	out, err := Eval(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b2: (1,10),(2,20),(3,10); b3 with c2: (10,100),(20,300)
+	// -> X=1 Y=100; X=2 Y=300; X=3 Y=100
+	want := map[string]bool{"1|100": true, "2|300": true, "3|100": true}
+	if out.Len() != 3 {
+		t.Fatalf("rows = %d, want 3: %v", out.Len(), out)
+	}
+	for _, tu := range out.Tuples() {
+		k := tu[0].String() + "|" + tu[1].String()
+		if !want[k] {
+			t.Errorf("unexpected row %v", tu)
+		}
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	src := fixtureSource()
+	q := MustParse("d(X, Z) :- b2(X, Z) & Z >= 10 & Z < 20 & X != 3")
+	out, err := Eval(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || out.Tuple(0)[0].AsInt() != 1 {
+		t.Fatalf("comparison eval wrong: %v", out)
+	}
+}
+
+func TestEvalRepeatedVariable(t *testing.T) {
+	src := MapSource{"e": relation.FromTuples("e",
+		relation.NewSchema(at("a", relation.KindInt), at("b", relation.KindInt)),
+		[]relation.Tuple{
+			{relation.Int(1), relation.Int(1)},
+			{relation.Int(1), relation.Int(2)},
+			{relation.Int(3), relation.Int(3)},
+		})}
+	q := MustParse("loop(X) :- e(X, X)")
+	out, err := Eval(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("repeated-var rows = %d, want 2", out.Len())
+	}
+}
+
+func TestEvalConstHead(t *testing.T) {
+	src := fixtureSource()
+	q := MustParse(`d(X, 42) :- b2(X, Z) & Z = 10`)
+	out, err := Eval(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	for _, tu := range out.Tuples() {
+		if tu[1].AsInt() != 42 {
+			t.Fatalf("constant head col wrong: %v", tu)
+		}
+	}
+}
+
+func TestEvalLazyIsLazy(t *testing.T) {
+	// A join whose left side streams: consuming one output tuple must not
+	// drain the whole probe side.
+	n := 0
+	gen := relation.IteratorFunc(func() (relation.Tuple, bool) {
+		n++
+		if n > 1000 {
+			return nil, false
+		}
+		return relation.Tuple{relation.Int(int64(n)), relation.Int(int64(n % 5))}, true
+	})
+	left := relation.Drain("b2", relation.NewSchema(at("x", relation.KindInt), at("y", relation.KindInt)), gen)
+	src := fixtureSource()
+	src["big"] = left
+	q := MustParse("d(X) :- big(X, Y) & Y = 1")
+	it, _, err := EvalLazy(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := relation.Take(it, 2)
+	if len(got) != 2 {
+		t.Fatalf("lazy eval got %d", len(got))
+	}
+}
+
+func TestEvalUnion(t *testing.T) {
+	src := fixtureSource()
+	u, err := ParseUnion(`
+		d(X) :- b2(X, Z) & Z = 10.
+		d(X) :- b2(X, Z) & Z = 20.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := EvalUnion(u, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("union rows = %d, want 3", out.Len())
+	}
+}
+
+func TestEvalAgg(t *testing.T) {
+	src := fixtureSource()
+	a := &AggQuery{
+		Inner:   MustParse("d(Z, X) :- b2(X, Z)"),
+		GroupBy: []int{0},
+		Specs:   []relation.AggSpec{{Op: relation.AggCount, Col: -1}},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := EvalAgg(a, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Z=10 has 2 rows, Z=20 has 1.
+	if out.Len() != 2 {
+		t.Fatalf("agg groups = %d", out.Len())
+	}
+}
+
+func TestCanonicalRenamingInvariance(t *testing.T) {
+	a := MustParse("d(X, Y) :- b2(X, Z) & b3(Z, Y, W) & X < 3")
+	b := MustParse("d(P, Q) :- b2(P, R) & b3(R, Q, S) & P < 3")
+	c := MustParse("d(X, Y) :- b2(X, Z) & b3(Z, Y, W) & X < 4")
+	if a.Canonical() != b.Canonical() {
+		t.Error("alpha-equivalent queries must share canonical key")
+	}
+	if a.Canonical() == c.Canonical() {
+		t.Error("different constants must differ in canonical key")
+	}
+}
+
+func TestInstantiateAndHeadBindings(t *testing.T) {
+	q := MustParse("d(X, Y) :- b2(X, Z) & b3(Z, Y, W)")
+	inst := q.Instantiate(map[string]relation.Value{"Y": relation.Int(7)})
+	hb := HeadBindings(inst)
+	if len(hb) != 1 || !hb[1].Equal(relation.Int(7)) {
+		t.Fatalf("instantiate/head bindings wrong: %v", inst)
+	}
+	// Body occurrence of Y must be bound too.
+	found := false
+	for _, a := range inst.Rels {
+		for _, tm := range a.Args {
+			if tm.IsConst() && tm.Const.Equal(relation.Int(7)) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("instantiation did not reach the body")
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	src := fixtureSource()
+	inst := MustParse(`d2(X, 100) :- b2(X, Z) & b3(Z, "c2", 100)`)
+	gen := Generalize(inst, []int{1})
+	if logicConstCount(gen) >= logicConstCount(inst) {
+		t.Fatal("generalize should remove constants")
+	}
+	// Soundness: selecting the generalized result on the original constant
+	// equals the original result.
+	orig, err := Eval(inst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genOut, err := Eval(gen, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := relation.SelectRel(genOut, []relation.Cond{relation.ColConst(1, relation.OpEq, relation.Int(100))})
+	if !sel.EqualAsSet(orig) {
+		t.Fatalf("generalization unsound:\norig %v\nsel %v", orig, sel)
+	}
+	if genOut.Len() < orig.Len() {
+		t.Fatal("generalized result should be at least as large")
+	}
+}
+
+func logicConstCount(q *Query) int {
+	n := 0
+	for _, a := range append(append([]logic.Atom{q.Head}, q.Rels...), q.Cmps...) {
+		for _, t := range a.Args {
+			if t.IsConst() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestOutputSchema(t *testing.T) {
+	src := fixtureSource()
+	q := MustParse(`d(Y, X, 5) :- b2(X, Z) & b3(Z, Y, W)`)
+	sch, err := q.OutputSchema(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Arity() != 3 {
+		t.Fatalf("schema arity = %d", sch.Arity())
+	}
+	if sch.Attr(0).Kind != relation.KindString || sch.Attr(1).Kind != relation.KindInt || sch.Attr(2).Kind != relation.KindInt {
+		t.Fatalf("schema kinds wrong: %v", sch)
+	}
+	// Eval's derived schema must agree.
+	out, err := Eval(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Schema().Equal(sch) {
+		t.Fatalf("eval schema %v != OutputSchema %v", out.Schema(), sch)
+	}
+}
+
+func TestUnknownRelationError(t *testing.T) {
+	src := fixtureSource()
+	q := MustParse("d(X) :- nosuch(X)")
+	if _, err := Eval(q, src); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if Evaluable(q, src) {
+		t.Error("Evaluable should be false for unknown relation")
+	}
+	if !Evaluable(MustParse("d(X) :- b2(X, Y)"), src) {
+		t.Error("Evaluable should be true for known relation")
+	}
+}
+
+// Differential property test: EvalLazy (via Eval) against a brute-force
+// substitution-based evaluator on random queries and databases.
+func TestEvalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		// Random database of two binary relations over a small domain.
+		src := MapSource{}
+		for _, name := range []string{"r", "s"} {
+			rel := relation.New(name, relation.NewSchema(at("a", relation.KindInt), at("b", relation.KindInt)))
+			for i := 0; i < rng.Intn(12); i++ {
+				rel.MustAppend(relation.Tuple{relation.Int(int64(rng.Intn(4))), relation.Int(int64(rng.Intn(4)))})
+			}
+			src[name] = rel
+		}
+		// Random conjunctive query with up to 3 atoms over vars {X,Y,Z} and
+		// small constants.
+		varsPool := []string{"X", "Y", "Z"}
+		term := func() logic.Term {
+			if rng.Intn(4) == 0 {
+				return logic.CInt(int64(rng.Intn(4)))
+			}
+			return logic.V(varsPool[rng.Intn(len(varsPool))])
+		}
+		nAtoms := 1 + rng.Intn(3)
+		var body []logic.Atom
+		for i := 0; i < nAtoms; i++ {
+			name := "r"
+			if rng.Intn(2) == 0 {
+				name = "s"
+			}
+			body = append(body, logic.A(name, term(), term()))
+		}
+		// Head: all vars that occur in the body.
+		varSet := logic.VarsOf(body)
+		var head []logic.Term
+		for _, v := range varsPool {
+			if varSet[v] {
+				head = append(head, logic.V(v))
+			}
+		}
+		if len(head) == 0 {
+			continue
+		}
+		q := NewQuery(logic.A("q", head...), body)
+		if err := q.Validate(); err != nil {
+			continue
+		}
+
+		got, err := Eval(q, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(q, src)
+		gotSet := relation.DistinctRel(got)
+		if !gotSet.EqualAsSet(want) {
+			t.Fatalf("trial %d: Eval disagrees with brute force\nquery: %s\ngot: %v\nwant: %v",
+				trial, q, gotSet, want)
+		}
+	}
+}
+
+// bruteForce enumerates all substitutions over the active domain and checks
+// each against every atom.
+func bruteForce(q *Query, src MapSource) *relation.Relation {
+	// Active domain.
+	domSet := map[string]relation.Value{}
+	for _, rel := range src {
+		for _, tu := range rel.Tuples() {
+			for _, v := range tu {
+				domSet[v.Key()] = v
+			}
+		}
+	}
+	var dom []relation.Value
+	for _, v := range domSet {
+		dom = append(dom, v)
+	}
+	var varNames []string
+	for v := range q.VarSet() {
+		varNames = append(varNames, v)
+	}
+	attrs := make([]relation.Attr, len(q.Head.Args))
+	for i := range attrs {
+		attrs[i] = relation.Attr{Name: string(rune('a' + i)), Kind: relation.KindInt}
+	}
+	out := relation.New("bf", relation.NewSchema(attrs...))
+
+	assign := make(map[string]relation.Value)
+	var try func(i int)
+	try = func(i int) {
+		if i == len(varNames) {
+			s := logic.NewSubst()
+			for v, val := range assign {
+				s.BindInPlace(v, logic.C(val))
+			}
+			for _, a := range q.Rels {
+				g := s.ApplyAtom(a)
+				found := false
+				rel := src[g.Pred]
+				for _, tu := range rel.Tuples() {
+					match := true
+					for j, tm := range g.Args {
+						if !tm.Const.Equal(tu[j]) {
+							match = false
+							break
+						}
+					}
+					if match {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return
+				}
+			}
+			for _, c := range q.Cmps {
+				g := s.ApplyAtom(c)
+				if !g.CmpOp().Eval(g.Args[0].Const, g.Args[1].Const) {
+					return
+				}
+			}
+			row := make(relation.Tuple, len(q.Head.Args))
+			for j, tm := range q.Head.Args {
+				if tm.IsVar() {
+					row[j] = assign[tm.Var]
+				} else {
+					row[j] = tm.Const
+				}
+			}
+			out.MustAppend(row)
+			return
+		}
+		for _, v := range dom {
+			assign[varNames[i]] = v
+			try(i + 1)
+		}
+		delete(assign, varNames[i])
+	}
+	try(0)
+	return relation.DistinctRel(out)
+}
+
+func TestSplitClauses(t *testing.T) {
+	parts := splitClauses(`a(X) :- b(X). c(Y) :- d(Y, "dot . inside").`)
+	if len(parts) != 2 {
+		t.Fatalf("splitClauses got %d parts: %q", len(parts), parts)
+	}
+	if !strings.Contains(parts[1], "dot . inside") {
+		t.Errorf("string content mangled: %q", parts[1])
+	}
+	// Decimal points must not split.
+	parts = splitClauses("a(X) :- b(X, 3.5).")
+	if len(parts) != 1 {
+		t.Fatalf("decimal split wrong: %q", parts)
+	}
+}
+
+func TestUnionValidate(t *testing.T) {
+	if _, err := ParseUnion("d(X) :- b2(X, Y). d(X, Y) :- b2(X, Y)."); err == nil {
+		t.Error("arity mismatch union should error")
+	}
+	u := &Union{}
+	if err := u.Validate(); err == nil {
+		t.Error("empty union should error")
+	}
+}
+
+// at builds a keyed Attr literal (keeps go vet composites happy in tests).
+func at(name string, kind relation.Kind) relation.Attr {
+	return relation.Attr{Name: name, Kind: kind}
+}
+
+// Alpha-invariance of Canonical under systematic renaming, property-style.
+func TestCanonicalAlphaInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	names := []string{"X", "Y", "Z", "W"}
+	fresh := []string{"P1", "P2", "P3", "P4"}
+	for trial := 0; trial < 200; trial++ {
+		var body []logic.Atom
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			args := make([]logic.Term, 2)
+			for j := range args {
+				if rng.Intn(4) == 0 {
+					args[j] = logic.CInt(int64(rng.Intn(3)))
+				} else {
+					args[j] = logic.V(names[rng.Intn(len(names))])
+				}
+			}
+			body = append(body, logic.A("r", args...))
+		}
+		varSet := logic.VarsOf(body)
+		var head []logic.Term
+		for _, v := range names {
+			if varSet[v] {
+				head = append(head, logic.V(v))
+			}
+		}
+		if len(head) == 0 {
+			continue
+		}
+		q := NewQuery(logic.A("q", head...), body)
+		// Systematic renaming.
+		ren := logic.NewSubst()
+		for i, v := range names {
+			ren.BindInPlace(v, logic.V(fresh[i]))
+		}
+		q2 := q.ApplySubst(ren)
+		q2.Head.Pred = "zz" // head predicate must not matter either
+		if q.Canonical() != q2.Canonical() {
+			t.Fatalf("alpha variance: %s vs %s", q, q2)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package caql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Parse parses a single CAQL conjunctive query in clause syntax:
+//
+//	d2(X, Y) :- b2(X, Z) & b3(Z, c2, Y) & X < 10.
+//
+// Commas and ampersands are both accepted as conjunction separators. The
+// query is validated for safety.
+func Parse(src string) (*Query, error) {
+	c, err := logic.ParseClause(ensurePeriod(src))
+	if err != nil {
+		return nil, fmt.Errorf("caql: %w", err)
+	}
+	q := NewQuery(c.Head, c.Body)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseUnion parses one or more conjunctive queries (a union when several
+// share the head predicate).
+func ParseUnion(src string) (*Union, error) {
+	u := &Union{}
+	for _, part := range splitClauses(src) {
+		q, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		u.Queries = append(u.Queries, q)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed literals.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func ensurePeriod(src string) string {
+	s := strings.TrimSpace(src)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return s
+}
+
+// splitClauses splits on periods that terminate clauses (periods inside
+// quoted strings are preserved).
+func splitClauses(src string) []string {
+	var parts []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inStr:
+			cur.WriteByte(c)
+			if c == '\\' && i+1 < len(src) {
+				i++
+				cur.WriteByte(src[i])
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+			cur.WriteByte(c)
+		case c == '.':
+			// A period followed by a digit is a decimal point.
+			if i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+				cur.WriteByte(c)
+				continue
+			}
+			cur.WriteByte(c)
+			if s := strings.TrimSpace(cur.String()); s != "." {
+				parts = append(parts, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		parts = append(parts, s)
+	}
+	return parts
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ie"
+	"repro/internal/logic"
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+// The broad consistency sweep: every workload × strategy × comparator
+// produces the same distinct answer sets as the bottom-up reference
+// evaluation. This is the whole-system differential test.
+func TestWorkloadsStrategiesComparatorsAgree(t *testing.T) {
+	workloads := []*workload.Workload{
+		workload.Kinship(101, 35),
+		workload.Suppliers(102, 12),
+		workload.Chain(103, 60, 12),
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			// Reference answers per query.
+			want := make(map[string]map[string]bool)
+			for _, q := range w.Queries {
+				derived, err := ie.BottomUp(w.KB, w.Source(), []logic.PredRef{q.Ref()})
+				if err != nil {
+					t.Fatalf("reference %s: %v", q, err)
+				}
+				set := make(map[string]bool)
+				for _, s := range ie.Answers(q, derived[q.Ref()]) {
+					set[s.String()] = true
+				}
+				want[q.String()] = set
+			}
+			for _, strat := range []ie.Strategy{ie.StrategyInterpreted, ie.StrategyConjunction, ie.StrategyCompiled} {
+				for _, comp := range []Comparator{ComparatorBrAID, ComparatorLoose, ComparatorExact, ComparatorSingleRel} {
+					cfg := DefaultConfig()
+					cfg.IE.Strategy = strat
+					cfg.Comparator = comp
+					client := remotedb.NewInProcClient(w.Engine(), remotedb.DefaultCosts())
+					sys, err := NewSystem(w.KB, client, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, q := range w.Queries {
+						sol, err := sys.Ask(q)
+						if err != nil {
+							t.Fatalf("%s/%s: %s: %v", strat, comp, q, err)
+						}
+						got := make(map[string]bool)
+						for {
+							sub, ok := sol.Next()
+							if !ok {
+								break
+							}
+							got[sub.String()] = true
+						}
+						if sol.Err() != nil {
+							t.Fatalf("%s/%s: %s: %v", strat, comp, q, sol.Err())
+						}
+						if !sameSet(got, want[q.String()]) {
+							t.Fatalf("%s/%s: %s: got %d distinct answers, want %d",
+								strat, comp, q, len(got), len(want[q.String()]))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sessions over TCP behave identically to in-process for a whole workload.
+func TestWorkloadOverTCP(t *testing.T) {
+	w := workload.Chain(104, 50, 10)
+	srv := remotedb.NewServer(w.Engine())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := remotedb.DialTCP(addr, remotedb.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sys, err := NewSystem(w.KB, client, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		sol, err := sys.Ask(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		sol.All()
+		if sol.Err() != nil {
+			t.Fatalf("%s: %v", q, sol.Err())
+		}
+	}
+	if sys.Stats().RemoteRequests == 0 {
+		t.Fatal("expected TCP requests")
+	}
+}

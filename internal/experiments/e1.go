@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/ie"
+	"repro/internal/logic"
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+// E1ICRange tests the paper's central Section 2 claim: "it is simply not the
+// case that more fully compiled systems are always preferable. The optimum
+// point on the I-C range will differ ... Sometimes results are more useful
+// if provided incrementally. Not all solutions to a problem may be needed."
+//
+// The kinship workload runs under each strategy twice — consuming all
+// (distinct) solutions, and consuming only the first solution of each query
+// — over a *loose-coupling* data layer, isolating the strategy dimension.
+// (E2 then evaluates the bridge itself on a fixed strategy.) An additional
+// pair of rows shows the interpreted strategy behind the full BrAID CMS: the
+// bridge recovers most of the compiled extreme's transfer efficiency while
+// keeping single-solution laziness.
+func E1ICRange() *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "inference strategy along the I-C range vs demand",
+		Claim:  "more compiled is not always better; the optimum depends on how many solutions are demanded (Section 2)",
+		Header: []string{"strategy", "data-layer", "demand", "answers", "remote", "tuples", "simResp(ms)"},
+	}
+	type cfg struct {
+		strat ie.Strategy
+		braid bool
+	}
+	cfgs := []cfg{
+		{ie.StrategyInterpreted, false},
+		{ie.StrategyConjunction, false},
+		{ie.StrategyCompiled, false},
+		{ie.StrategyInterpreted, true},
+	}
+	for _, c := range cfgs {
+		for _, all := range []bool{true, false} {
+			st, answers := RunE1(c.strat, c.braid, all)
+			demand := "all"
+			if !all {
+				demand = "first"
+			}
+			layer := "loose"
+			if c.braid {
+				layer = "braid"
+			}
+			t.AddRow(c.strat.String(), layer, demand, fi(int64(answers)), fi(st.RemoteRequests), fi(st.RemoteTuples), ff(st.ResponseSimMS))
+		}
+	}
+	// The per-problem crossover (Section 2: the optimum differs "even from
+	// problem to problem"): for a selective recursive query demanding one
+	// solution, the interpreted strategy ships a fraction of the compiled
+	// strategy's tuples.
+	ancOnly := []logic.Atom{logic.A("anc", logic.CStr("p000"), logic.V("Y"))}
+	for _, strat := range []ie.Strategy{ie.StrategyInterpreted, ie.StrategyCompiled} {
+		st, answers := RunE1Queries(strat, false, false, ancOnly)
+		t.AddRow(strat.String(), "loose", "anc/first", fi(int64(answers)), fi(st.RemoteRequests), fi(st.RemoteTuples), ff(st.ResponseSimMS))
+	}
+	t.Notes = append(t.Notes,
+		"loose layer: compiled wins all-solutions, interpreted wins selective first-solution transfer; the BrAID layer closes most of the gap for the interpreted strategy")
+	return t
+}
+
+// RunE1 runs the kinship session for one strategy/layer/demand cell.
+func RunE1(strat ie.Strategy, braidLayer, allSolutions bool) (stats statsView, answers int) {
+	return RunE1Queries(strat, braidLayer, allSolutions, nil)
+}
+
+// RunE1Queries is RunE1 restricted to the given queries (nil = the whole
+// workload mix).
+func RunE1Queries(strat ie.Strategy, braidLayer, allSolutions bool, only []logic.Atom) (stats statsView, answers int) {
+	w := workload.Kinship(11, 120)
+	client := remotedb.NewInProcClient(w.Engine(), remotedb.DefaultCosts())
+	cfg := core.Config{
+		Comparator: core.ComparatorLoose,
+		IE:         ie.Options{Strategy: strat, Reorder: true, Advice: true, PathExpression: true},
+	}
+	if braidLayer {
+		cfg.Comparator = core.ComparatorBrAID
+		cfg.CMS = cache.Options{Features: cache.AllFeatures(), Costs: remotedb.DefaultCosts()}
+	}
+	sys, err := core.NewSystem(w.KB, client, cfg)
+	if err != nil {
+		panic(err)
+	}
+	queries := w.Queries
+	if only != nil {
+		queries = only
+	}
+	for _, q := range queries {
+		sol, err := sys.Ask(q)
+		if err != nil {
+			panic(fmt.Sprintf("E1 %s: %v", q, err))
+		}
+		if allSolutions {
+			seen := map[string]bool{}
+			for {
+				sub, ok := sol.Next()
+				if !ok {
+					break
+				}
+				seen[sub.String()] = true
+			}
+			answers += len(seen)
+		} else {
+			if _, ok := sol.Next(); ok {
+				answers++
+			}
+			sol.Close()
+		}
+		if sol.Err() != nil {
+			panic(sol.Err())
+		}
+	}
+	st := sys.Stats()
+	return statsView{
+		RemoteRequests: st.RemoteRequests,
+		RemoteTuples:   st.RemoteTuples,
+		ResponseSimMS:  st.ResponseSimMS,
+	}, answers
+}
+
+// statsView keeps experiment code independent of the full stats struct.
+type statsView struct {
+	RemoteRequests int64
+	RemoteTuples   int64
+	ResponseSimMS  float64
+}

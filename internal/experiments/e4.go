@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/advice"
+	"repro/internal/cache"
+	"repro/internal/caql"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+// e4Advice is the paper's Example 1 advice shape over the chain workload.
+const e4Advice = `
+	view d1(Y^) :- b1("c1", Y) [r1].
+	view d2(X^, Y?) :- b2(X, Z) & b3(Z, "c2", Y) [r2].
+	view d3(X^, Y?) :- b3(X, "c3", Z) & b1(Z, Y) [r3].
+	path (d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>.
+`
+
+// E4Prefetching tests Section 5.3.1's prefetch rule: after d2(X,c) the CMS
+// can process d3(X,c) "before it actually receives d3(X,c) from the IE",
+// hiding remote latency behind IE think time. The experiment replays the
+// Example 1 query sequence with prefetching on and off, across remote
+// latencies.
+func E4Prefetching() *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "path-expression prefetching vs remote latency",
+		Claim:  "sequence groupings in the path expression let the CMS prefetch followers during think time (Sections 4.2.2, 5.3.1)",
+		Header: []string{"prefetch", "latency(ms)", "remote", "prefetches", "pf-hits", "simResp(ms)"},
+	}
+	for _, latency := range []float64{10, 50, 200} {
+		for _, pf := range []bool{false, true} {
+			st := RunE4(pf, latency)
+			t.AddRow(onOff(pf), ff(latency), fi(st.RemoteRequests), fi(st.Prefetches), fi(st.PrefetchHits), ff(st.ResponseSimMS))
+		}
+	}
+	t.Notes = append(t.Notes, "prefetching converts follower fetches into think-time work; the gap widens with latency")
+	return t
+}
+
+// RunE4 replays the Example 1 session at the given latency with prefetching
+// on or off.
+func RunE4(prefetch bool, latencyMS float64) statsE4 {
+	w := workload.Chain(19, 600, 25)
+	costs := remotedb.DefaultCosts()
+	costs.PerRequest = latencyMS
+	f := cache.AllFeatures()
+	f.Prefetch = prefetch
+	f.Generalization = false // isolate prefetching
+	cms := cache.New(remotedb.NewInProcClient(w.Engine(), costs),
+		cache.Options{Features: f, Costs: costs, ThinkTimeMS: 4 * latencyMS})
+	adv := advice.MustParse(e4Advice)
+	s := cms.BeginSession(adv).(*cache.Session)
+	defer s.End()
+
+	// The Example 1 session: d1, then (d2, d3) pairs per binding.
+	d1 := caql.MustParse(`d1(Y) :- b1("c1", Y)`)
+	stream, err := s.Query(d1)
+	if err != nil {
+		panic(err)
+	}
+	ys := stream.Drain("ys")
+	n := ys.Len()
+	if n > 6 {
+		n = 6
+	}
+	d2t := caql.MustParse(`d2(X, Y) :- b2(X, Z) & b3(Z, "c2", Y)`)
+	d3t := caql.MustParse(`d3(X, Y) :- b3(X, "c3", Z) & b1(Z, Y)`)
+	for i := 0; i < n; i++ {
+		c := ys.Tuple(i)[0]
+		for _, tmpl := range []*caql.Query{d2t, d3t} {
+			inst := tmpl.Instantiate(map[string]relation.Value{"Y": c})
+			stream, err := s.Query(inst)
+			if err != nil {
+				panic(fmt.Sprintf("E4: %s: %v", inst, err))
+			}
+			stream.Drain("out")
+		}
+	}
+	st := cms.Stats()
+	return statsE4{
+		RemoteRequests: st.RemoteRequests,
+		Prefetches:     st.Prefetches,
+		PrefetchHits:   st.PrefetchHits,
+		ResponseSimMS:  st.ResponseSimMS,
+	}
+}
+
+type statsE4 struct {
+	RemoteRequests int64
+	Prefetches     int64
+	PrefetchHits   int64
+	ResponseSimMS  float64
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/advice"
+	"repro/internal/cache"
+	"repro/internal/caql"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+// E5Generalization tests Section 5.3.1 step 1: when the path expression
+// predicts repeated instances of a consumer-bound view (the backtracking
+// loop d2(X, c) for successive constants c), the CMS may evaluate the more
+// general query once and derive every instance from the cached result.
+func E5Generalization() *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "query generalization vs number of repeated instances",
+		Claim:  "generalizing a consumer-bound query trades one wider fetch for many narrow ones (Sections 4.2, 5.3.1)",
+		Header: []string{"generalize", "instances", "remote", "tuples", "generalized", "simResp(ms)"},
+	}
+	for _, n := range []int{2, 8, 32} {
+		for _, gen := range []bool{false, true} {
+			st := RunE5(gen, n)
+			t.AddRow(onOff(gen), fi(int64(n)), fi(st.RemoteRequests), fi(st.RemoteTuples), fi(st.Generalizations), ff(st.ResponseSimMS))
+		}
+	}
+	t.Notes = append(t.Notes, "with generalization remote requests stay ~constant as instances grow; without, they grow linearly")
+	return t
+}
+
+// RunE5 runs the repeated-instance session with generalization on or off.
+func RunE5(generalize bool, instances int) statsE5 {
+	w := workload.Chain(23, 800, instances+4)
+	costs := remotedb.DefaultCosts()
+	f := cache.AllFeatures()
+	f.Prefetch = false // isolate generalization
+	f.Generalization = generalize
+	cms := cache.New(remotedb.NewInProcClient(w.Engine(), costs),
+		cache.Options{Features: f, Costs: costs, PredictHorizon: 16})
+	adv := advice.MustParse(e4Advice)
+	s := cms.BeginSession(adv).(*cache.Session)
+	defer s.End()
+
+	d1 := caql.MustParse(`d1(Y) :- b1("c1", Y)`)
+	if stream, err := s.Query(d1); err != nil {
+		panic(err)
+	} else {
+		stream.Drain("ys")
+	}
+	d2t := caql.MustParse(`d2(X, Y) :- b2(X, Z) & b3(Z, "c2", Y)`)
+	for c := 0; c < instances; c++ {
+		inst := d2t.Instantiate(map[string]relation.Value{"Y": relation.Int(int64(c))})
+		stream, err := s.Query(inst)
+		if err != nil {
+			panic(fmt.Sprintf("E5: %v", err))
+		}
+		stream.Drain("out")
+	}
+	st := cms.Stats()
+	return statsE5{
+		RemoteRequests:  st.RemoteRequests,
+		RemoteTuples:    st.RemoteTuples,
+		Generalizations: st.Generalizations,
+		ResponseSimMS:   st.ResponseSimMS,
+	}
+}
+
+type statsE5 struct {
+	RemoteRequests  int64
+	RemoteTuples    int64
+	Generalizations int64
+	ResponseSimMS   float64
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/advice"
+	"repro/internal/cache"
+	"repro/internal/caql"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+// E6AttributeIndexing tests Section 4.2.1's indexing advice: a consumer
+// annotation ("?") marks an attribute as "a prime candidate for indexing";
+// repeated random access against the cached extension should then cost
+// far fewer local operations.
+func E6AttributeIndexing() *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  "consumer-annotation-driven attribute indexing on cached extensions",
+		Claim:  "indexing consumer-annotated attributes speeds repeated random access to cached relations (Sections 4.2.1, 5.3.3)",
+		Header: []string{"indexing", "ext-rows", "probes", "idx-builds", "localSim(ms)"},
+	}
+	for _, rows := range []int{1000, 8000} {
+		for _, ix := range []bool{false, true} {
+			res := RunE6(ix, rows)
+			t.AddRow(onOff(ix), fi(int64(rows)), fi(int64(res.probes)), fi(res.builds), ff(res.localMS))
+		}
+	}
+	t.Notes = append(t.Notes, "indexed probes touch matching rows only; unindexed probes scan the extension")
+	return t
+}
+
+type e6Result struct {
+	probes  int
+	builds  int64
+	localMS float64
+}
+
+// RunE6 probes a cached extension of the given size with indexing on or off.
+func RunE6(indexing bool, rows int) e6Result {
+	w := workload.Chain(29, rows, 64)
+	costs := remotedb.DefaultCosts()
+	f := cache.AllFeatures()
+	f.Indexing = indexing
+	f.Lazy = false
+	f.Prefetch = false
+	f.Generalization = false
+	cms := cache.New(remotedb.NewInProcClient(w.Engine(), costs),
+		cache.Options{Features: f, Costs: costs})
+	adv := advice.MustParse(`
+		view dg(X^, Y^, Z^) :- b3(X, Y, Z).
+		view di(X?, Z^) :- b3(X, "c2", Z).
+	`)
+	s := cms.BeginSession(adv).(*cache.Session)
+	defer s.End()
+
+	// Warm the cache with the full extension.
+	if stream, err := s.Query(caql.MustParse("dg(X, Y, Z) :- b3(X, Y, Z)")); err != nil {
+		panic(err)
+	} else {
+		stream.Drain("warm")
+	}
+	baseLocal := cms.Stats().LocalSimMS
+	probes := 40
+	tmpl := caql.MustParse(`di(X, Z) :- b3(X, "c2", Z)`)
+	for i := 0; i < probes; i++ {
+		inst := tmpl.Instantiate(map[string]relation.Value{"X": relation.Int(int64(i % 64))})
+		stream, err := s.Query(inst)
+		if err != nil {
+			panic(fmt.Sprintf("E6: %v", err))
+		}
+		stream.Drain("out")
+	}
+	st := cms.Stats()
+	return e6Result{probes: probes, builds: st.IndexBuilds, localMS: st.LocalSimMS - baseLocal}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/advice"
+	"repro/internal/cache"
+	"repro/internal/caql"
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+// E7Replacement tests the Section 4.2.2 replacement claim: after tracking
+// the path expression, the CMS knows an element "will be required for one of
+// the next two queries — if the CMS needs to replace some cache element it
+// is clear that [it] is not the best candidate." Under a budget that cannot
+// hold everything, plain LRU keeps evicting the element the session is about
+// to reuse; advice-modified LRU protects it.
+func E7Replacement() *Table {
+	t := &Table{
+		ID:     "E7",
+		Title:  "plain LRU vs advice-modified replacement under cache pressure",
+		Claim:  "path-expression predictions identify poor replacement victims (Sections 4.2.2, 5.4)",
+		Header: []string{"advice-repl", "rounds", "remote", "d1-refetches", "evictions", "simResp(ms)"},
+	}
+	for _, prot := range []bool{false, true} {
+		res := RunE7(prot)
+		t.AddRow(onOff(prot), fi(int64(res.rounds)), fi(res.remote), fi(res.refetches), fi(res.evictions), ff(res.respMS))
+	}
+	t.Notes = append(t.Notes, "d1-refetches counts remote fetches of the protected view beyond the first")
+	return t
+}
+
+type e7Result struct {
+	rounds    int
+	remote    int64
+	refetches int64
+	evictions int64
+	respMS    float64
+}
+
+// RunE7 runs the pressure session with or without advice-modified
+// replacement.
+func RunE7(protect bool) e7Result {
+	w := workload.Chain(31, 500, 24)
+	costs := remotedb.DefaultCosts()
+	f := cache.AllFeatures()
+	f.Prefetch = false
+	f.Generalization = false
+	f.AdviceReplacement = protect
+
+	d1 := caql.MustParse(`d1(Y) :- b1("c1", Y)`)
+	f1 := caql.MustParse(`f1(X, Z) :- b3(X, "c1", Z)`)
+	f2 := caql.MustParse(`f2(X, Z) :- b3(X, "c3", Z)`)
+
+	// Size the budget so that d1 plus either filler fits but all three do
+	// not: every round forces one eviction, and the victim choice is what
+	// the experiment measures.
+	src := w.Source()
+	sizeOf := func(q *caql.Query) int64 {
+		r, err := caql.Eval(q, src)
+		if err != nil {
+			panic(err)
+		}
+		return r.SizeBytes()
+	}
+	s1, s2, s3 := sizeOf(d1), sizeOf(f1), sizeOf(f2)
+	minFiller := s2
+	if s3 < minFiller {
+		minFiller = s3
+	}
+	budget := s1 + s2 + s3 - minFiller/2
+
+	cms := cache.New(remotedb.NewInProcClient(w.Engine(), costs),
+		cache.Options{Features: f, Costs: costs, CacheBytes: budget, PredictHorizon: 8})
+	adv := advice.MustParse(`
+		view d1(Y^) :- b1("c1", Y).
+		view f1(X^, Z^) :- b3(X, "c1", Z).
+		view f2(X^, Z^) :- b3(X, "c3", Z).
+		path ((d1(Y^), f1(X^, Z^), f2(X^, Z^))<0,*>)<1,1>.
+	`)
+	s := cms.BeginSession(adv).(*cache.Session)
+	defer s.End()
+
+	rounds := 6
+	var d1Fetches int64
+	for r := 0; r < rounds; r++ {
+		before := cms.Stats().RemoteRequests
+		if stream, err := s.Query(d1.Clone()); err != nil {
+			panic(fmt.Sprintf("E7: %v", err))
+		} else {
+			stream.Drain("d1")
+		}
+		d1Fetches += cms.Stats().RemoteRequests - before
+		for _, q := range []*caql.Query{f1, f2} {
+			if stream, err := s.Query(q.Clone()); err != nil {
+				panic(err)
+			} else {
+				stream.Drain("f")
+			}
+		}
+	}
+	st := cms.Stats()
+	return e7Result{
+		rounds:    rounds,
+		remote:    st.RemoteRequests,
+		refetches: d1Fetches - 1,
+		evictions: st.Evictions,
+		respMS:    st.ResponseSimMS,
+	}
+}

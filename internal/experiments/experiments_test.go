@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(tab.Rows[row][col], "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s cell (%d,%d) = %q not numeric", tab.ID, row, col, tab.Rows[row][col])
+	}
+	return v
+}
+
+func colIndex(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, h := range tab.Header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("%s has no column %q", tab.ID, name)
+	return -1
+}
+
+func TestE1Shape(t *testing.T) {
+	tab := E1ICRange()
+	if len(tab.Rows) != 10 {
+		t.Fatalf("E1 rows = %d", len(tab.Rows))
+	}
+	remote := colIndex(t, tab, "remote")
+	tuples := colIndex(t, tab, "tuples")
+	// Row order: interp-loose/{all,first}, conj-loose/{all,first},
+	// compiled-loose/{all,first}, interp-braid/{all,first},
+	// interp-loose/anc-first, compiled-loose/anc-first.
+	// Claim 1: compiled issues far fewer remote requests than interpreted
+	// for all-solutions under loose coupling.
+	if !(cell(t, tab, 4, remote) < cell(t, tab, 0, remote)) {
+		t.Errorf("compiled/all should issue fewer remote requests than interpreted/all\n%s", tab)
+	}
+	// Claim 2 (the per-problem crossover): on the selective anc query with
+	// one solution demanded, interpreted ships fewer tuples than compiled.
+	if !(cell(t, tab, 8, tuples) < cell(t, tab, 9, tuples)) {
+		t.Errorf("interpreted/anc-first should ship fewer tuples than compiled\n%s", tab)
+	}
+	// Demand sensitivity: interpreted/first costs a fraction of
+	// interpreted/all; compiled shows no demand sensitivity.
+	if !(cell(t, tab, 1, remote) < cell(t, tab, 0, remote)/10) {
+		t.Errorf("interpreted should be demand-sensitive\n%s", tab)
+	}
+	if cell(t, tab, 4, remote) != cell(t, tab, 5, remote) {
+		t.Errorf("compiled should be demand-insensitive\n%s", tab)
+	}
+	// Claim 3: the BrAID layer cuts the interpreted strategy's remote
+	// requests dramatically versus loose coupling.
+	if !(cell(t, tab, 6, remote) < cell(t, tab, 0, remote)/2) {
+		t.Errorf("braid layer should collapse interpreted remote requests\n%s", tab)
+	}
+	// Answers agree between strategies for all-solutions runs (distinct).
+	ans := colIndex(t, tab, "answers")
+	if cell(t, tab, 0, ans) != cell(t, tab, 2, ans) || cell(t, tab, 2, ans) != cell(t, tab, 4, ans) || cell(t, tab, 4, ans) != cell(t, tab, 6, ans) {
+		t.Errorf("strategies disagree on answer count\n%s", tab)
+	}
+}
+
+func TestE2ShapeAndConsistency(t *testing.T) {
+	if err := verifyE2Consistency(); err != nil {
+		t.Fatal(err)
+	}
+	tab := E2CachingStrategies()
+	remote := colIndex(t, tab, "remote")
+	hits := colIndex(t, tab, "full-hits")
+	// Rows: loose, exact, singlerel, braid.
+	if !(cell(t, tab, 3, remote) < cell(t, tab, 0, remote)) {
+		t.Errorf("braid should issue fewer remote requests than loose\n%s", tab)
+	}
+	if !(cell(t, tab, 3, remote) <= cell(t, tab, 1, remote)) {
+		t.Errorf("braid should not exceed exact-match remote requests\n%s", tab)
+	}
+	if !(cell(t, tab, 3, hits) > cell(t, tab, 1, hits)) {
+		t.Errorf("subsumption should produce more full hits than exact matching\n%s", tab)
+	}
+	if cell(t, tab, 0, hits) != 0 {
+		t.Errorf("loose coupling must have zero hits\n%s", tab)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tab := E3LazyVsEager()
+	local := colIndex(t, tab, "localSim(ms)")
+	// Rows: eager/1, eager/10, eager/all, lazy/1, lazy/10, lazy/all.
+	if !(cell(t, tab, 3, local) < cell(t, tab, 0, local)) {
+		t.Errorf("lazy/1 should cost less local time than eager/1\n%s", tab)
+	}
+	if !(cell(t, tab, 3, local) < cell(t, tab, 5, local)) {
+		t.Errorf("lazy cost should grow with demand\n%s", tab)
+	}
+	// Eager cost is ~flat across demand.
+	if cell(t, tab, 0, local) < 0.9*cell(t, tab, 2, local) {
+		t.Errorf("eager cost should not depend on demand\n%s", tab)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tab := E4Prefetching()
+	resp := colIndex(t, tab, "simResp(ms)")
+	hits := colIndex(t, tab, "pf-hits")
+	// Pairs per latency: off, on.
+	for p := 0; p < 3; p++ {
+		off, on := 2*p, 2*p+1
+		if !(cell(t, tab, on, resp) < cell(t, tab, off, resp)) {
+			t.Errorf("prefetching should cut response at latency row %d\n%s", p, tab)
+		}
+		if cell(t, tab, on, hits) == 0 {
+			t.Errorf("expected prefetch hits at latency row %d\n%s", p, tab)
+		}
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tab := E5Generalization()
+	remote := colIndex(t, tab, "remote")
+	gens := colIndex(t, tab, "generalized")
+	// Pairs per instance count: off, on. With generalization, remote
+	// requests stay near-constant as instances grow; without, they grow.
+	offGrowth := cell(t, tab, 4, remote) - cell(t, tab, 0, remote)
+	onGrowth := cell(t, tab, 5, remote) - cell(t, tab, 1, remote)
+	if !(onGrowth < offGrowth) {
+		t.Errorf("generalization should flatten remote growth (off %+.0f vs on %+.0f)\n%s", offGrowth, onGrowth, tab)
+	}
+	if cell(t, tab, 5, gens) == 0 {
+		t.Errorf("expected generalizations\n%s", tab)
+	}
+	if cell(t, tab, 4, gens) != 0 {
+		t.Errorf("generalization off must not generalize\n%s", tab)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tab := E6AttributeIndexing()
+	local := colIndex(t, tab, "localSim(ms)")
+	builds := colIndex(t, tab, "idx-builds")
+	for p := 0; p < 2; p++ {
+		off, on := 2*p, 2*p+1
+		if !(cell(t, tab, on, local) < cell(t, tab, off, local)) {
+			t.Errorf("indexing should cut local time at size row %d\n%s", p, tab)
+		}
+		if cell(t, tab, on, builds) == 0 {
+			t.Errorf("expected index builds\n%s", tab)
+		}
+	}
+	// The advantage is substantial at both sizes (matched rows scale with
+	// the extension under a fixed domain, so the ratio is roughly constant
+	// rather than growing).
+	gainSmall := cell(t, tab, 0, local) / cell(t, tab, 1, local)
+	gainBig := cell(t, tab, 2, local) / cell(t, tab, 3, local)
+	if gainSmall < 3 || gainBig < 3 {
+		t.Errorf("index advantage too small (%.1fx, %.1fx)\n%s", gainSmall, gainBig, tab)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tab := E7Replacement()
+	ref := colIndex(t, tab, "d1-refetches")
+	// Rows: off, on.
+	if !(cell(t, tab, 1, ref) < cell(t, tab, 0, ref)) {
+		t.Errorf("advice replacement should reduce refetches\n%s", tab)
+	}
+	if cell(t, tab, 1, ref) != 0 {
+		t.Errorf("protected element should never be refetched\n%s", tab)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tab := E8ParallelSubqueries()
+	resp := colIndex(t, tab, "simResp(ms)")
+	partial := colIndex(t, tab, "partial-hits")
+	for p := 0; p < 3; p++ {
+		off, on := 2*p, 2*p+1
+		if cell(t, tab, off, partial) == 0 {
+			t.Errorf("E8 requires decomposed queries\n%s", tab)
+		}
+		if !(cell(t, tab, on, resp) < cell(t, tab, off, resp)) {
+			t.Errorf("parallel should cut response at latency row %d\n%s", p, tab)
+		}
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tab := E9SubsumptionOverhead()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E9 rows = %d", len(tab.Rows))
+	}
+	// The 1000-element pass should still be well under one 50ms round trip.
+	frac, err := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[2][3], "x"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac >= 1 {
+		t.Errorf("subsumption pass costs more than a round trip: %s\n%s", tab.Rows[2][3], tab)
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in short mode")
+	}
+	tables := All()
+	if len(tables) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 || tab.String() == "" {
+			t.Errorf("%s produced no rows", tab.ID)
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tab := E10FeatureAblation()
+	if len(tab.Rows) != 9 {
+		t.Fatalf("E10 rows = %d", len(tab.Rows))
+	}
+	resp := colIndex(t, tab, "simResp(ms)")
+	// Full braid has the minimum response time; every ablation costs at
+	// least as much, and all-off costs strictly more. (Request counts are
+	// deliberately NOT monotone: e.g. disabling prefetch can *reduce*
+	// requests because generalization already covers the followers — the
+	// table records such interactions honestly.)
+	full := cell(t, tab, 0, resp)
+	off := cell(t, tab, len(tab.Rows)-1, resp)
+	if !(full < off) {
+		t.Errorf("full braid should beat all-off on response time\n%s", tab)
+	}
+	for r := 1; r < len(tab.Rows); r++ {
+		if cell(t, tab, r, resp) < full-0.5 {
+			t.Errorf("ablation row %d (%s) beats the full configuration\n%s", r, tab.Rows[r][0], tab)
+		}
+	}
+}

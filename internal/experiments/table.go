@@ -1,0 +1,89 @@
+// Package experiments implements the reproduction's evaluation suite E1–E10
+// (see DESIGN.md Section 5): one experiment per directional claim of the
+// paper, each producing a table in the style a systems paper would report.
+// The suite is shared by the repository's testing.B benchmarks
+// (bench_test.go) and by cmd/braid-bench.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a title, column headers, and formatted
+// rows.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper claim under test
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Cell formatting helpers.
+func fi(v int64) string   { return fmt.Sprintf("%d", v) }
+func ff(v float64) string { return fmt.Sprintf("%.1f", v) }
+func fp(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func onOff(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}
+
+// All runs every experiment with default parameters, in order.
+func All() []*Table {
+	return []*Table{
+		E1ICRange(), E2CachingStrategies(), E3LazyVsEager(), E4Prefetching(),
+		E5Generalization(), E6AttributeIndexing(), E7Replacement(),
+		E8ParallelSubqueries(), E9SubsumptionOverhead(), E10FeatureAblation(),
+	}
+}

@@ -1,0 +1,297 @@
+package ie
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/advice"
+	"repro/internal/bridge"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Strategy selects the point on the interpreted-compiled range (the I-C
+// range, Section 2) the engine realizes for a query.
+type Strategy int
+
+// Strategies along the I-C range.
+const (
+	// StrategyInterpreted is the fully interpretive extreme: depth-first SLD
+	// resolution with chronological backtracking, requesting data one base
+	// atom at a time and consuming results tuple-at-a-time (Prolog-style,
+	// single solution on demand).
+	StrategyInterpreted Strategy = iota
+	// StrategyConjunction performs conjunction compilation: maximal runs of
+	// base atoms in a rule body are shipped as one CAQL query (partial
+	// compilation), with backtracking across runs.
+	StrategyConjunction
+	// StrategyCompiled is the fully compiled extreme: the relevant base
+	// relations are requested set-at-a-time and the whole relevant rule set
+	// is evaluated bottom-up to a fixpoint, producing all solutions.
+	StrategyCompiled
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyInterpreted:
+		return "interpreted"
+	case StrategyConjunction:
+		return "conjunction"
+	case StrategyCompiled:
+		return "compiled"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Options configures the engine.
+type Options struct {
+	Strategy Strategy
+	// MaxConjSize bounds view-specification conjunction size (Section 4.1's
+	// flattening parameter; 1 is forced by StrategyInterpreted, <=0 means
+	// unlimited).
+	MaxConjSize int
+	// Reorder enables shaper conjunct reordering.
+	Reorder bool
+	// Advice controls whether view specifications and base-relation lists
+	// are transmitted to the CMS at session start.
+	Advice bool
+	// PathExpression additionally transmits a path expression (requires
+	// Advice).
+	PathExpression bool
+	// MaxDepth bounds SLD recursion depth as a runaway guard (default 4096).
+	MaxDepth int
+	// Explain records a justification (derivation tree) for each solution;
+	// available through Solutions.NextProof. Compiled-strategy answers carry
+	// a bottom-up summary instead of a full tree.
+	Explain bool
+}
+
+// DefaultOptions returns the full-featured interpreted configuration.
+func DefaultOptions() Options {
+	return Options{
+		Strategy:       StrategyInterpreted,
+		Reorder:        true,
+		Advice:         true,
+		PathExpression: true,
+		MaxDepth:       4096,
+	}
+}
+
+// Engine is the inference engine: a knowledge base plus a data source (the
+// CMS or a baseline). Engines are safe for concurrent Ask calls; each Ask
+// opens its own session.
+type Engine struct {
+	kb   *logic.KB
+	ds   bridge.DataSource
+	opts Options
+}
+
+// New builds an engine.
+func New(kb *logic.KB, ds bridge.DataSource, opts Options) *Engine {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 4096
+	}
+	if opts.Strategy == StrategyInterpreted {
+		opts.MaxConjSize = 1
+	}
+	return &Engine{kb: kb, ds: ds, opts: opts}
+}
+
+// KB returns the engine's knowledge base.
+func (e *Engine) KB() *logic.KB { return e.kb }
+
+// answer pairs a solution with its optional justification.
+type answer struct {
+	sub   logic.Subst
+	proof *Proof
+}
+
+// Solutions is the lazy stream of answers to an AI query: a single solution
+// is produced on demand (the paper's single-solution strategy), and Close
+// abandons the remaining search.
+type Solutions struct {
+	vars []string
+
+	ch      chan answer
+	errCh   chan error
+	stop    chan struct{}
+	stopped sync.Once
+	err     error
+	done    bool
+}
+
+// Vars returns the AI query's variable names, in order of appearance.
+func (s *Solutions) Vars() []string { return append([]string(nil), s.vars...) }
+
+// Next returns the next answer substitution; ok is false when the search is
+// exhausted (check Err afterwards).
+func (s *Solutions) Next() (logic.Subst, bool) {
+	sub, _, ok := s.NextProof()
+	return sub, ok
+}
+
+// NextProof returns the next answer with its justification (nil unless the
+// engine runs with Options.Explain).
+func (s *Solutions) NextProof() (logic.Subst, *Proof, bool) {
+	if s.done {
+		return nil, nil, false
+	}
+	select {
+	case a, ok := <-s.ch:
+		if !ok {
+			s.done = true
+			s.err = <-s.errCh
+			return nil, nil, false
+		}
+		return a.sub, a.proof, true
+	case err := <-s.errCh:
+		s.done = true
+		s.err = err
+		return nil, nil, false
+	}
+}
+
+// All drains the remaining answers.
+func (s *Solutions) All() []logic.Subst {
+	var out []logic.Subst
+	for {
+		sub, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, sub)
+	}
+}
+
+// Err reports a search error (after Next returned false).
+func (s *Solutions) Err() error { return s.err }
+
+// Close abandons the search and releases the producer.
+func (s *Solutions) Close() {
+	s.stopped.Do(func() { close(s.stop) })
+	// Drain so the producer unblocks and exits.
+	for {
+		_, ok := <-s.ch
+		if !ok {
+			break
+		}
+	}
+	if !s.done {
+		s.done = true
+		s.err = <-s.errCh
+	}
+}
+
+// Tuples renders answers as a relation over the query variables; a
+// convenience for tests and examples.
+func (s *Solutions) Tuples() *relation.Relation {
+	attrs := make([]relation.Attr, len(s.vars))
+	for i, v := range s.vars {
+		attrs[i] = relation.Attr{Name: v, Kind: relation.KindNull}
+	}
+	out := relation.New("answers", relation.NewSchema(attrs...))
+	for {
+		sub, ok := s.Next()
+		if !ok {
+			break
+		}
+		tu := make(relation.Tuple, len(s.vars))
+		for i, v := range s.vars {
+			t := sub.Walk(logic.V(v))
+			if t.IsConst() {
+				tu[i] = t.Const
+			}
+		}
+		out.MustAppend(tu)
+	}
+	return out
+}
+
+// AskText parses and asks an AI query ("k1(X, Y)?").
+func (e *Engine) AskText(src string) (*Solutions, error) {
+	goal, err := logic.ParseAtom(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Ask(goal)
+}
+
+// Ask answers an AI query: compile the problem graph and advice, open a
+// session (transmitting the advice), and run the configured strategy. The
+// result is a lazy solution stream.
+func (e *Engine) Ask(goal logic.Atom) (*Solutions, error) {
+	if goal.IsComparison() {
+		return nil, fmt.Errorf("ie: AI query cannot be a comparison")
+	}
+	prog, err := compile(e.kb, goal, e.opts, e.ds)
+	if err != nil {
+		return nil, err
+	}
+	var adv *advice.Advice
+	if e.opts.Advice {
+		adv = prog.adviceBundle(e.opts)
+		if err := adv.Validate(); err != nil {
+			return nil, fmt.Errorf("ie: generated invalid advice: %w", err)
+		}
+	}
+	session := e.ds.BeginSession(adv)
+
+	sol := &Solutions{
+		vars:  prog.goalVars,
+		ch:    make(chan answer),
+		errCh: make(chan error, 1),
+		stop:  make(chan struct{}),
+	}
+	switch e.opts.Strategy {
+	case StrategyCompiled:
+		go func() {
+			defer close(sol.ch)
+			err := e.runCompiled(prog, session, sol)
+			session.End()
+			sol.errCh <- err
+		}()
+	default:
+		r := &runner{
+			engine:  e,
+			prog:    prog,
+			session: session,
+			sol:     sol,
+		}
+		go func() {
+			defer close(sol.ch)
+			err := r.runAll()
+			session.End()
+			sol.errCh <- err
+		}()
+	}
+	return sol, nil
+}
+
+// Advice compiles and returns the advice bundle for a query without running
+// it (diagnostics, tests, cmd tools).
+func (e *Engine) Advice(goal logic.Atom) (*advice.Advice, error) {
+	prog, err := compile(e.kb, goal, e.opts, e.ds)
+	if err != nil {
+		return nil, err
+	}
+	return prog.adviceBundle(e.opts), nil
+}
+
+// Graph extracts and shapes the problem graph for a query (diagnostics).
+func (e *Engine) Graph(goal logic.Atom) (*Graph, error) {
+	sh := &Shaper{Reorder: e.opts.Reorder, Stats: e.ds}
+	return Extract(e.kb, goal, sh)
+}
+
+// SortedVars is a test helper ordering variable names.
+func SortedVars(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package ie
+
+import (
+	"fmt"
+
+	"repro/internal/bridge"
+	"repro/internal/caql"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// The fully-compiled strategy (the compiled extreme of the I-C range,
+// Section 2): the relevant portion of the knowledge base is compiled into
+// set-at-a-time data access — each relevant base relation is requested once
+// as a whole (one large request per relation rather than one per binding) —
+// and the rule set is evaluated bottom-up to a fixpoint, producing all
+// solutions. Recursion is handled by the fixpoint itself (the role the paper
+// assigns to second-order templates with a fixed-point operator).
+func (e *Engine) runCompiled(prog *program, session bridge.Session, sol *Solutions) error {
+	// Fetch every relevant base relation, set-at-a-time. Constants that
+	// appear in *every* occurrence of a relation at the same position are
+	// pushed into the fetch (a cheap magic-set-like restriction); otherwise
+	// the full extension is requested.
+	fetched := caql.MapSource{}
+	for _, ref := range prog.graph.BaseRels {
+		q, err := fetchQueryFor(prog, ref)
+		if err != nil {
+			return err
+		}
+		stream, err := session.Query(q)
+		if err != nil {
+			return err
+		}
+		rel := stream.Drain(ref.Name)
+		rel.Name = ref.Name
+		fetched[ref.Name] = rel
+	}
+
+	goalRef := prog.goal.Ref()
+	var ext *relation.Relation
+	if prog.kb.IsBase(goalRef) {
+		ext = fetched[goalRef.Name]
+		if ext == nil {
+			// The goal relation itself (base query with no rules).
+			q := caql.NewQuery(logic.A("d0", prog.goal.Args...), []logic.Atom{prog.goal})
+			stream, err := session.Query(q)
+			if err != nil {
+				return err
+			}
+			ext = stream.Drain(goalRef.Name)
+		}
+	} else {
+		derived, err := BottomUp(prog.kb, fetched, []logic.PredRef{goalRef})
+		if err != nil {
+			return err
+		}
+		ext = derived[goalRef]
+		if ext == nil {
+			return fmt.Errorf("ie: goal predicate %s not derivable", goalRef)
+		}
+	}
+
+	for _, s := range Answers(prog.goal, ext) {
+		var proof *Proof
+		if e.opts.Explain {
+			proof = ProofRoot(prog.goal.String(),
+				[]*Proof{{Kind: "rule", Detail: "derived set-at-a-time by bottom-up fixpoint evaluation"}})
+		}
+		select {
+		case sol.ch <- answer{sub: s.Restrict(sol.vars), proof: proof}:
+		case <-sol.stop:
+			return nil
+		}
+	}
+	return nil
+}
+
+// fetchQueryFor builds the set-at-a-time fetch for a base relation: a full
+// scan, restricted by constants common to all graph occurrences of the
+// relation. Constant pushing is disabled entirely when the graph contains a
+// recursive cut — a cut hides deeper occurrences whose bindings differ from
+// the visible ones (e.g. transitive closure walks past the query's seed
+// constant).
+func fetchQueryFor(prog *program, ref logic.PredRef) (*caql.Query, error) {
+	var occs []logic.Atom
+	recursive := false
+	prog.graph.Walk(func(n *ORNode) {
+		if n.Base && n.Goal.Ref() == ref {
+			occs = append(occs, n.Goal)
+		}
+		if n.RecursiveCut {
+			recursive = true
+		}
+	})
+	args := make([]logic.Term, ref.Arity)
+	for i := 0; i < ref.Arity; i++ {
+		var common *logic.Term
+		consistent := !recursive && len(occs) > 0
+		for oi := range occs {
+			t := occs[oi].Args[i]
+			if !t.IsConst() {
+				consistent = false
+				break
+			}
+			if common == nil {
+				common = &occs[oi].Args[i]
+			} else if !common.Equal(t) {
+				consistent = false
+				break
+			}
+		}
+		if consistent && common != nil {
+			args[i] = *common
+		} else {
+			args[i] = logic.V(fmt.Sprintf("X%d", i))
+		}
+	}
+	// The head carries every position (constants included) so the fetched
+	// extension has the relation's full arity for bottom-up evaluation.
+	q := caql.NewQuery(logic.A("fetch_"+ref.Name, args...), []logic.Atom{logic.A(ref.Name, args...)})
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

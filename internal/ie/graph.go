@@ -1,0 +1,160 @@
+// Package ie implements BrAID's inference engine (Section 4 of the paper):
+// the query translator, problem graph extractor, problem graph shaper, view
+// specifier, path expression creator, and inference strategy controller
+// (Figure 4). The engine is logic-based and function-free (Datalog with
+// typed constants), and — like the FDE the paper builds on — realizes
+// several inference strategies along the interpreted-compiled range from one
+// set of component functions.
+package ie
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// ORNode is a subgoal (relation occurrence): its children are the rules
+// (AND nodes) that define the relation. Leaves are database relations,
+// built-in relations, or cut-off recursive occurrences.
+type ORNode struct {
+	Goal logic.Atom
+	// Base marks database-relation leaves; Builtin marks comparison leaves;
+	// RecursiveCut marks a recursive occurrence not expanded further ("only
+	// a single instance of the recursive definition will appear in the
+	// subgraph for each recursive relation occurrence").
+	Base         bool
+	Builtin      bool
+	RecursiveCut bool
+	Rules        []*ANDNode
+}
+
+// Leaf reports whether the node has no rule expansion.
+func (o *ORNode) Leaf() bool { return o.Base || o.Builtin || o.RecursiveCut }
+
+// ANDNode is one rule application: the rule's head unifies with the parent
+// goal, and the (shaped) body antecedents are its successor OR nodes.
+type ANDNode struct {
+	// RuleID identifies the source rule ("r1", "r2", ... in program order of
+	// the head predicate) for human consumption in advice.
+	RuleID string
+	// ClauseKey identifies the KB clause (predicate + index) so execution
+	// strategies can map graph decisions back to clauses.
+	ClauseKey ClauseKey
+	// Body is the rule body after constant propagation from the goal, in
+	// shaped (possibly reordered) order.
+	Body []logic.Atom
+	// Order[i] gives the original body position of shaped atom i.
+	Order []int
+	// Subgoals mirror Body positionally; comparison atoms have Builtin OR
+	// nodes, base atoms Base OR nodes, and derived atoms carry expansions.
+	Subgoals []*ORNode
+}
+
+// ClauseKey identifies a clause in the KB.
+type ClauseKey struct {
+	Pred  logic.PredRef
+	Index int
+}
+
+// String renders "pred/arity#i".
+func (k ClauseKey) String() string { return fmt.Sprintf("%s#%d", k.Pred, k.Index) }
+
+// Graph is the problem graph for one AI query.
+type Graph struct {
+	Root  *ORNode
+	Query logic.Atom
+	// BaseRels lists the base relations referenced anywhere in the graph
+	// (the "simplest kind of advice", Section 4.2).
+	BaseRels []logic.PredRef
+}
+
+// Extract builds the problem graph for the AI query by partial evaluation:
+// user-defined relations are expanded through their rules (recursive
+// occurrences once), while database and built-in relations remain leaves
+// (Section 4.1, "problem graph extractor").
+func Extract(kb *logic.KB, query logic.Atom, sh *Shaper) (*Graph, error) {
+	if query.IsComparison() {
+		return nil, fmt.Errorf("ie: AI query cannot be a bare comparison")
+	}
+	g := &Graph{Query: query}
+	seenBase := make(map[logic.PredRef]bool)
+	var build func(goal logic.Atom, path map[logic.PredRef]bool) *ORNode
+	build = func(goal logic.Atom, path map[logic.PredRef]bool) *ORNode {
+		node := &ORNode{Goal: goal}
+		if goal.IsComparison() {
+			node.Builtin = true
+			return node
+		}
+		ref := goal.Ref()
+		if kb.IsBase(ref) {
+			node.Base = true
+			if !seenBase[ref] {
+				seenBase[ref] = true
+				g.BaseRels = append(g.BaseRels, ref)
+			}
+			return node
+		}
+		if path[ref] {
+			node.RecursiveCut = true
+			return node
+		}
+		path[ref] = true
+		defer delete(path, ref)
+		for idx, clause := range kb.Rules(ref) {
+			renamed := logic.RenameApart(clause)
+			s, ok := logic.Unify(renamed.Head, goal, logic.NewSubst())
+			if !ok {
+				continue
+			}
+			body := s.ApplyAtoms(renamed.Body)
+			and := &ANDNode{
+				RuleID:    fmt.Sprintf("r%d", idx+1),
+				ClauseKey: ClauseKey{Pred: ref, Index: idx},
+				Body:      body,
+			}
+			for i := range body {
+				and.Order = append(and.Order, i)
+			}
+			if sh != nil {
+				if !sh.shapeAND(kb, and) {
+					continue // culled (contradiction)
+				}
+			}
+			for _, a := range and.Body {
+				and.Subgoals = append(and.Subgoals, build(a, path))
+			}
+			node.Rules = append(node.Rules, and)
+		}
+		return node
+	}
+	g.Root = build(query, map[logic.PredRef]bool{})
+	return g, nil
+}
+
+// Walk visits every OR node of the graph depth-first.
+func (g *Graph) Walk(visit func(*ORNode)) {
+	var rec func(*ORNode)
+	seen := make(map[*ORNode]bool)
+	rec = func(n *ORNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		visit(n)
+		for _, and := range n.Rules {
+			for _, sub := range and.Subgoals {
+				rec(sub)
+			}
+		}
+	}
+	rec(g.Root)
+}
+
+// CountNodes returns (OR nodes, AND nodes) for diagnostics.
+func (g *Graph) CountNodes() (orN, andN int) {
+	g.Walk(func(n *ORNode) {
+		orN++
+		andN += len(n.Rules)
+	})
+	return
+}

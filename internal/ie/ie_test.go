@@ -1,0 +1,696 @@
+package ie
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/advice"
+	"repro/internal/bridge"
+	"repro/internal/caql"
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+)
+
+// mapDS is a minimal bridge.DataSource over in-memory extensions: every
+// query is evaluated directly (no caching, no remote). It isolates IE tests
+// from the CMS.
+type mapDS struct {
+	src     caql.MapSource
+	queries []string
+}
+
+func (m *mapDS) BeginSession(adv *advice.Advice) bridge.Session { return &mapSession{ds: m} }
+
+func (m *mapDS) RelationSchema(name string, arity int) (*relation.Schema, error) {
+	return m.src.RelationSchema(name, arity)
+}
+
+func (m *mapDS) RelationStats(name string) (remotedb.TableStats, error) {
+	r, ok := m.src[name]
+	if !ok {
+		return remotedb.TableStats{}, fmt.Errorf("no relation %s", name)
+	}
+	st := remotedb.TableStats{Rows: r.Len(), Distinct: make([]int, r.Schema().Arity())}
+	for c := 0; c < r.Schema().Arity(); c++ {
+		seen := map[string]bool{}
+		for _, tu := range r.Tuples() {
+			seen[tu[c].Key()] = true
+		}
+		st.Distinct[c] = len(seen)
+	}
+	return st, nil
+}
+
+func (m *mapDS) Stats() bridge.SourceStats {
+	return bridge.SourceStats{Queries: int64(len(m.queries))}
+}
+
+type mapSession struct{ ds *mapDS }
+
+func (s *mapSession) Query(q *caql.Query) (*bridge.Stream, error) {
+	s.ds.queries = append(s.ds.queries, q.String())
+	it, schema, err := caql.EvalLazy(q, s.ds.src)
+	if err != nil {
+		return nil, err
+	}
+	return bridge.NewStream(schema, it, true), nil
+}
+
+func (s *mapSession) QueryText(src string) (*bridge.Stream, error) {
+	q, err := caql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Query(q)
+}
+
+func (s *mapSession) End() {}
+
+// example1KB is the paper's Example 1 (Section 4.2.2).
+const example1KB = `
+	:- base(b1/2).
+	:- base(b2/2).
+	:- base(b3/3).
+	k1(X, Y) :- b1(c1, Y), k2(X, Y).
+	k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).
+	k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).
+`
+
+func example1Data(rng *rand.Rand, rows int) caql.MapSource {
+	strs := []string{"c1", "c2", "c3", "d"}
+	b1 := relation.New("b1", relation.NewSchema(
+		relation.Attr{Name: "x", Kind: relation.KindString},
+		relation.Attr{Name: "y", Kind: relation.KindInt}))
+	for i := 0; i < rows; i++ {
+		b1.MustAppend(relation.Tuple{relation.Str(strs[rng.Intn(len(strs))]), relation.Int(int64(rng.Intn(6)))})
+	}
+	b2 := relation.New("b2", relation.NewSchema(
+		relation.Attr{Name: "x", Kind: relation.KindInt},
+		relation.Attr{Name: "y", Kind: relation.KindInt}))
+	for i := 0; i < rows; i++ {
+		b2.MustAppend(relation.Tuple{relation.Int(int64(rng.Intn(6))), relation.Int(int64(rng.Intn(6)))})
+	}
+	b3 := relation.New("b3", relation.NewSchema(
+		relation.Attr{Name: "x", Kind: relation.KindInt},
+		relation.Attr{Name: "y", Kind: relation.KindString},
+		relation.Attr{Name: "z", Kind: relation.KindInt}))
+	for i := 0; i < rows*2; i++ {
+		b3.MustAppend(relation.Tuple{relation.Int(int64(rng.Intn(6))), relation.Str(strs[rng.Intn(len(strs))]), relation.Int(int64(rng.Intn(6)))})
+	}
+	return caql.MapSource{"b1": b1, "b2": b2, "b3": b3}
+}
+
+func mustKB(t *testing.T, src string) *logic.KB {
+	t.Helper()
+	kb, err := logic.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb
+}
+
+// TestExample1Advice reproduces the paper's Example 1 advice exactly: three
+// view specifications and the path expression
+// (d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>.
+func TestExample1Advice(t *testing.T) {
+	kb := mustKB(t, example1KB)
+	ds := &mapDS{src: example1Data(rand.New(rand.NewSource(1)), 10)}
+	eng := New(kb, ds, Options{
+		Strategy:       StrategyConjunction,
+		Advice:         true,
+		PathExpression: true,
+	})
+	adv, err := eng.Advice(logic.A("k1", logic.V("X"), logic.V("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Views) != 3 {
+		t.Fatalf("views = %d, want 3:\n%s", len(adv.Views), adv)
+	}
+	d1, d2, d3 := adv.Views[0], adv.Views[1], adv.Views[2]
+	if got := d1.String(); got != `d1(Y^) :- b1(c1, Y) [r1].` {
+		t.Errorf("d1 = %q", got)
+	}
+	if got := d2.String(); got != `d2(X^, Y?) :- b2(X, Z) & b3(Z, c2, Y) [r1].` {
+		t.Errorf("d2 = %q", got)
+	}
+	if got := d3.String(); got != `d3(X^, Y?) :- b3(X, c3, Z) & b1(Z, Y) [r2].` {
+		t.Errorf("d3 = %q", got)
+	}
+	if adv.Path == nil {
+		t.Fatal("no path expression")
+	}
+	if got := adv.Path.String(); got != "(d1(Y^), (d2(X^, Y?), d3(X^, Y?))<0,|Y|>)<1,1>" {
+		t.Errorf("path = %q", got)
+	}
+	if len(adv.BaseRels) != 3 {
+		t.Errorf("base rels = %v", adv.BaseRels)
+	}
+}
+
+// TestExample2Advice reproduces the paper's Example 2: guarded alternatives
+// become an alternation, mutually exclusive guards give selection term 1.
+func TestExample2Advice(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(b1/2).
+		:- base(b2/2).
+		:- base(b3/3).
+		:- mutex(k3/1, k4/1).
+		k1(X, Y) :- b1(c1, Y), k2(X, Y).
+		k2(X, Y) :- k3(X), b2(X, Z), b3(Z, c2, Y).
+		k2(X, Y) :- k4(X), b3(X, c3, Z), b1(Z, Y).
+		k3(1).
+		k3(2).
+		k4(3).
+	`)
+	ds := &mapDS{src: example1Data(rand.New(rand.NewSource(2)), 10)}
+	eng := New(kb, ds, Options{Strategy: StrategyConjunction, Advice: true, PathExpression: true, Reorder: false})
+	adv, err := eng.Advice(logic.A("k1", logic.V("X"), logic.V("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := adv.Path.String()
+	if !strings.Contains(got, "[") || !strings.Contains(got, "]^1") {
+		t.Errorf("expected mutually exclusive alternation in path, got %q", got)
+	}
+	if !strings.Contains(got, "<0,|Y|>") {
+		t.Errorf("expected |Y| repetition bound, got %q", got)
+	}
+}
+
+func answersOf(t *testing.T, eng *Engine, goal string) *relation.Relation {
+	t.Helper()
+	sol, err := eng.AskText(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sol.Tuples()
+	if sol.Err() != nil {
+		t.Fatalf("ask %s: %v", goal, sol.Err())
+	}
+	return relation.DistinctRel(out)
+}
+
+// TestStrategiesAgreeExample1 runs all three strategies on Example 1 and
+// checks they produce the same solution set as direct bottom-up evaluation.
+func TestStrategiesAgreeExample1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kb := mustKB(t, example1KB)
+	src := example1Data(rng, 15)
+	want := bottomUpAnswers(t, kb, src, "k1(X, Y)?")
+	for _, strat := range []Strategy{StrategyInterpreted, StrategyConjunction, StrategyCompiled} {
+		ds := &mapDS{src: src}
+		eng := New(kb, ds, Options{Strategy: strat, Advice: true, PathExpression: true, Reorder: true})
+		got := answersOf(t, eng, "k1(X, Y)?")
+		if !got.EqualAsSet(want) {
+			t.Fatalf("strategy %s disagrees:\ngot %v\nwant %v", strat, got.Sort(), want.Sort())
+		}
+	}
+}
+
+func bottomUpAnswers(t *testing.T, kb *logic.KB, src caql.MapSource, goal string) *relation.Relation {
+	t.Helper()
+	g, err := logic.ParseAtom(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := BottomUp(kb, src, []logic.PredRef{g.Ref()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := derived[g.Ref()]
+	var vars []string
+	seen := map[string]bool{}
+	for _, tm := range g.Args {
+		if tm.IsVar() && !seen[tm.Var] {
+			seen[tm.Var] = true
+			vars = append(vars, tm.Var)
+		}
+	}
+	attrs := make([]relation.Attr, len(vars))
+	for i, v := range vars {
+		attrs[i] = relation.Attr{Name: v, Kind: relation.KindNull}
+	}
+	out := relation.New("want", relation.NewSchema(attrs...))
+	for _, s := range Answers(g, ext) {
+		tu := make(relation.Tuple, len(vars))
+		for i, v := range vars {
+			tm := s.Walk(logic.V(v))
+			if tm.IsConst() {
+				tu[i] = tm.Const
+			}
+		}
+		out.MustAppend(tu)
+	}
+	return relation.DistinctRel(out)
+}
+
+// TestRecursionAncestor checks recursive programs across strategies on
+// acyclic data (interpreted SLD is Prolog-like: cyclic data is the compiled
+// strategy's territory).
+func TestRecursionAncestor(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(parent/2).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Y) :- parent(X, Z), anc(Z, Y).
+	`)
+	parent := relation.New("parent", relation.NewSchema(
+		relation.Attr{Name: "p", Kind: relation.KindString},
+		relation.Attr{Name: "c", Kind: relation.KindString}))
+	for _, pc := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"a", "e"}, {"e", "f"}} {
+		parent.MustAppend(relation.Tuple{relation.Str(pc[0]), relation.Str(pc[1])})
+	}
+	src := caql.MapSource{"parent": parent}
+	want := bottomUpAnswers(t, kb, src, "anc(X, Y)?")
+	if want.Len() != 9 {
+		t.Fatalf("bottom-up anc count = %d, want 9", want.Len())
+	}
+	for _, strat := range []Strategy{StrategyInterpreted, StrategyConjunction, StrategyCompiled} {
+		eng := New(kb, &mapDS{src: src}, Options{Strategy: strat})
+		got := answersOf(t, eng, "anc(X, Y)?")
+		if !got.EqualAsSet(want) {
+			t.Fatalf("strategy %s anc wrong:\ngot %v\nwant %v", strat, got.Sort(), want.Sort())
+		}
+	}
+	// Bound query.
+	wantA := bottomUpAnswers(t, kb, src, `anc("a", Y)?`)
+	for _, strat := range []Strategy{StrategyInterpreted, StrategyCompiled} {
+		eng := New(kb, &mapDS{src: src}, Options{Strategy: strat})
+		got := answersOf(t, eng, `anc("a", Y)?`)
+		if !got.EqualAsSet(wantA) {
+			t.Fatalf("strategy %s anc(a,Y) wrong:\ngot %v\nwant %v", strat, got.Sort(), wantA.Sort())
+		}
+	}
+}
+
+// TestRecursionCyclicCompiled: the compiled strategy handles cyclic data.
+func TestRecursionCyclicCompiled(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(edge/2).
+		reach(X, Y) :- edge(X, Y).
+		reach(X, Y) :- edge(X, Z), reach(Z, Y).
+	`)
+	edge := relation.New("edge", relation.NewSchema(
+		relation.Attr{Name: "a", Kind: relation.KindInt},
+		relation.Attr{Name: "b", Kind: relation.KindInt}))
+	for _, e := range [][2]int64{{1, 2}, {2, 3}, {3, 1}, {3, 4}} {
+		edge.MustAppend(relation.Tuple{relation.Int(e[0]), relation.Int(e[1])})
+	}
+	src := caql.MapSource{"edge": edge}
+	eng := New(kb, &mapDS{src: src}, Options{Strategy: StrategyCompiled})
+	got := answersOf(t, eng, "reach(1, Y)?")
+	// 1 reaches 2,3,1,4.
+	if got.Len() != 4 {
+		t.Fatalf("reach(1,Y) = %v", got.Sort())
+	}
+}
+
+// TestRandomProgramsDifferential: random non-recursive programs over random
+// data; all strategies must agree with bottom-up evaluation.
+func TestRandomProgramsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		kbSrc, goal := randomProgram(rng)
+		kb := mustKB(t, kbSrc)
+		src := randomData(rng)
+		want := bottomUpAnswers(t, kb, src, goal)
+		for _, strat := range []Strategy{StrategyInterpreted, StrategyConjunction, StrategyCompiled} {
+			eng := New(kb, &mapDS{src: src}, Options{Strategy: strat, Reorder: trial%2 == 0, Advice: true, PathExpression: true})
+			got := answersOf(t, eng, goal)
+			if !got.EqualAsSet(want) {
+				t.Fatalf("trial %d strategy %s disagrees on %s\nKB:\n%s\ngot %v\nwant %v",
+					trial, strat, goal, kbSrc, got.Sort(), want.Sort())
+			}
+		}
+	}
+}
+
+// randomProgram builds a small stratified non-recursive program.
+func randomProgram(rng *rand.Rand) (string, string) {
+	var b strings.Builder
+	b.WriteString(":- base(r/2).\n:- base(s/2).\n")
+	// Layer 1: p1, p2 defined over base.
+	layer1 := []string{"p1", "p2"}
+	for _, p := range layer1 {
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "%s(X, Y) :- r(X, Y).\n", p)
+			case 1:
+				fmt.Fprintf(&b, "%s(X, Y) :- r(X, Z), s(Z, Y).\n", p)
+			default:
+				fmt.Fprintf(&b, "%s(X, Y) :- s(X, Y), X != Y.\n", p)
+			}
+		}
+	}
+	// Layer 2: q over layer 1 and base.
+	switch rng.Intn(3) {
+	case 0:
+		b.WriteString("q(X, Y) :- p1(X, Z), p2(Z, Y).\n")
+	case 1:
+		b.WriteString("q(X, Y) :- p1(X, Y), r(Y, W), W >= 0.\n")
+	default:
+		b.WriteString("q(X, Y) :- r(X, Z), p2(Z, Y).\n")
+	}
+	goals := []string{"q(X, Y)?", "q(1, Y)?", "q(X, 2)?"}
+	return b.String(), goals[rng.Intn(len(goals))]
+}
+
+func randomData(rng *rand.Rand) caql.MapSource {
+	src := caql.MapSource{}
+	for _, name := range []string{"r", "s"} {
+		rel := relation.New(name, relation.NewSchema(
+			relation.Attr{Name: "a", Kind: relation.KindInt},
+			relation.Attr{Name: "b", Kind: relation.KindInt}))
+		for i := 0; i < 3+rng.Intn(15); i++ {
+			rel.MustAppend(relation.Tuple{relation.Int(int64(rng.Intn(5))), relation.Int(int64(rng.Intn(5)))})
+		}
+		src[name] = rel
+	}
+	return src
+}
+
+// TestSolutionsLaziness: the interpreted strategy produces the first answer
+// without exhausting the search, and Close releases it.
+func TestSolutionsLaziness(t *testing.T) {
+	kb := mustKB(t, example1KB)
+	src := example1Data(rand.New(rand.NewSource(5)), 30)
+	ds := &mapDS{src: src}
+	eng := New(kb, ds, Options{Strategy: StrategyInterpreted})
+	sol, err := eng.AskText("k1(X, Y)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sol.Next(); !ok {
+		sol.Close()
+		t.Skip("no solutions with this data; adjust seed")
+	}
+	queriesAfterOne := len(ds.queries)
+	sol.Close()
+	// A full run issues more queries than stopping after one solution.
+	ds2 := &mapDS{src: src}
+	eng2 := New(kb, ds2, Options{Strategy: StrategyInterpreted})
+	sol2, err := eng2.AskText("k1(X, Y)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sol2.All()
+	if len(all) == 0 {
+		t.Fatal("expected solutions")
+	}
+	if len(ds2.queries) < queriesAfterOne {
+		t.Fatalf("full run issued fewer queries (%d) than single-solution run (%d)?", len(ds2.queries), queriesAfterOne)
+	}
+}
+
+func TestGraphStructureExample1(t *testing.T) {
+	kb := mustKB(t, example1KB)
+	sh := &Shaper{}
+	g, err := Extract(kb, logic.A("k1", logic.V("X"), logic.V("Y")), sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orN, andN := g.CountNodes()
+	// k1 OR + (b1, k2) ORs + k2's two rules' (b2, b3) and (b3, b1) ORs.
+	if orN != 7 || andN != 3 {
+		t.Fatalf("graph shape: %d OR, %d AND", orN, andN)
+	}
+	if len(g.BaseRels) != 3 {
+		t.Fatalf("base rels = %v", g.BaseRels)
+	}
+	leaves := 0
+	g.Walk(func(n *ORNode) {
+		if n.Base {
+			leaves++
+		}
+	})
+	if leaves != 5 {
+		t.Fatalf("base leaves = %d, want 5", leaves)
+	}
+}
+
+func TestGraphRecursionCut(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(parent/2).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Y) :- parent(X, Z), anc(Z, Y).
+	`)
+	g, err := Extract(kb, logic.A("anc", logic.V("X"), logic.V("Y")), &Shaper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := 0
+	g.Walk(func(n *ORNode) {
+		if n.RecursiveCut {
+			cuts++
+		}
+	})
+	if cuts != 1 {
+		t.Fatalf("recursive cuts = %d, want 1", cuts)
+	}
+}
+
+func TestShaperGroundComparisonCulling(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(b/1).
+		p(X) :- b(X), 1 > 2.
+		p(X) :- b(X), 2 > 1.
+	`)
+	g, err := Extract(kb, logic.A("p", logic.V("X")), &Shaper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Root.Rules) != 1 {
+		t.Fatalf("contradictory rule should be culled: %d rules", len(g.Root.Rules))
+	}
+	// The surviving rule's true comparison is dropped.
+	if len(g.Root.Rules[0].Body) != 1 {
+		t.Fatalf("satisfied ground comparison should be dropped: %v", g.Root.Rules[0].Body)
+	}
+}
+
+func TestShaperMutexCulling(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(b/1).
+		:- mutex(m/1, f/1).
+		m(X) :- b(X).
+		f(X) :- b(X).
+		weird(X) :- m(X), f(X).
+		fine(X) :- m(X).
+	`)
+	g, err := Extract(kb, logic.A("weird", logic.V("X")), &Shaper{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Root.Rules) != 0 {
+		t.Fatal("mutex-contradictory rule should be culled")
+	}
+	g2, _ := Extract(kb, logic.A("fine", logic.V("X")), &Shaper{})
+	if len(g2.Root.Rules) != 1 {
+		t.Fatal("fine rule should survive")
+	}
+}
+
+func TestShaperReordering(t *testing.T) {
+	// With reordering, the bound/selective atom should come first.
+	kb := mustKB(t, `
+		:- base(big/2).
+		:- base(small/2).
+		p(X, Y) :- big(X, Z), small(Z, Y).
+	`)
+	big := relation.New("big", relation.NewSchema(
+		relation.Attr{Name: "a", Kind: relation.KindInt}, relation.Attr{Name: "b", Kind: relation.KindInt}))
+	for i := 0; i < 1000; i++ {
+		big.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.Int(int64(i % 10))})
+	}
+	small := relation.New("small", relation.NewSchema(
+		relation.Attr{Name: "a", Kind: relation.KindInt}, relation.Attr{Name: "b", Kind: relation.KindInt}))
+	for i := 0; i < 5; i++ {
+		small.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.Int(int64(i))})
+	}
+	ds := &mapDS{src: caql.MapSource{"big": big, "small": small}}
+	sh := &Shaper{Reorder: true, Stats: ds}
+	g, err := Extract(kb, logic.A("p", logic.V("X"), logic.V("Y")), sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := g.Root.Rules[0].Body
+	if body[0].Pred != "small" {
+		t.Fatalf("expected small first after reordering, got %v", body)
+	}
+}
+
+func TestFunctionalDependencyOrdering(t *testing.T) {
+	// An FD-bound atom should be estimated at one row and scheduled early.
+	kb := mustKB(t, `
+		:- base(keyed/2).
+		:- base(other/2).
+		:- fd(keyed/2, [1] -> [2]).
+		p(Y, W) :- other(5, W), keyed(W, Y).
+	`)
+	sh := &Shaper{Reorder: true}
+	g, err := Extract(kb, logic.A("p", logic.V("Y"), logic.V("W")), sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := g.Root.Rules[0].Body
+	// other(5, W) binds W; keyed(W, Y) then has a bound FD determinant.
+	if body[0].Pred != "other" || body[1].Pred != "keyed" {
+		t.Fatalf("FD ordering unexpected: %v", body)
+	}
+}
+
+func TestViewSpecMinimalArgSet(t *testing.T) {
+	// Paper example: k9(X,Y) <- k2(X,Z) & b1(Z,W) & b2(W,U) & b3(U,V) & k3(V,Y)
+	// view over the b-run is d(Z,V).
+	kb := mustKB(t, `
+		:- base(b1/2).
+		:- base(b2/2).
+		:- base(b3/2).
+		k2(X, Z) :- b1(X, Z).
+		k3(V, Y) :- b1(V, Y).
+		k9(X, Y) :- k2(X, Z), b1(Z, W), b2(W, U), b3(U, V), k3(V, Y).
+	`)
+	ds := &mapDS{src: caql.MapSource{}}
+	eng := New(kb, ds, Options{Strategy: StrategyConjunction, Advice: true})
+	adv, err := eng.Advice(logic.A("k9", logic.V("X"), logic.V("Y")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the 3-atom view.
+	var found *advice.ViewSpec
+	for _, v := range adv.Views {
+		if len(v.Query.Rels) == 3 {
+			found = v
+		}
+	}
+	if found == nil {
+		t.Fatalf("no 3-atom view in:\n%s", adv)
+	}
+	vars := map[string]bool{}
+	for _, tm := range found.Query.Head.Args {
+		vars[tm.Var] = true
+	}
+	if len(vars) != 2 || !vars["Z"] || !vars["V"] {
+		t.Fatalf("minimal argument set wrong: %v (want Z, V)", SortedVars(vars))
+	}
+}
+
+func TestInterpretedIssuesPerAtomQueries(t *testing.T) {
+	kb := mustKB(t, example1KB)
+	src := example1Data(rand.New(rand.NewSource(6)), 10)
+	dsI := &mapDS{src: src}
+	New(kb, dsI, Options{Strategy: StrategyInterpreted}).mustAsk(t, "k1(X, Y)?")
+	dsC := &mapDS{src: src}
+	New(kb, dsC, Options{Strategy: StrategyConjunction}).mustAsk(t, "k1(X, Y)?")
+	dsF := &mapDS{src: src}
+	New(kb, dsF, Options{Strategy: StrategyCompiled}).mustAsk(t, "k1(X, Y)?")
+	// Interpreted issues at least as many queries as conjunction-compiled,
+	// which issues at least as many as fully compiled.
+	if !(len(dsI.queries) >= len(dsC.queries) && len(dsC.queries) >= len(dsF.queries)) {
+		t.Fatalf("query counts along I-C range not monotone: interp=%d conj=%d comp=%d",
+			len(dsI.queries), len(dsC.queries), len(dsF.queries))
+	}
+	// Compiled issues exactly one per base relation.
+	if len(dsF.queries) != 3 {
+		t.Fatalf("compiled queries = %d, want 3", len(dsF.queries))
+	}
+}
+
+func (e *Engine) mustAsk(t *testing.T, goal string) *relation.Relation {
+	t.Helper()
+	sol, err := e.AskText(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sol.Tuples()
+	if sol.Err() != nil {
+		t.Fatal(sol.Err())
+	}
+	return out
+}
+
+func TestAskErrors(t *testing.T) {
+	kb := mustKB(t, ":- base(b/1).\np(X) :- b(X).")
+	ds := &mapDS{src: caql.MapSource{}} // no relations: queries fail
+	eng := New(kb, ds, Options{Strategy: StrategyInterpreted})
+	sol, err := eng.AskText("p(X)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sol.Next(); ok {
+		t.Fatal("expected failure, got a solution")
+	}
+	if sol.Err() == nil {
+		t.Fatal("missing relation should surface as Err")
+	}
+	if _, err := eng.AskText("p(X"); err == nil {
+		t.Fatal("parse error expected")
+	}
+	if _, err := eng.Ask(logic.Cmp(logic.V("X"), relation.OpLt, logic.CInt(3))); err == nil {
+		t.Fatal("comparison goal should be rejected")
+	}
+}
+
+func TestSolutionsCloseEarly(t *testing.T) {
+	kb := mustKB(t, example1KB)
+	src := example1Data(rand.New(rand.NewSource(7)), 40)
+	eng := New(kb, &mapDS{src: src}, Options{Strategy: StrategyInterpreted})
+	for i := 0; i < 20; i++ {
+		sol, err := eng.AskText("k1(X, Y)?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol.Next()
+		sol.Close() // must not deadlock or leak
+		if _, ok := sol.Next(); ok {
+			t.Fatal("Next after Close should report exhaustion")
+		}
+	}
+}
+
+func TestBottomUpComparisons(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(n/1).
+		small(X) :- n(X), X < 3.
+	`)
+	n := relation.New("n", relation.NewSchema(relation.Attr{Name: "v", Kind: relation.KindInt}))
+	for i := int64(0); i < 6; i++ {
+		n.MustAppend(relation.Tuple{relation.Int(i)})
+	}
+	derived, err := BottomUp(kb, caql.MapSource{"n": n}, []logic.PredRef{{Name: "small", Arity: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived[logic.PredRef{Name: "small", Arity: 1}].Len() != 3 {
+		t.Fatalf("small = %v", derived)
+	}
+}
+
+func TestAnswersUnification(t *testing.T) {
+	ext := relation.New("p", relation.NewSchema(
+		relation.Attr{Name: "a", Kind: relation.KindInt},
+		relation.Attr{Name: "b", Kind: relation.KindInt}))
+	ext.MustAppend(relation.Tuple{relation.Int(1), relation.Int(1)})
+	ext.MustAppend(relation.Tuple{relation.Int(1), relation.Int(2)})
+	ext.MustAppend(relation.Tuple{relation.Int(2), relation.Int(2)})
+	// p(X, X): only diagonal rows.
+	got := Answers(logic.A("p", logic.V("X"), logic.V("X")), ext)
+	if len(got) != 2 {
+		t.Fatalf("diagonal answers = %d, want 2", len(got))
+	}
+	// p(1, Y).
+	got = Answers(logic.A("p", logic.CInt(1), logic.V("Y")), ext)
+	if len(got) != 2 {
+		t.Fatalf("bound answers = %d, want 2", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].String() < got[j].String() })
+	if got[0].String() != "{Y=1}" {
+		t.Fatalf("answer = %v", got[0])
+	}
+}

@@ -1,0 +1,188 @@
+package ie
+
+import (
+	"fmt"
+
+	"repro/internal/caql"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// BottomUp evaluates the knowledge base over base extensions to a fixpoint
+// (set semantics), returning the derived extension of every reachable
+// derived predicate. It is both the substrate of the fully-compiled
+// strategy (set-at-a-time, all solutions) and the semantic reference the
+// other strategies are differentially tested against.
+//
+// Evaluation is semi-naive in spirit: each round re-derives only rules whose
+// body predicates changed in the previous round; tuples are deduplicated per
+// predicate, so the iteration terminates on any finite database (Datalog).
+func BottomUp(kb *logic.KB, base caql.RelationSource, roots []logic.PredRef) (map[logic.PredRef]*relation.Relation, error) {
+	// Collect reachable derived predicates.
+	reach := make(map[logic.PredRef]bool)
+	var visit func(ref logic.PredRef)
+	visit = func(ref logic.PredRef) {
+		if reach[ref] || kb.IsBase(ref) {
+			return
+		}
+		reach[ref] = true
+		for _, c := range kb.Rules(ref) {
+			for _, a := range c.Body {
+				if !a.IsComparison() {
+					visit(a.Ref())
+				}
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+
+	derived := make(map[logic.PredRef]*relation.Relation)
+	seen := make(map[logic.PredRef]map[string]bool)
+	for ref := range reach {
+		derived[ref] = relation.New(ref.Name, placeholderSchema(ref.Arity))
+		seen[ref] = make(map[string]bool)
+	}
+
+	src := overlaySource{base: base, derived: derived}
+
+	changed := make(map[logic.PredRef]bool, len(reach))
+	for ref := range reach {
+		changed[ref] = true
+	}
+	for round := 0; ; round++ {
+		if round > 1_000_000 {
+			return nil, fmt.Errorf("ie: bottom-up evaluation did not converge")
+		}
+		nextChanged := make(map[logic.PredRef]bool)
+		for ref := range reach {
+			for _, c := range kb.Rules(ref) {
+				if round > 0 && !bodyTouches(kb, c, changed) {
+					continue
+				}
+				q := caql.NewQuery(c.Head, c.Body)
+				if err := q.Validate(); err != nil {
+					return nil, fmt.Errorf("ie: rule %s: %w", c, err)
+				}
+				out, err := caql.Eval(q, src)
+				if err != nil {
+					return nil, fmt.Errorf("ie: rule %s: %w", c, err)
+				}
+				dst := derived[ref]
+				grew := false
+				for _, tu := range out.Tuples() {
+					k := tu.Key()
+					if !seen[ref][k] {
+						seen[ref][k] = true
+						dst.MustAppend(tu)
+						grew = true
+					}
+				}
+				if grew {
+					nextChanged[ref] = true
+					// Fix placeholder schema kinds from the first real rows.
+					fixSchema(dst, out)
+				}
+			}
+		}
+		if len(nextChanged) == 0 {
+			return derived, nil
+		}
+		changed = nextChanged
+	}
+}
+
+func bodyTouches(kb *logic.KB, c logic.Clause, changed map[logic.PredRef]bool) bool {
+	for _, a := range c.Body {
+		if a.IsComparison() {
+			continue
+		}
+		if changed[a.Ref()] {
+			return true
+		}
+	}
+	return false
+}
+
+// overlaySource resolves base relations through the base source and derived
+// relations from the in-progress extensions.
+type overlaySource struct {
+	base    caql.RelationSource
+	derived map[logic.PredRef]*relation.Relation
+}
+
+// RelationExtension implements caql.RelationSource.
+func (o overlaySource) RelationExtension(name string, arity int) (*relation.Relation, error) {
+	if r, ok := o.derived[logic.PredRef{Name: name, Arity: arity}]; ok {
+		return r, nil
+	}
+	return o.base.RelationExtension(name, arity)
+}
+
+func placeholderSchema(arity int) *relation.Schema {
+	attrs := make([]relation.Attr, arity)
+	for i := range attrs {
+		attrs[i] = relation.Attr{Name: fmt.Sprintf("a%d", i), Kind: relation.KindNull}
+	}
+	return relation.NewSchema(attrs...)
+}
+
+// fixSchema upgrades null-kinded placeholder attributes once real tuples
+// show their kinds. Relations share schemas by pointer, so a fresh schema is
+// swapped in via reconstruction.
+func fixSchema(dst, sample *relation.Relation) {
+	need := false
+	for i := 0; i < dst.Schema().Arity(); i++ {
+		if dst.Schema().Attr(i).Kind == relation.KindNull && sample.Schema().Attr(i).Kind != relation.KindNull {
+			need = true
+		}
+	}
+	if !need {
+		return
+	}
+	attrs := make([]relation.Attr, dst.Schema().Arity())
+	for i := range attrs {
+		a := dst.Schema().Attr(i)
+		if a.Kind == relation.KindNull {
+			a.Kind = sample.Schema().Attr(i).Kind
+		}
+		attrs[i] = relation.Attr{Name: a.Name, Kind: a.Kind}
+	}
+	*dst = *relation.FromTuples(dst.Name, relation.NewSchema(attrs...), dst.Tuples())
+}
+
+// Answers filters a derived extension by unification with the (possibly
+// partially bound) goal, returning the answer substitutions projected onto
+// the goal's variables.
+func Answers(goal logic.Atom, ext *relation.Relation) []logic.Subst {
+	var out []logic.Subst
+	for _, tu := range ext.Tuples() {
+		s := logic.NewSubst()
+		ok := true
+		for i, t := range goal.Args {
+			switch {
+			case t.IsConst():
+				if !t.Const.Equal(tu[i]) {
+					ok = false
+				}
+			default:
+				bound := s.Walk(t)
+				if bound.IsConst() {
+					if !bound.Const.Equal(tu[i]) {
+						ok = false
+					}
+				} else {
+					s.BindInPlace(bound.Var, logic.C(tu[i]))
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package ie
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/caql"
+	"repro/internal/logic"
+)
+
+// TestMaxConjSizeSweep exercises Section 4.1's flattening parameter: "a
+// parameter controls the maximum size of the conjunctions that can be
+// transformed into view specifications (with 1 being the smallest possible
+// value)". Answers are invariant; the number of CAQL queries decreases (or
+// stays equal) as the bound grows.
+func TestMaxConjSizeSweep(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(b1/2).
+		:- base(b2/2).
+		:- base(b3/3).
+		long(A, E) :- b1(A, B), b2(B, C), b3(C, "c2", D), b2(D, E).
+	`)
+	src := example1Data(rand.New(rand.NewSource(21)), 12)
+	// Give b1 an int first column for this KB shape.
+	b1 := src["b2"].Clone()
+	b1.Name = "b1"
+	src = caql.MapSource{"b1": b1, "b2": src["b2"], "b3": src["b3"]}
+
+	var prevQueries int
+	var prevAnswers int
+	for i, size := range []int{1, 2, 4} {
+		ds := &mapDS{src: src}
+		eng := New(kb, ds, Options{Strategy: StrategyConjunction, MaxConjSize: size, Reorder: false})
+		got := answersOf(t, eng, "long(A, E)?")
+		if i > 0 {
+			if got.Len() != prevAnswers {
+				t.Fatalf("answers change with MaxConjSize %d: %d vs %d", size, got.Len(), prevAnswers)
+			}
+			if len(ds.queries) > prevQueries {
+				t.Fatalf("queries should not increase with larger conjunctions: size %d issued %d > %d",
+					size, len(ds.queries), prevQueries)
+			}
+		}
+		prevQueries = len(ds.queries)
+		prevAnswers = got.Len()
+	}
+
+	// Size 1 must produce single-atom views only.
+	dsOne := &mapDS{src: src}
+	engOne := New(kb, dsOne, Options{Strategy: StrategyConjunction, MaxConjSize: 1})
+	adv, err := engOne.Advice(mustAtom(t, "long(A, E)?"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range adv.Views {
+		if len(v.Query.Rels) != 1 {
+			t.Fatalf("MaxConjSize=1 produced multi-atom view %s", v)
+		}
+	}
+	// Unlimited must produce one four-atom view.
+	engAll := New(kb, &mapDS{src: src}, Options{Strategy: StrategyConjunction})
+	advAll, err := engAll.Advice(mustAtom(t, "long(A, E)?"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, v := range advAll.Views {
+		if len(v.Query.Rels) > max {
+			max = len(v.Query.Rels)
+		}
+	}
+	if max != 4 {
+		t.Fatalf("unlimited conjunction size should reach 4 atoms, got %d", max)
+	}
+}
+
+func mustAtom(t *testing.T, src string) logic.Atom {
+	t.Helper()
+	atom, err := logic.ParseAtom(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return atom
+}

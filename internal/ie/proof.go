@@ -1,0 +1,51 @@
+package ie
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Proof is the justification of one solution: the derivation tree the SLD
+// search traversed. Rule identifiers are recorded exactly for the purpose
+// the paper assigns them (Section 4.2.1: "the problems of debugging and
+// answer justification").
+type Proof struct {
+	// Kind is "rule" (a clause application), "query" (a CAQL query answered
+	// by the data layer, with the witnessing tuple), or "cmp" (a built-in
+	// comparison evaluated by the IE).
+	Kind string
+	// Detail renders the step: the rule head and identifier, the CAQL query
+	// text, or the comparison.
+	Detail string
+	// Tuple is the witnessing tuple for query steps.
+	Tuple relation.Tuple
+	// Children are the sub-derivations of a rule step.
+	Children []*Proof
+}
+
+// String renders the proof as an indented tree.
+func (p *Proof) String() string {
+	var b strings.Builder
+	p.render(&b, 0)
+	return b.String()
+}
+
+func (p *Proof) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	switch p.Kind {
+	case "query":
+		fmt.Fprintf(b, "%s  <- %s\n", p.Detail, p.Tuple)
+	default:
+		fmt.Fprintf(b, "%s\n", p.Detail)
+	}
+	for _, c := range p.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// ProofRoot bundles the steps justifying one solution of the AI query.
+func ProofRoot(goal string, steps []*Proof) *Proof {
+	return &Proof{Kind: "rule", Detail: goal, Children: steps}
+}

@@ -1,0 +1,131 @@
+package ie
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/caql"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// relationOfPairs builds a small binary integer relation.
+func relationOfPairs(name string, pairs [][2]int64) *relation.Relation {
+	r := relation.New(name, relation.NewSchema(
+		relation.Attr{Name: "a", Kind: relation.KindInt},
+		relation.Attr{Name: "b", Kind: relation.KindInt}))
+	for _, p := range pairs {
+		r.MustAppend(relation.Tuple{relation.Int(p[0]), relation.Int(p[1])})
+	}
+	return r
+}
+
+func TestExplainedSolutions(t *testing.T) {
+	kb := mustKB(t, example1KB)
+	src := example1Data(rand.New(rand.NewSource(9)), 15)
+	eng := New(kb, &mapDS{src: src}, Options{Strategy: StrategyConjunction, Explain: true})
+	sol, err := eng.AskText("k1(X, Y)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sol.Close()
+	sub, proof, ok := sol.NextProof()
+	if !ok {
+		t.Skip("no solutions with this seed")
+	}
+	if sub == nil || proof == nil {
+		t.Fatal("expected both solution and proof")
+	}
+	rendered := proof.String()
+	// The root cites the goal; rule steps cite rule identifiers; query steps
+	// carry witnessing tuples.
+	if !strings.Contains(rendered, "k1(X, Y)") {
+		t.Errorf("proof missing goal:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "by rule r") {
+		t.Errorf("proof missing rule identifiers:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "<-") {
+		t.Errorf("proof missing query witnesses:\n%s", rendered)
+	}
+	// The k1 rule applies k2, so the proof must have a nested rule step.
+	if !strings.Contains(rendered, "of k2/2") {
+		t.Errorf("proof missing nested k2 rule step:\n%s", rendered)
+	}
+}
+
+func TestExplainOffHasNilProofs(t *testing.T) {
+	kb := mustKB(t, example1KB)
+	src := example1Data(rand.New(rand.NewSource(9)), 15)
+	eng := New(kb, &mapDS{src: src}, Options{Strategy: StrategyInterpreted})
+	sol, err := eng.AskText("k1(X, Y)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sol.Close()
+	if _, proof, ok := sol.NextProof(); ok && proof != nil {
+		t.Fatal("proofs must be nil when Explain is off")
+	}
+}
+
+func TestExplainCompiledSummary(t *testing.T) {
+	kb := mustKB(t, example1KB)
+	src := example1Data(rand.New(rand.NewSource(9)), 15)
+	eng := New(kb, &mapDS{src: src}, Options{Strategy: StrategyCompiled, Explain: true})
+	sol, err := eng.AskText("k1(X, Y)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sol.Close()
+	if _, proof, ok := sol.NextProof(); ok {
+		if proof == nil || !strings.Contains(proof.String(), "bottom-up") {
+			t.Fatalf("compiled proof should be a bottom-up summary, got %v", proof)
+		}
+	}
+}
+
+// Proofs must not leak steps across backtracking branches: each solution's
+// proof cites exactly the witnesses of its own derivation.
+func TestProofPerSolutionIsolation(t *testing.T) {
+	kb := mustKB(t, `
+		:- base(p/2).
+		q(X, Y) :- p(X, Z), p(Z, Y).
+	`)
+	p := relationOfPairs("p", [][2]int64{{1, 2}, {2, 3}, {1, 4}, {4, 5}})
+	eng := New(kb, &mapDS{src: caql.MapSource{"p": p}},
+		Options{Strategy: StrategyInterpreted, Explain: true})
+	sol, err := eng.AskText("q(1, Y)?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sol.Close()
+	seen := 0
+	for {
+		sub, proof, ok := sol.NextProof()
+		if !ok {
+			break
+		}
+		seen++
+		y := sub.Walk(logic.V("Y"))
+		rendered := proof.String()
+		// The derivation via Z=2 must not appear in the Y=5 proof and vice
+		// versa: count query steps (exactly 2 per solution).
+		if got := strings.Count(rendered, "<-"); got != 2 {
+			t.Fatalf("solution Y=%s has %d query witnesses, want 2:\n%s", y, got, rendered)
+		}
+		switch y.String() {
+		case "3":
+			if !strings.Contains(rendered, "(2, 3)") || strings.Contains(rendered, "(4, 5)") {
+				t.Fatalf("Y=3 proof has wrong witnesses:\n%s", rendered)
+			}
+		case "5":
+			if !strings.Contains(rendered, "(4, 5)") || strings.Contains(rendered, "(2, 3)") {
+				t.Fatalf("Y=5 proof has wrong witnesses:\n%s", rendered)
+			}
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("solutions = %d, want 2", seen)
+	}
+}

@@ -1,0 +1,40 @@
+package logic
+
+import "testing"
+
+func BenchmarkUnify(b *testing.B) {
+	x := A("p", V("X"), CInt(1), V("Y"), CStr("a"), V("Z"))
+	y := A("p", CStr("q"), V("A"), CInt(2), V("B"), V("C"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Unify(x, y, NewSubst())
+	}
+}
+
+func BenchmarkRenameApart(b *testing.B) {
+	c, err := ParseClause("p(X, Y) :- q(X, Z), r(Z, W), s(W, Y), X != Y.")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RenameApart(c)
+	}
+}
+
+func BenchmarkParseProgram(b *testing.B) {
+	src := `
+		:- base(b1/2).
+		:- base(b2/2).
+		:- base(b3/3).
+		k1(X, Y) :- b1(c1, Y), k2(X, Y).
+		k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).
+		k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).
+	`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseProgram(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clause is a Horn clause: Head :- Body. A fact has an empty body.
+type Clause struct {
+	Head Atom
+	Body []Atom
+}
+
+// IsFact reports whether the clause has an empty body.
+func (c Clause) IsFact() bool { return len(c.Body) == 0 }
+
+// Vars returns the set of variables appearing anywhere in the clause.
+func (c Clause) Vars() map[string]bool {
+	s := c.Head.VarSet()
+	for _, a := range c.Body {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				s[t.Var] = true
+			}
+		}
+	}
+	return s
+}
+
+// IsRangeRestricted reports whether every head variable occurs in some
+// non-comparison body atom (the Datalog safety condition); facts must be
+// ground.
+func (c Clause) IsRangeRestricted() bool {
+	bodyVars := make(map[string]bool)
+	for _, a := range c.Body {
+		if a.IsComparison() {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bodyVars[t.Var] = true
+			}
+		}
+	}
+	for _, t := range c.Head.Args {
+		if t.IsVar() && !bodyVars[t.Var] {
+			return false
+		}
+	}
+	// Comparison atoms must also be covered.
+	for _, a := range c.Body {
+		if !a.IsComparison() {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.IsVar() && !bodyVars[t.Var] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the clause in surface syntax, with a trailing period.
+func (c Clause) String() string {
+	if c.IsFact() {
+		return c.Head.String() + "."
+	}
+	var b strings.Builder
+	b.WriteString(c.Head.String())
+	b.WriteString(" :- ")
+	b.WriteString(AtomsString(c.Body))
+	b.WriteByte('.')
+	return b.String()
+}
+
+// PredRef identifies a predicate by name and arity.
+type PredRef struct {
+	Name  string
+	Arity int
+}
+
+// String returns "name/arity".
+func (p PredRef) String() string { return fmt.Sprintf("%s/%d", p.Name, p.Arity) }
+
+// Ref returns the PredRef of an atom.
+func (a Atom) Ref() PredRef { return PredRef{Name: a.Pred, Arity: len(a.Args)} }

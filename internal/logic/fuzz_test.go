@@ -1,0 +1,65 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Parser robustness: arbitrary garbage must produce errors, never panics.
+func TestParserNoPanicOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	alphabet := `abcXYZ09_(),.:-<>=!&[]/"\% ` + "\n\t"
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(60)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			ParseProgram(src)
+			ParseClause(src)
+			ParseAtom(src)
+		}()
+	}
+}
+
+// Mutations of valid programs also never panic.
+func TestParserNoPanicOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	base := `
+		:- base(b1/2).
+		:- mutex(m/1, f/1).
+		:- fd(b1/2, [1] -> [2]).
+		k1(X, Y) :- b1(c1, Y), k2(X, Y), X != Y, Y >= 3.
+	`
+	for i := 0; i < 3000; i++ {
+		mutated := []byte(base)
+		for m := 0; m < 1+rng.Intn(4); m++ {
+			pos := rng.Intn(len(mutated))
+			switch rng.Intn(3) {
+			case 0:
+				mutated[pos] = byte(rng.Intn(94) + 33)
+			case 1:
+				mutated = append(mutated[:pos], mutated[pos+1:]...)
+			default:
+				mutated = append(mutated[:pos], append([]byte{byte(rng.Intn(94) + 33)}, mutated[pos:]...)...)
+			}
+		}
+		src := string(mutated)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %q: %v", src, r)
+				}
+			}()
+			ParseProgram(src)
+		}()
+	}
+}

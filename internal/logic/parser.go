@@ -1,0 +1,378 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Parser for the knowledge-base surface syntax:
+//
+//	% rules and facts
+//	k1(X, Y) :- b1(c1, Y), k2(X, Y).
+//	likes(tom, wine).
+//
+//	% directives
+//	:- base(b1/2).              declare a base (database) relation
+//	:- mutex(k3/1, k4/1).       mutual-exclusion SOA
+//	:- fd(emp/3, [1] -> [2]).   functional-dependency SOA (1-based positions)
+//	:- recursive(anc/2).        recursive-structure SOA
+//
+// Variables begin with an uppercase letter or underscore; bare lowercase
+// identifiers are symbolic (string) constants; numbers and quoted strings are
+// typed constants. Comparison atoms are written infix: X < 5, X != Y.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(text string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == text
+}
+
+func (p *parser) expect(text string) error {
+	if !p.at(text) {
+		return fmt.Errorf("line %d: expected %q, found %q", p.cur().line, text, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+// ParseProgram parses a whole knowledge-base source into a KB.
+func ParseProgram(src string) (*KB, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	kb := NewKB()
+	for p.cur().kind != tokEOF {
+		if p.at(":-") {
+			p.advance()
+			if err := p.parseDirective(kb); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		if err := kb.AddClause(c); err != nil {
+			return nil, fmt.Errorf("line %d: %w", p.cur().line, err)
+		}
+	}
+	return kb, nil
+}
+
+// ParseClause parses a single clause (rule or fact) from src.
+func ParseClause(src string) (Clause, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Clause{}, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.parseClause()
+	if err != nil {
+		return Clause{}, err
+	}
+	if p.cur().kind != tokEOF {
+		return Clause{}, fmt.Errorf("line %d: trailing input after clause", p.cur().line)
+	}
+	return c, nil
+}
+
+// ParseAtom parses a single atom (e.g. an AI query) from src; a trailing
+// period or question mark is permitted.
+func ParseAtom(src string) (Atom, error) {
+	src = strings.TrimSpace(src)
+	src = strings.TrimSuffix(src, "?")
+	toks, err := lex(src)
+	if err != nil {
+		return Atom{}, err
+	}
+	p := &parser{toks: toks}
+	a, err := p.parseAtom()
+	if err != nil {
+		return Atom{}, err
+	}
+	if p.at(".") {
+		p.advance()
+	}
+	if p.cur().kind != tokEOF {
+		return Atom{}, fmt.Errorf("line %d: trailing input after atom", p.cur().line)
+	}
+	return a, nil
+}
+
+func (p *parser) parseClause() (Clause, error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return Clause{}, err
+	}
+	if head.IsComparison() {
+		return Clause{}, fmt.Errorf("line %d: clause head cannot be a comparison", p.cur().line)
+	}
+	c := Clause{Head: head}
+	if p.at(":-") {
+		p.advance()
+		for {
+			a, err := p.parseAtom()
+			if err != nil {
+				return Clause{}, err
+			}
+			c.Body = append(c.Body, a)
+			if p.at(",") || p.at("&") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expect("."); err != nil {
+		return Clause{}, err
+	}
+	return c, nil
+}
+
+// parseAtom parses either pred(args...) possibly followed by an infix
+// comparison, or term cmp term.
+func (p *parser) parseAtom() (Atom, error) {
+	// An atom starting with a variable/number/string must be a comparison.
+	t := p.cur()
+	if t.kind == tokVar || t.kind == tokNumber || t.kind == tokString {
+		left, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		return p.parseComparisonRest(left)
+	}
+	if t.kind != tokIdent {
+		return Atom{}, fmt.Errorf("line %d: expected atom, found %q", t.line, t.text)
+	}
+	pred := t.text
+	p.advance()
+	if !p.at("(") {
+		// Could be a bare constant followed by a comparison (e.g. a != b),
+		// or a 0-ary predicate.
+		if cmpTok := p.cur(); cmpTok.kind == tokPunct && isCmpPunct(cmpTok.text) {
+			return p.parseComparisonRest(CStr(pred))
+		}
+		return Atom{Pred: pred}, nil
+	}
+	p.advance()
+	var args []Term
+	if !p.at(")") {
+		for {
+			arg, err := p.parseTerm()
+			if err != nil {
+				return Atom{}, err
+			}
+			args = append(args, arg)
+			if p.at(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return Atom{}, err
+	}
+	return Atom{Pred: pred, Args: args}, nil
+}
+
+func (p *parser) parseComparisonRest(left Term) (Atom, error) {
+	t := p.cur()
+	if t.kind != tokPunct || !isCmpPunct(t.text) {
+		return Atom{}, fmt.Errorf("line %d: expected comparison operator, found %q", t.line, t.text)
+	}
+	op := t.text
+	p.advance()
+	right, err := p.parseTerm()
+	if err != nil {
+		return Atom{}, err
+	}
+	// Normalize operator spelling through relation.ParseCmpOp.
+	cmp, err := parseCmp(op)
+	if err != nil {
+		return Atom{}, fmt.Errorf("line %d: %w", t.line, err)
+	}
+	return Atom{Pred: cmp, Args: []Term{left, right}}, nil
+}
+
+func isCmpPunct(s string) bool {
+	switch s {
+	case "=", "==", "!=", "<>", "\\=", "<", "<=", "=<", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func parseCmp(s string) (string, error) {
+	op, err := relation.ParseCmpOp(s)
+	if err != nil {
+		return "", err
+	}
+	return op.String(), nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.advance()
+		return V(t.text), nil
+	case tokIdent:
+		p.advance()
+		return CStr(t.text), nil
+	case tokNumber:
+		p.advance()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return CInt(i), nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("line %d: bad number %q", t.line, t.text)
+		}
+		return C(relation.Float(f)), nil
+	case tokString:
+		p.advance()
+		u, err := strconv.Unquote(t.text)
+		if err != nil {
+			return Term{}, fmt.Errorf("line %d: bad string %q", t.line, t.text)
+		}
+		return CStr(u), nil
+	default:
+		return Term{}, fmt.Errorf("line %d: expected term, found %q", t.line, t.text)
+	}
+}
+
+func (p *parser) parseDirective(kb *KB) error {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return fmt.Errorf("line %d: expected directive name, found %q", t.line, t.text)
+	}
+	name := t.text
+	p.advance()
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	switch name {
+	case "base":
+		ref, err := p.parsePredRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		if err := kb.DeclareBase(ref); err != nil {
+			return err
+		}
+	case "mutex":
+		a, err := p.parsePredRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		b, err := p.parsePredRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		kb.AddMutex(a, b)
+	case "recursive":
+		ref, err := p.parsePredRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		kb.DeclareRecursive(ref)
+	case "fd":
+		ref, err := p.parsePredRef()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(","); err != nil {
+			return err
+		}
+		from, err := p.parsePosList()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("->"); err != nil {
+			return err
+		}
+		to, err := p.parsePosList()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		kb.AddFD(FDSOA{Pred: ref, From: from, To: to})
+	default:
+		return fmt.Errorf("line %d: unknown directive %q", t.line, name)
+	}
+	return p.expect(".")
+}
+
+func (p *parser) parsePredRef() (PredRef, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return PredRef{}, fmt.Errorf("line %d: expected predicate name, found %q", t.line, t.text)
+	}
+	name := t.text
+	p.advance()
+	if err := p.expect("/"); err != nil {
+		return PredRef{}, err
+	}
+	n := p.cur()
+	if n.kind != tokNumber {
+		return PredRef{}, fmt.Errorf("line %d: expected arity, found %q", n.line, n.text)
+	}
+	arity, err := strconv.Atoi(n.text)
+	if err != nil || arity < 0 {
+		return PredRef{}, fmt.Errorf("line %d: bad arity %q", n.line, n.text)
+	}
+	p.advance()
+	return PredRef{Name: name, Arity: arity}, nil
+}
+
+// parsePosList parses "[1,2,...]" of 1-based positions into 0-based ints.
+func (p *parser) parsePosList() ([]int, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	var out []int
+	for !p.at("]") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("line %d: expected position, found %q", t.line, t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("line %d: bad position %q (positions are 1-based)", t.line, t.text)
+		}
+		out = append(out, n-1)
+		p.advance()
+		if p.at(",") {
+			p.advance()
+		}
+	}
+	p.advance() // ]
+	return out, nil
+}

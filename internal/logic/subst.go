@@ -1,0 +1,133 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variable names to terms.
+// Substitutions are persistent in spirit: Bind returns a new binding layered
+// view by copying (bindings are small in SLD resolution over function-free
+// programs).
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Walk resolves a term through the substitution until it reaches a constant
+// or an unbound variable. Binding chains that cycle (possible when two
+// formulas share variable names, e.g. a cache element and a query both using
+// X) terminate at an arbitrary variable of the cycle — all its members
+// denote the same value.
+func (s Subst) Walk(t Term) Term {
+	for steps := 0; t.IsVar(); steps++ {
+		next, ok := s[t.Var]
+		if !ok || (next.IsVar() && next.Var == t.Var) || steps > len(s) {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// Bind returns s extended with v -> t. It does not mutate s.
+func (s Subst) Bind(v string, t Term) Subst {
+	out := s.Clone()
+	out[v] = t
+	return out
+}
+
+// BindInPlace adds v -> t to s, mutating it.
+func (s Subst) BindInPlace(v string, t Term) { s[v] = t }
+
+// Apply rewrites a term, resolving variables to their bindings (transitively).
+func (s Subst) Apply(t Term) Term { return s.Walk(t) }
+
+// ApplyAtom rewrites all arguments of an atom.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.Walk(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyAtoms rewrites a conjunction.
+func (s Subst) ApplyAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = s.ApplyAtom(a)
+	}
+	return out
+}
+
+// Restrict returns the substitution limited to the given variables, with
+// each binding fully walked. Used to project an answer substitution onto the
+// query variables.
+func (s Subst) Restrict(vars []string) Subst {
+	out := make(Subst, len(vars))
+	for _, v := range vars {
+		if _, ok := s[v]; ok {
+			out[v] = s.Walk(V(v))
+		}
+	}
+	return out
+}
+
+// Ground reports whether every binding resolves to a constant.
+func (s Subst) Ground() bool {
+	for v := range s {
+		if s.Walk(V(v)).IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two substitutions denote the same mapping over their
+// union of domains (after walking).
+func (s Subst) Equal(o Subst) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for v := range s {
+		a := s.Walk(V(v))
+		b, ok := o[v]
+		if !ok {
+			return false
+		}
+		if !a.Equal(o.Walk(b)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders bindings sorted by variable name: {X=1, Y=Z}.
+func (s Subst) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, s.Walk(V(k)))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

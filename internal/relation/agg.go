@@ -1,0 +1,189 @@
+package relation
+
+import "fmt"
+
+// AggOp is an aggregation operator. CAQL exposes these through its
+// second-order AGG predicate (Section 5, feature (a)); the remote DBMS's SQL
+// subset supports them in SELECT lists.
+type AggOp uint8
+
+// Aggregation operators.
+const (
+	AggCount AggOp = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SQL spelling of the aggregate.
+func (a AggOp) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return "AGG?"
+	}
+}
+
+// ParseAggOp parses an aggregate name (case-sensitive upper).
+func ParseAggOp(s string) (AggOp, error) {
+	switch s {
+	case "COUNT", "count":
+		return AggCount, nil
+	case "SUM", "sum":
+		return AggSum, nil
+	case "MIN", "min":
+		return AggMin, nil
+	case "MAX", "max":
+		return AggMax, nil
+	case "AVG", "avg":
+		return AggAvg, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown aggregate %q", s)
+	}
+}
+
+// AggSpec describes one aggregate output: the operator and its input column
+// (ignored for COUNT, where Col may be -1).
+type AggSpec struct {
+	Op  AggOp
+	Col int
+}
+
+type aggState struct {
+	count int64
+	sum   float64
+	min   Value
+	max   Value
+	any   bool
+}
+
+func (st *aggState) add(v Value) {
+	st.count++
+	if v.IsNumeric() {
+		st.sum += v.AsFloat()
+	}
+	if !st.any {
+		st.min, st.max, st.any = v, v, true
+		return
+	}
+	if v.Less(st.min) {
+		st.min = v
+	}
+	if st.max.Less(v) {
+		st.max = v
+	}
+}
+
+func (st *aggState) result(op AggOp) Value {
+	switch op {
+	case AggCount:
+		return Int(st.count)
+	case AggSum:
+		return Float(st.sum)
+	case AggAvg:
+		if st.count == 0 {
+			return Null()
+		}
+		return Float(st.sum / float64(st.count))
+	case AggMin:
+		if !st.any {
+			return Null()
+		}
+		return st.min
+	case AggMax:
+		if !st.any {
+			return Null()
+		}
+		return st.max
+	default:
+		return Null()
+	}
+}
+
+// Aggregate groups the input by the groupBy columns and computes the given
+// aggregates for each group. The output tuples are group-by values followed
+// by aggregate results, in specification order. With no groupBy columns a
+// single output tuple is produced (even over empty input, matching SQL).
+//
+// Aggregation is a blocking operator: the input is drained eagerly.
+func Aggregate(in Iterator, groupBy []int, specs []AggSpec) []Tuple {
+	type group struct {
+		key    Tuple
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for {
+		t, ok := in.Next()
+		if !ok {
+			break
+		}
+		k := t.KeyOn(groupBy)
+		g := groups[k]
+		if g == nil {
+			g = &group{key: t.Project(groupBy), states: make([]aggState, len(specs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, spec := range specs {
+			if spec.Op == AggCount && spec.Col < 0 {
+				g.states[i].count++
+				continue
+			}
+			g.states[i].add(t[spec.Col])
+		}
+	}
+	if len(groupBy) == 0 && len(groups) == 0 {
+		// Global aggregate over empty input still yields one row.
+		g := &group{key: Tuple{}, states: make([]aggState, len(specs))}
+		groups[""] = g
+		order = append(order, "")
+	}
+	out := make([]Tuple, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		row := make(Tuple, 0, len(groupBy)+len(specs))
+		row = append(row, g.key...)
+		for i, spec := range specs {
+			row = append(row, g.states[i].result(spec.Op))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// AggregateRel is the eager relation-level wrapper around Aggregate. Output
+// attribute names are the group-by attribute names followed by "op_col"
+// names.
+func AggregateRel(name string, r *Relation, groupBy []int, specs []AggSpec) *Relation {
+	attrs := make([]Attr, 0, len(groupBy)+len(specs))
+	for _, c := range groupBy {
+		attrs = append(attrs, r.schema.Attr(c))
+	}
+	for _, s := range specs {
+		kind := KindFloat
+		colName := "*"
+		if s.Op == AggCount {
+			kind = KindInt
+		}
+		if s.Col >= 0 {
+			colName = r.schema.Attr(s.Col).Name
+			if s.Op == AggMin || s.Op == AggMax {
+				kind = r.schema.Attr(s.Col).Kind
+			}
+		}
+		attrs = append(attrs, Attr{Name: fmt.Sprintf("%s_%s", s.Op, colName), Kind: kind})
+	}
+	tuples := Aggregate(r.Iter(), groupBy, specs)
+	return FromTuples(name, NewSchema(attrs...), tuples)
+}

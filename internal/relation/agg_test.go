@@ -1,0 +1,73 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestAggregateGlobal(t *testing.T) {
+	r := mkRel(t, "r", []any{1, 10}, []any{2, 20}, []any{3, 30})
+	out := AggregateRel("a", r, nil, []AggSpec{
+		{Op: AggCount, Col: -1},
+		{Op: AggSum, Col: 1},
+		{Op: AggMin, Col: 1},
+		{Op: AggMax, Col: 1},
+		{Op: AggAvg, Col: 1},
+	})
+	if out.Len() != 1 {
+		t.Fatalf("global aggregate rows = %d", out.Len())
+	}
+	row := out.Tuple(0)
+	if row[0].AsInt() != 3 || row[1].AsFloat() != 60 || row[2].AsInt() != 10 || row[3].AsInt() != 30 || row[4].AsFloat() != 20 {
+		t.Fatalf("aggregate row wrong: %v", row)
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	r := mkRel(t, "r", []any{1, 10}, []any{1, 30}, []any{2, 5})
+	out := AggregateRel("a", r, []int{0}, []AggSpec{{Op: AggSum, Col: 1}, {Op: AggCount, Col: -1}})
+	if out.Len() != 2 {
+		t.Fatalf("grouped rows = %d", out.Len())
+	}
+	byKey := map[int64]Tuple{}
+	for _, tu := range out.Tuples() {
+		byKey[tu[0].AsInt()] = tu
+	}
+	if byKey[1][1].AsFloat() != 40 || byKey[1][2].AsInt() != 2 {
+		t.Fatalf("group 1 wrong: %v", byKey[1])
+	}
+	if byKey[2][1].AsFloat() != 5 || byKey[2][2].AsInt() != 1 {
+		t.Fatalf("group 2 wrong: %v", byKey[2])
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	r := New("r", NewSchema(Attr{"x", KindInt}))
+	global := AggregateRel("a", r, nil, []AggSpec{{Op: AggCount, Col: -1}, {Op: AggMin, Col: 0}})
+	if global.Len() != 1 || global.Tuple(0)[0].AsInt() != 0 || !global.Tuple(0)[1].IsNull() {
+		t.Fatalf("empty global aggregate wrong: %v", global)
+	}
+	grouped := AggregateRel("a", r, []int{0}, []AggSpec{{Op: AggCount, Col: -1}})
+	if grouped.Len() != 0 {
+		t.Fatalf("empty grouped aggregate should have no rows, got %d", grouped.Len())
+	}
+}
+
+func TestAggregateMinMaxStrings(t *testing.T) {
+	r := mkRel(t, "r", []any{"b"}, []any{"a"}, []any{"c"})
+	out := AggregateRel("a", r, nil, []AggSpec{{Op: AggMin, Col: 0}, {Op: AggMax, Col: 0}})
+	row := out.Tuple(0)
+	if row[0].AsString() != "a" || row[1].AsString() != "c" {
+		t.Fatalf("string min/max wrong: %v", row)
+	}
+}
+
+func TestParseAggOp(t *testing.T) {
+	for _, s := range []string{"COUNT", "SUM", "MIN", "MAX", "AVG", "count", "avg"} {
+		if _, err := ParseAggOp(s); err != nil {
+			t.Errorf("ParseAggOp(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseAggOp("MEDIAN"); err == nil {
+		t.Error("expected error for unsupported aggregate")
+	}
+}

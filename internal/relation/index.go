@@ -1,0 +1,76 @@
+package relation
+
+// Index is a hash index over a column subset of a relation extension. The
+// Cache Manager builds indexes on consumer-annotated attributes (advice "?"
+// annotations, Section 4.2.1) to speed repeated random access, and the remote
+// DBMS engine uses them for selections and join probes.
+type Index struct {
+	cols    []int
+	buckets map[string][]int // tuple positions in the indexed relation
+	rel     *Relation
+}
+
+// BuildIndex constructs a hash index on the given columns of r. The index is
+// a snapshot: it reflects r's extension at build time.
+func BuildIndex(r *Relation, cols []int) *Index {
+	ix := &Index{
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[string][]int, r.Len()),
+		rel:     r,
+	}
+	for i, t := range r.Tuples() {
+		k := t.KeyOn(ix.cols)
+		ix.buckets[k] = append(ix.buckets[k], i)
+	}
+	return ix
+}
+
+// Cols returns the indexed column positions.
+func (ix *Index) Cols() []int { return append([]int(nil), ix.cols...) }
+
+// Covers reports whether the index is built exactly on the given columns
+// (order-sensitive).
+func (ix *Index) Covers(cols []int) bool {
+	if len(cols) != len(ix.cols) {
+		return false
+	}
+	for i := range cols {
+		if cols[i] != ix.cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the tuples whose indexed columns equal the given values.
+func (ix *Index) Lookup(vals []Value) []Tuple {
+	k := Tuple(vals).KeyOn(identity(len(vals)))
+	positions := ix.buckets[k]
+	out := make([]Tuple, 0, len(positions))
+	for _, p := range positions {
+		out = append(out, ix.rel.Tuple(p))
+	}
+	return out
+}
+
+// LookupIter returns an iterator over matching tuples.
+func (ix *Index) LookupIter(vals []Value) Iterator {
+	return NewSliceIterator(ix.Lookup(vals))
+}
+
+// SizeBytes estimates the index's memory footprint for cache accounting.
+func (ix *Index) SizeBytes() int64 {
+	var n int64
+	for k, v := range ix.buckets {
+		n += int64(len(k)) + int64(8*len(v)) + 48
+	}
+	return n
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

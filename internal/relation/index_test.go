@@ -1,0 +1,59 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIndexLookup(t *testing.T) {
+	r := mkRel(t, "r", []any{1, "x"}, []any{2, "y"}, []any{1, "z"})
+	ix := BuildIndex(r, []int{0})
+	got := ix.Lookup([]Value{Int(1)})
+	if len(got) != 2 {
+		t.Fatalf("index lookup got %d, want 2", len(got))
+	}
+	if len(ix.Lookup([]Value{Int(9)})) != 0 {
+		t.Fatal("lookup of absent key should be empty")
+	}
+	if !ix.Covers([]int{0}) || ix.Covers([]int{1}) || ix.Covers([]int{0, 1}) {
+		t.Fatal("Covers broken")
+	}
+}
+
+func TestIndexMultiColumn(t *testing.T) {
+	r := mkRel(t, "r", []any{1, "x"}, []any{1, "y"}, []any{2, "x"})
+	ix := BuildIndex(r, []int{0, 1})
+	got := ix.Lookup([]Value{Int(1), Str("x")})
+	if len(got) != 1 {
+		t.Fatalf("multi-col lookup got %d, want 1", len(got))
+	}
+}
+
+func TestIndexAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		r := New("r", NewSchema(Attr{"x", KindInt}, Attr{"y", KindInt}))
+		for i := 0; i < 50; i++ {
+			r.MustAppend(Tuple{Int(int64(rng.Intn(8))), Int(int64(rng.Intn(8)))})
+		}
+		ix := BuildIndex(r, []int{0})
+		for k := int64(0); k < 8; k++ {
+			viaIndex := FromTuples("i", r.Schema(), ix.Lookup([]Value{Int(k)}))
+			viaScan := SelectRel(r, []Cond{ColConst(0, OpEq, Int(k))})
+			if !viaIndex.EqualAsBag(viaScan) {
+				t.Fatalf("index and scan disagree for key %d", k)
+			}
+		}
+	}
+}
+
+func TestIndexSizeAccounting(t *testing.T) {
+	r := mkRel(t, "r", []any{1, "x"}, []any{2, "y"})
+	ix := BuildIndex(r, []int{0})
+	if ix.SizeBytes() <= 0 {
+		t.Fatal("index size should be positive")
+	}
+	if r.SizeBytes() <= 0 {
+		t.Fatal("relation size should be positive")
+	}
+}

@@ -1,0 +1,157 @@
+package relation
+
+// Iterator produces tuples one at a time. It is the package-level realization
+// of the paper's "generator": a representation of a relation that produces a
+// single tuple on demand (Section 5.1), enabling lazy evaluation.
+//
+// Next returns the next tuple and true, or a nil tuple and false when the
+// stream is exhausted. Iterators are single-consumer and not safe for
+// concurrent use; Memo provides a resettable, shareable wrapper.
+type Iterator interface {
+	Next() (Tuple, bool)
+}
+
+// IteratorFunc adapts a function to the Iterator interface.
+type IteratorFunc func() (Tuple, bool)
+
+// Next calls f.
+func (f IteratorFunc) Next() (Tuple, bool) { return f() }
+
+// SliceIterator iterates over an in-memory tuple slice.
+type SliceIterator struct {
+	tuples []Tuple
+	pos    int
+}
+
+// NewSliceIterator returns an iterator over the given tuples.
+func NewSliceIterator(tuples []Tuple) *SliceIterator { return &SliceIterator{tuples: tuples} }
+
+// Iter returns an iterator over the relation's extension.
+func (r *Relation) Iter() Iterator { return NewSliceIterator(r.tuples) }
+
+// Next implements Iterator.
+func (s *SliceIterator) Next() (Tuple, bool) {
+	if s.pos >= len(s.tuples) {
+		return nil, false
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Drain consumes the iterator into a relation with the given name and schema.
+// This is eager evaluation of a generator.
+func Drain(name string, schema *Schema, it Iterator) *Relation {
+	r := New(name, schema)
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return r
+		}
+		r.tuples = append(r.tuples, t)
+	}
+}
+
+// Take consumes and returns up to n tuples from the iterator.
+func Take(it Iterator, n int) []Tuple {
+	var out []Tuple
+	for len(out) < n {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Count consumes the iterator and returns the number of tuples produced.
+func Count(it Iterator) int {
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Memo wraps a generator so that its output can be consumed multiple times:
+// tuples are produced lazily from the source on first demand and memoized.
+// This is how the CMS keeps a generator-form cache element consistent across
+// repeated partial consumptions (Section 5.2's "co-existing, alternative
+// representations": a single underlying production feeding several uses).
+type Memo struct {
+	src    Iterator
+	buf    []Tuple
+	closed bool
+}
+
+// NewMemo wraps src in a memoizing buffer.
+func NewMemo(src Iterator) *Memo { return &Memo{src: src} }
+
+// Produced returns how many tuples have been materialized so far.
+func (m *Memo) Produced() int { return len(m.buf) }
+
+// Exhausted reports whether the underlying source has been fully consumed.
+func (m *Memo) Exhausted() bool { return m.closed }
+
+// fill ensures at least n tuples are buffered (or the source is exhausted).
+func (m *Memo) fill(n int) {
+	for !m.closed && len(m.buf) < n {
+		t, ok := m.src.Next()
+		if !ok {
+			m.closed = true
+			return
+		}
+		m.buf = append(m.buf, t)
+	}
+}
+
+// At returns the i-th tuple of the stream, producing lazily as needed.
+// The boolean is false if the stream has fewer than i+1 tuples.
+func (m *Memo) At(i int) (Tuple, bool) {
+	m.fill(i + 1)
+	if i < len(m.buf) {
+		return m.buf[i], true
+	}
+	return nil, false
+}
+
+// Iter returns a fresh iterator reading through the memo from the start.
+func (m *Memo) Iter() Iterator {
+	pos := 0
+	return IteratorFunc(func() (Tuple, bool) {
+		t, ok := m.At(pos)
+		if !ok {
+			return nil, false
+		}
+		pos++
+		return t, true
+	})
+}
+
+// DrainAll forces full materialization and returns the complete tuple list.
+func (m *Memo) DrainAll() []Tuple {
+	m.fill(1 << 30)
+	return m.buf
+}
+
+// Chain concatenates iterators in order.
+func Chain(its ...Iterator) Iterator {
+	i := 0
+	return IteratorFunc(func() (Tuple, bool) {
+		for i < len(its) {
+			if t, ok := its[i].Next(); ok {
+				return t, true
+			}
+			i++
+		}
+		return nil, false
+	})
+}
+
+// Empty returns an iterator producing no tuples.
+func Empty() Iterator {
+	return IteratorFunc(func() (Tuple, bool) { return nil, false })
+}

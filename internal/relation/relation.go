@@ -1,0 +1,161 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a named extension: a schema plus a bag of tuples. BrAID's cache
+// elements in extensional form, the remote DBMS's base relations, and all
+// intermediate operator results are Relations.
+//
+// Relations are bags by default; Distinct produces set semantics where
+// required.
+type Relation struct {
+	Name   string
+	schema *Schema
+	tuples []Tuple
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, schema: schema}
+}
+
+// FromTuples creates a relation holding the given tuples. The tuples are
+// used directly (not copied); callers must not alias them afterwards.
+func FromTuples(name string, schema *Schema, tuples []Tuple) *Relation {
+	return &Relation{Name: name, schema: schema, tuples: tuples}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples (cardinality as a bag).
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the i-th tuple.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the underlying tuple slice. Callers must treat it as
+// read-only.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Append adds a tuple after validating its arity against the schema.
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("relation %s: tuple arity %d does not match schema arity %d",
+			r.Name, len(t), r.schema.Arity())
+	}
+	r.tuples = append(r.tuples, t)
+	return nil
+}
+
+// MustAppend adds a tuple and panics on arity mismatch; for use by
+// generators and tests where the arity is statically known.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// AppendValues constructs a tuple from the given values and appends it.
+func (r *Relation) AppendValues(vs ...Value) error { return r.Append(Tuple(vs)) }
+
+// Clone returns a deep-enough copy (tuples are shared; the slice is not).
+func (r *Relation) Clone() *Relation {
+	return &Relation{Name: r.Name, schema: r.schema, tuples: append([]Tuple(nil), r.tuples...)}
+}
+
+// Sort orders the tuples lexicographically in place and returns r.
+func (r *Relation) Sort() *Relation {
+	sort.Slice(r.tuples, func(i, j int) bool { return r.tuples[i].Less(r.tuples[j]) })
+	return r
+}
+
+// SortBy orders the tuples by the given columns in place and returns r.
+func (r *Relation) SortBy(cols []int) *Relation {
+	sort.SliceStable(r.tuples, func(i, j int) bool {
+		a, b := r.tuples[i], r.tuples[j]
+		for _, c := range cols {
+			switch a[c].Compare(b[c]) {
+			case -1:
+				return true
+			case 1:
+				return false
+			}
+		}
+		return false
+	})
+	return r
+}
+
+// EqualAsSet reports whether r and o contain the same set of tuples,
+// ignoring order and duplicates. Useful for differential tests.
+func (r *Relation) EqualAsSet(o *Relation) bool {
+	return subsetOf(r.tuples, o.tuples) && subsetOf(o.tuples, r.tuples)
+}
+
+// EqualAsBag reports whether r and o contain the same multiset of tuples.
+func (r *Relation) EqualAsBag(o *Relation) bool {
+	if len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	counts := make(map[string]int, len(r.tuples))
+	for _, t := range r.tuples {
+		counts[t.Key()]++
+	}
+	for _, t := range o.tuples {
+		k := t.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetOf(a, b []Tuple) bool {
+	keys := make(map[string]bool, len(b))
+	for _, t := range b {
+		keys[t.Key()] = true
+	}
+	for _, t := range a {
+		if !keys[t.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes estimates the in-memory footprint of the extension, used by the
+// Cache Manager for resource accounting.
+func (r *Relation) SizeBytes() int64 {
+	var n int64
+	for _, t := range r.tuples {
+		n += 24 // slice header
+		for _, v := range t {
+			n += 40 // Value struct
+			if v.Kind() == KindString {
+				n += int64(len(v.AsString()))
+			}
+		}
+	}
+	return n
+}
+
+// String renders a small, human-readable dump (name, schema, up to 20 rows).
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s [%d tuples]", r.Name, r.schema, len(r.tuples))
+	for i, t := range r.tuples {
+		if i == 20 {
+			fmt.Fprintf(&b, "\n  ... (%d more)", len(r.tuples)-20)
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

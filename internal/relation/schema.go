@@ -1,0 +1,203 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attr describes one attribute (column) of a relation schema.
+type Attr struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of attributes. Schemas are immutable once built;
+// operations derive new schemas rather than mutating.
+type Schema struct {
+	attrs []Attr
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be unique; NewSchema panics otherwise (schemas are constructed from code or
+// validated parse trees, so a duplicate is a programming error).
+func NewSchema(attrs ...Attr) *Schema {
+	s := &Schema{attrs: append([]Attr(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.index[a.Name]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q in schema", a.Name))
+		}
+		s.index[a.Name] = i
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attr { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attr { return append([]Attr(nil), s.attrs...) }
+
+// ColIndex returns the position of the named attribute, or -1 if absent.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool { return s.ColIndex(name) >= 0 }
+
+// Project derives a schema holding the attributes at the given positions.
+func (s *Schema) Project(cols []int) *Schema {
+	attrs := make([]Attr, len(cols))
+	for i, c := range cols {
+		attrs[i] = s.attrs[c]
+	}
+	return NewSchema(attrs...)
+}
+
+// Rename derives a schema with the same kinds but new names. len(names) must
+// equal the arity.
+func (s *Schema) Rename(names []string) *Schema {
+	if len(names) != len(s.attrs) {
+		panic("relation: Rename arity mismatch")
+	}
+	attrs := make([]Attr, len(names))
+	for i, n := range names {
+		attrs[i] = Attr{Name: n, Kind: s.attrs[i].Kind}
+	}
+	return NewSchema(attrs...)
+}
+
+// Concat derives the schema of a cross product / join output, disambiguating
+// duplicate names from the right side with a "r." prefix (and numeric
+// suffixes if still ambiguous).
+func (s *Schema) Concat(o *Schema) *Schema {
+	attrs := make([]Attr, 0, len(s.attrs)+len(o.attrs))
+	attrs = append(attrs, s.attrs...)
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		seen[a.Name] = true
+	}
+	for _, a := range o.attrs {
+		name := a.Name
+		for n := 2; seen[name]; n++ {
+			name = fmt.Sprintf("%s_%d", a.Name, n)
+		}
+		seen[name] = true
+		attrs = append(attrs, Attr{Name: name, Kind: a.Kind})
+	}
+	return NewSchema(attrs...)
+}
+
+// Equal reports whether two schemas have identical names and kinds in order.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name kind, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Name, a.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Tuple is a row of values, positionally aligned with a schema.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports value-wise equality with o.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a map key identifying the tuple's values (consistent with
+// Equal).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(v.Key())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// KeyOn returns a map key over the given column subset.
+func (t Tuple) KeyOn(cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		b.WriteString(t[c].Key())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// Project returns the tuple restricted to the given columns.
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Less orders tuples lexicographically by value order.
+func (t Tuple) Less(o Tuple) bool {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		switch t[i].Compare(o[i]) {
+		case -1:
+			return true
+		case 1:
+			return false
+		}
+	}
+	return len(t) < len(o)
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,286 @@
+// Package relation implements the tuple/relation substrate shared by the
+// BrAID Cache Management System and the simulated remote DBMS: typed values,
+// schemas, relation extensions, lazy iterators (the paper's "generators"),
+// relational operators, and hash indexes.
+//
+// The package corresponds to the storage and query-processor substrate of
+// Sections 5.1 and 5.4 of Sheth & O'Hare, "The Architecture of BrAID" (ICDE
+// 1991).
+package relation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds supported by the BrAID data model. KindNull is the absence
+// of a value (used for outer operations and uninitialized cells).
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is the null value.
+// Values are small and passed by value everywhere.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore because
+// String is the Stringer method.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Str is shorthand for String_.
+func Str(v string) Value { return String_(v) }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; it is only meaningful when Kind is
+// KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the numeric payload as a float64 for KindInt and KindFloat.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload; only meaningful for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload; only meaningful for KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports whether two values are equal. Ints and floats compare
+// numerically across kinds; null equals only null.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		if v.kind == KindInt && o.kind == KindInt {
+			return v.i == o.i
+		}
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	default:
+		return false
+	}
+}
+
+// Compare returns -1, 0, or +1 ordering v relative to o. The total order is:
+// null < bool (false<true) < numeric < string; numerics compare numerically
+// across int/float.
+func (v Value) Compare(o Value) int {
+	vr, or := v.rank(), o.rank()
+	if vr != or {
+		if vr < or {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case v.kind == KindNull:
+		return 0
+	case v.kind == KindBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	case v.IsNumeric():
+		if v.kind == KindInt && o.kind == KindInt {
+			switch {
+			case v.i < o.i:
+				return -1
+			case v.i > o.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	default: // string
+		return strings.Compare(v.s, o.s)
+	}
+}
+
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Less reports whether v orders before o.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// Hash returns a 64-bit hash of the value, consistent with Equal (numerically
+// equal int/float values hash identically).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	switch v.kind {
+	case KindNull:
+		h.Write([]byte{0})
+	case KindBool:
+		if v.b {
+			h.Write([]byte{1, 1})
+		} else {
+			h.Write([]byte{1, 0})
+		}
+	case KindInt, KindFloat:
+		// Hash the float64 bit pattern so Int(3) and Float(3.0) collide,
+		// matching Equal.
+		f := v.AsFloat()
+		var buf [9]byte
+		buf[0] = 2
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	default:
+		h.Write([]byte{3})
+		h.Write([]byte(v.s))
+	}
+	return h.Sum64()
+}
+
+// String renders the value in CAQL literal syntax: integers and floats bare,
+// strings double-quoted, booleans true/false, null as "null".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// Key returns a string usable as a map key, consistent with Equal.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "n"
+	case KindBool:
+		if v.b {
+			return "bt"
+		}
+		return "bf"
+	case KindInt, KindFloat:
+		return "f" + strconv.FormatFloat(v.AsFloat(), 'b', -1, 64)
+	default:
+		return "s" + v.s
+	}
+}
+
+// ParseValue parses a CAQL literal: a quoted string, an integer, a float,
+// true/false, or null.
+func ParseValue(s string) (Value, error) {
+	switch s {
+	case "null":
+		return Null(), nil
+	case "true":
+		return Bool(true), nil
+	case "false":
+		return Bool(false), nil
+	}
+	if len(s) >= 2 && s[0] == '"' {
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: bad string literal %s: %w", s, err)
+		}
+		return Str(u), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f), nil
+	}
+	return Value{}, fmt.Errorf("relation: cannot parse value %q", s)
+}

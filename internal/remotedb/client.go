@@ -1,0 +1,142 @@
+package remotedb
+
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Result is the response to one DML request: the result extension (nil for
+// DDL) plus the simulated cost of the request under the client's cost model.
+type Result struct {
+	Rel   *relation.Relation
+	SimMS float64
+}
+
+// Client is the connection surface the CMS's Remote DBMS Interface uses.
+// Implementations: InProcClient (direct engine calls with simulated costs)
+// and TCPClient (a real wire protocol over net). Both account identical
+// request/tuple statistics so experiments can run on either transport.
+type Client interface {
+	// Exec parses and executes one DML statement.
+	Exec(sql string) (*Result, error)
+	// RelationSchema resolves a base relation schema (caql.SchemaSource).
+	RelationSchema(name string, arity int) (*relation.Schema, error)
+	// TableStats returns catalog statistics for a table.
+	TableStats(name string) (TableStats, error)
+	// Tables lists the table names.
+	Tables() ([]string, error)
+	// Stats returns cumulative transfer statistics.
+	Stats() Stats
+	// Close releases the connection.
+	Close() error
+}
+
+// InProcClient is a Client bound directly to an Engine in the same process,
+// charging the virtual cost model for every request. It is the default
+// transport for deterministic experiments.
+type InProcClient struct {
+	engine *Engine
+	costs  Costs
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewInProcClient connects to the engine with the given cost model.
+func NewInProcClient(engine *Engine, costs Costs) *InProcClient {
+	return &InProcClient{engine: engine, costs: costs}
+}
+
+// Engine exposes the underlying engine (for loading fixtures).
+func (c *InProcClient) Engine() *Engine { return c.engine }
+
+// Costs returns the client's cost model.
+func (c *InProcClient) Costs() Costs { return c.costs }
+
+// Exec implements Client.
+func (c *InProcClient) Exec(sql string) (*Result, error) {
+	rel, ops, err := c.engine.ExecuteSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	var tuples int64
+	if rel != nil {
+		tuples = int64(rel.Len())
+	}
+	sim := c.costs.RequestCost(tuples, ops)
+	c.mu.Lock()
+	c.stats.Requests++
+	c.stats.TuplesReturned += tuples
+	c.stats.ServerOps += ops
+	c.stats.SimMS += sim
+	c.mu.Unlock()
+	return &Result{Rel: rel, SimMS: sim}, nil
+}
+
+// RelationSchema implements Client.
+func (c *InProcClient) RelationSchema(name string, arity int) (*relation.Schema, error) {
+	sch, err := c.engine.Schema(name)
+	if err != nil {
+		return nil, err
+	}
+	if arity >= 0 && sch.Arity() != arity {
+		return nil, errArity(name, sch.Arity(), arity)
+	}
+	return sch, nil
+}
+
+// TableStats implements Client.
+func (c *InProcClient) TableStats(name string) (TableStats, error) {
+	return c.engine.Stats(name)
+}
+
+// Tables implements Client.
+func (c *InProcClient) Tables() ([]string, error) { return c.engine.Tables(), nil }
+
+// Stats implements Client.
+func (c *InProcClient) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close implements Client (a no-op for the in-process transport).
+func (c *InProcClient) Close() error { return nil }
+
+func errArity(name string, have, want int) error {
+	return &ArityError{Name: name, Have: have, Want: want}
+}
+
+// ArityError reports a schema arity mismatch.
+type ArityError struct {
+	Name       string
+	Have, Want int
+}
+
+// Error implements error.
+func (e *ArityError) Error() string {
+	return "remotedb: relation " + e.Name + " has arity " + itoa(e.Have) + ", caller expected " + itoa(e.Want)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,513 @@
+package remotedb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Engine is the remote DBMS proper: a thread-safe store of base relations
+// with a conjunctive select-project-join executor, hash indexes, and catalog
+// statistics. It is deliberately a *conventional* engine: it supports only
+// its SQL subset, keeping the "the remote DBMS does not support all CAQL
+// operations, but the CMS does" asymmetry of Section 5.3.3(d).
+type Engine struct {
+	mu      sync.RWMutex
+	tables  map[string]*relation.Relation
+	indexes map[string][]*relation.Index
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		tables:  make(map[string]*relation.Relation),
+		indexes: make(map[string][]*relation.Index),
+	}
+}
+
+// CreateTable registers an empty table.
+func (e *Engine) CreateTable(name string, schema *relation.Schema) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[name]; dup {
+		return fmt.Errorf("remotedb: table %s already exists", name)
+	}
+	e.tables[name] = relation.New(name, schema)
+	return nil
+}
+
+// LoadTable registers a table with its extension (replacing any previous
+// definition); a bulk-load convenience for workload generators.
+func (e *Engine) LoadTable(r *relation.Relation) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tables[r.Name] = r
+	delete(e.indexes, r.Name)
+}
+
+// Insert appends rows to a table, validating kinds (ints coerce to float
+// columns).
+func (e *Engine) Insert(table string, rows []relation.Tuple) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[table]
+	if !ok {
+		return fmt.Errorf("remotedb: unknown table %s", table)
+	}
+	schema := t.Schema()
+	for _, row := range rows {
+		if len(row) != schema.Arity() {
+			return fmt.Errorf("remotedb: insert arity %d into %s%s", len(row), table, schema)
+		}
+		coerced := make(relation.Tuple, len(row))
+		for i, v := range row {
+			cv, err := coerce(v, schema.Attr(i).Kind)
+			if err != nil {
+				return fmt.Errorf("remotedb: column %s of %s: %w", schema.Attr(i).Name, table, err)
+			}
+			coerced[i] = cv
+		}
+		t.MustAppend(coerced)
+	}
+	delete(e.indexes, table) // indexes are snapshots; invalidate
+	return nil
+}
+
+func coerce(v relation.Value, kind relation.Kind) (relation.Value, error) {
+	if v.IsNull() || v.Kind() == kind {
+		return v, nil
+	}
+	if v.Kind() == relation.KindInt && kind == relation.KindFloat {
+		return relation.Float(v.AsFloat()), nil
+	}
+	return relation.Value{}, fmt.Errorf("kind %s does not fit column kind %s", v.Kind(), kind)
+}
+
+// CreateIndex builds a hash index on the given columns of a table. The
+// executor uses it for equality selections.
+func (e *Engine) CreateIndex(table string, cols []int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[table]
+	if !ok {
+		return fmt.Errorf("remotedb: unknown table %s", table)
+	}
+	e.indexes[table] = append(e.indexes[table], relation.BuildIndex(t, cols))
+	return nil
+}
+
+// Tables returns the table names, sorted.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Schema returns the schema of the named table.
+func (e *Engine) Schema(name string) (*relation.Schema, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("remotedb: unknown table %s", name)
+	}
+	return t.Schema(), nil
+}
+
+// TableStats carries the catalog statistics the IE's problem-graph shaper
+// consumes ("cardinality and selectivity information from the DBMS schema",
+// Section 4.1).
+type TableStats struct {
+	Rows     int
+	Distinct []int // per-column distinct value counts
+}
+
+// Stats computes catalog statistics for a table.
+func (e *Engine) Stats(name string) (TableStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return TableStats{}, fmt.Errorf("remotedb: unknown table %s", name)
+	}
+	st := TableStats{Rows: t.Len(), Distinct: make([]int, t.Schema().Arity())}
+	for c := 0; c < t.Schema().Arity(); c++ {
+		seen := make(map[string]bool)
+		for _, tu := range t.Tuples() {
+			seen[tu[c].Key()] = true
+		}
+		st.Distinct[c] = len(seen)
+	}
+	return st, nil
+}
+
+// Execute runs a parsed statement, returning the result relation (nil for
+// DDL/DML) and the number of server-side tuple operations performed (the
+// cost-model input).
+func (e *Engine) Execute(st *Statement) (*relation.Relation, int64, error) {
+	switch {
+	case st.Create != nil:
+		return nil, 1, e.CreateTable(st.Create.Table, st.Create.Schema)
+	case st.Insert != nil:
+		return nil, int64(len(st.Insert.Rows)), e.Insert(st.Insert.Table, st.Insert.Rows)
+	case st.Select != nil:
+		return e.executeSelect(st.Select)
+	default:
+		return nil, 0, fmt.Errorf("remotedb: empty statement")
+	}
+}
+
+// ExecuteSQL parses and runs a statement.
+func (e *Engine) ExecuteSQL(src string) (*relation.Relation, int64, error) {
+	st, err := ParseSQL(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e.Execute(st)
+}
+
+// binding of an alias in a running plan.
+type aliasInfo struct {
+	alias  string
+	rel    *relation.Relation // filtered extension
+	schema *relation.Schema
+}
+
+func (e *Engine) executeSelect(sel *SelectStmt) (*relation.Relation, int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var ops int64
+
+	if len(sel.From) == 0 {
+		return nil, 0, fmt.Errorf("remotedb: SELECT without FROM")
+	}
+	// Resolve aliases.
+	aliases := make(map[string]*relation.Relation, len(sel.From))
+	order := make([]string, 0, len(sel.From))
+	for _, ref := range sel.From {
+		t, ok := e.tables[ref.Table]
+		if !ok {
+			return nil, ops, fmt.Errorf("remotedb: unknown table %s", ref.Table)
+		}
+		if _, dup := aliases[ref.Alias]; dup {
+			return nil, ops, fmt.Errorf("remotedb: duplicate alias %s", ref.Alias)
+		}
+		aliases[ref.Alias] = t
+		order = append(order, ref.Alias)
+	}
+
+	resolve := func(c ColRef) (string, int, error) {
+		if c.Qualifier != "" {
+			t, ok := aliases[c.Qualifier]
+			if !ok {
+				return "", 0, fmt.Errorf("remotedb: unknown alias %s", c.Qualifier)
+			}
+			i := t.Schema().ColIndex(c.Column)
+			if i < 0 {
+				return "", 0, fmt.Errorf("remotedb: no column %s in %s", c.Column, c.Qualifier)
+			}
+			return c.Qualifier, i, nil
+		}
+		found := ""
+		idx := -1
+		for a, t := range aliases {
+			if i := t.Schema().ColIndex(c.Column); i >= 0 {
+				if found != "" {
+					return "", 0, fmt.Errorf("remotedb: ambiguous column %s", c.Column)
+				}
+				found, idx = a, i
+			}
+		}
+		if found == "" {
+			return "", 0, fmt.Errorf("remotedb: unknown column %s", c.Column)
+		}
+		return found, idx, nil
+	}
+
+	// Classify WHERE conjuncts: per-alias (col-const or col-col within one
+	// alias) vs cross-alias equi-joins vs cross-alias theta residuals.
+	type resolvedCond struct {
+		la   string
+		lc   int
+		op   relation.CmpOp
+		isCC bool
+		ra   string
+		rc   int
+		val  relation.Value
+	}
+	perAlias := make(map[string][]relation.Cond)
+	eqConsts := make(map[string][][2]any) // alias -> (col, value) equality pairs, for index use
+	var cross []resolvedCond
+	for _, c := range sel.Where {
+		la, lc, err := resolve(c.Left)
+		if err != nil {
+			return nil, ops, err
+		}
+		if !c.RightIsCol {
+			perAlias[la] = append(perAlias[la], relation.ColConst(lc, c.Op, c.RightVal))
+			if c.Op == relation.OpEq {
+				eqConsts[la] = append(eqConsts[la], [2]any{lc, c.RightVal})
+			}
+			continue
+		}
+		ra, rc, err := resolve(c.RightCol)
+		if err != nil {
+			return nil, ops, err
+		}
+		if la == ra {
+			perAlias[la] = append(perAlias[la], relation.ColCol(lc, c.Op, rc))
+			continue
+		}
+		cross = append(cross, resolvedCond{la: la, lc: lc, op: c.Op, isCC: true, ra: ra, rc: rc})
+	}
+
+	// Filter each alias's extension, preferring an index when an equality
+	// constant condition matches one.
+	filtered := make(map[string]*relation.Relation, len(order))
+	for _, a := range order {
+		base := aliases[a]
+		conds := perAlias[a]
+		var out *relation.Relation
+		if pairs := eqConsts[a]; len(pairs) > 0 {
+			if ix := e.findIndex(base.Name, pairs); ix != nil {
+				vals := make([]relation.Value, len(ix.Cols()))
+				for i, col := range ix.Cols() {
+					for _, p := range pairs {
+						if p[0].(int) == col {
+							vals[i] = p[1].(relation.Value)
+						}
+					}
+				}
+				matched := ix.Lookup(vals)
+				ops += int64(len(matched))
+				out = relation.Drain(base.Name, base.Schema(),
+					relation.Select(relation.NewSliceIterator(matched), conds))
+				filtered[a] = out
+				continue
+			}
+		}
+		ops += int64(base.Len())
+		out = relation.SelectRel(base, conds)
+		filtered[a] = out
+	}
+
+	// Greedy join order: repeatedly join the smallest relation that has an
+	// equi-join condition with the current result (or the smallest overall
+	// for a cross product when none connects).
+	remaining := append([]string(nil), order...)
+	sort.SliceStable(remaining, func(i, j int) bool {
+		return filtered[remaining[i]].Len() < filtered[remaining[j]].Len()
+	})
+
+	// colPos maps alias -> base offset in the wide tuple.
+	colPos := make(map[string]int)
+	var wide *relation.Relation
+	takeConds := func(joined map[string]bool, next string) (eq []relation.JoinCond, later []resolvedCond) {
+		for _, c := range cross {
+			switch {
+			case joined[c.la] && c.ra == next && c.op == relation.OpEq:
+				eq = append(eq, relation.JoinCond{Left: colPos[c.la] + c.lc, Right: c.rc})
+			case joined[c.ra] && c.la == next && c.op == relation.OpEq:
+				eq = append(eq, relation.JoinCond{Left: colPos[c.ra] + c.rc, Right: c.lc})
+			default:
+				later = append(later, c)
+			}
+		}
+		return eq, later
+	}
+
+	joined := make(map[string]bool)
+	for len(remaining) > 0 {
+		// Pick next: prefer one connected by an equi-join.
+		pick := -1
+		if wide != nil {
+			for i, a := range remaining {
+				for _, c := range cross {
+					if (joined[c.la] && c.ra == a || joined[c.ra] && c.la == a) && c.op == relation.OpEq {
+						pick = i
+						break
+					}
+				}
+				if pick >= 0 {
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		next := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		nextRel := filtered[next]
+		if wide == nil {
+			wide = nextRel
+			colPos[next] = 0
+			joined[next] = true
+			continue
+		}
+		eq, later := takeConds(joined, next)
+		ops += int64(wide.Len() + nextRel.Len())
+		schema := wide.Schema().Concat(nextRel.Schema())
+		w := relation.Drain("j", schema, relation.HashJoin(wide.Iter(), nextRel.Iter(), eq))
+		colPos[next] = wide.Schema().Arity()
+		wide = w
+		joined[next] = true
+		cross = later
+		// Apply any theta conditions now fully available.
+		var now []relation.Cond
+		var still []resolvedCond
+		for _, c := range cross {
+			if joined[c.la] && joined[c.ra] {
+				now = append(now, relation.ColCol(colPos[c.la]+c.lc, c.op, colPos[c.ra]+c.rc))
+			} else {
+				still = append(still, c)
+			}
+		}
+		if len(now) > 0 {
+			ops += int64(wide.Len())
+			wide = relation.SelectRel(wide, now)
+		}
+		cross = still
+	}
+	if len(cross) > 0 {
+		// All aliases joined; any remaining conds apply now.
+		var now []relation.Cond
+		for _, c := range cross {
+			now = append(now, relation.ColCol(colPos[c.la]+c.lc, c.op, colPos[c.ra]+c.rc))
+		}
+		ops += int64(wide.Len())
+		wide = relation.SelectRel(wide, now)
+	}
+
+	widePos := func(c ColRef) (int, error) {
+		a, i, err := resolve(c)
+		if err != nil {
+			return 0, err
+		}
+		return colPos[a] + i, nil
+	}
+
+	// Aggregation vs plain projection.
+	hasAgg := false
+	for _, it := range sel.Items {
+		if it.IsAgg {
+			hasAgg = true
+		}
+	}
+	var result *relation.Relation
+	switch {
+	case hasAgg:
+		var groupCols []int
+		for _, g := range sel.GroupBy {
+			p, err := widePos(g)
+			if err != nil {
+				return nil, ops, err
+			}
+			groupCols = append(groupCols, p)
+		}
+		var specs []relation.AggSpec
+		var attrs []relation.Attr
+		for _, g := range groupCols {
+			attrs = append(attrs, wide.Schema().Attr(g))
+		}
+		for _, it := range sel.Items {
+			if !it.IsAgg {
+				continue // non-aggregate items must be group-by columns; they are re-emitted first
+			}
+			spec := relation.AggSpec{Op: it.Agg, Col: -1}
+			if !it.AggStar {
+				p, err := widePos(it.Col)
+				if err != nil {
+					return nil, ops, err
+				}
+				spec.Col = p
+			}
+			specs = append(specs, spec)
+		}
+		ops += int64(wide.Len())
+		tuples := relation.Aggregate(wide.Iter(), groupCols, specs)
+		for i, s := range specs {
+			kind := relation.KindFloat
+			if s.Op == relation.AggCount {
+				kind = relation.KindInt
+			} else if (s.Op == relation.AggMin || s.Op == relation.AggMax) && s.Col >= 0 {
+				kind = wide.Schema().Attr(s.Col).Kind
+			}
+			attrs = append(attrs, relation.Attr{Name: fmt.Sprintf("agg%d", i), Kind: kind})
+		}
+		result = relation.FromTuples("result", relation.NewSchema(attrs...), tuples)
+	default:
+		var cols []int
+		if len(sel.Items) == 1 && sel.Items[0].Star {
+			for i := 0; i < wide.Schema().Arity(); i++ {
+				cols = append(cols, i)
+			}
+		} else {
+			for _, it := range sel.Items {
+				if it.Star {
+					return nil, ops, fmt.Errorf("remotedb: * must be the only select item")
+				}
+				p, err := widePos(it.Col)
+				if err != nil {
+					return nil, ops, err
+				}
+				cols = append(cols, p)
+			}
+		}
+		ops += int64(wide.Len())
+		result = relation.ProjectRel(wide, cols)
+		result.Name = "result"
+	}
+	if sel.Distinct {
+		ops += int64(result.Len())
+		result = relation.DistinctRel(result)
+	}
+	if len(sel.OrderBy) > 0 {
+		var cols []int
+		for _, c := range sel.OrderBy {
+			i := result.Schema().ColIndex(c.Column)
+			if i < 0 {
+				return nil, ops, fmt.Errorf("remotedb: ORDER BY column %s not in result", c.Column)
+			}
+			cols = append(cols, i)
+		}
+		ops += int64(result.Len())
+		result.SortBy(cols)
+	}
+	if sel.Limit >= 0 && result.Len() > sel.Limit {
+		result = relation.FromTuples(result.Name, result.Schema(), result.Tuples()[:sel.Limit])
+	}
+	return result, ops, nil
+}
+
+// findIndex returns an index of the table whose columns are all covered by
+// the equality pairs, or nil.
+func (e *Engine) findIndex(table string, pairs [][2]any) *relation.Index {
+	for _, ix := range e.indexes[table] {
+		covered := true
+		for _, col := range ix.Cols() {
+			found := false
+			for _, p := range pairs {
+				if p[0].(int) == col {
+					found = true
+					break
+				}
+			}
+			if !found {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return ix
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package remotedb
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server exposes an Engine over TCP with a gob-encoded request/response
+// protocol. This realizes the paper's deployment: the DBMS "is realized on a
+// separate system (database server)" reached via "a standard communication
+// protocol" (Section 5.5). Each accepted connection is served concurrently.
+type Server struct {
+	engine *Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps the engine in a protocol server.
+func NewServer(engine *Engine) *Server {
+	return &Server{engine: engine, conns: make(map[net.Conn]bool)}
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts accepting
+// connections in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Protocol error: best effort to report, then drop.
+				_ = enc.Encode(wireResponse{Err: fmt.Sprintf("protocol: %v", err)})
+			}
+			return
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *wireRequest) wireResponse {
+	switch req.Op {
+	case "exec":
+		rel, ops, err := s.engine.ExecuteSQL(req.SQL)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{Rel: toWireRelation(rel), Ops: ops}
+	case "schema":
+		sch, err := s.engine.Schema(req.Name)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		var attrs []wireAttr
+		for _, a := range sch.Attrs() {
+			attrs = append(attrs, wireAttr{Name: a.Name, Kind: uint8(a.Kind)})
+		}
+		return wireResponse{Attrs: attrs}
+	case "stats":
+		st, err := s.engine.Stats(req.Name)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{Stats: st}
+	case "tables":
+		return wireResponse{Tables: s.engine.Tables()}
+	default:
+		return wireResponse{Err: fmt.Sprintf("remotedb: unknown op %q", req.Op)}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,191 @@
+package remotedb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// The DML of the remote DBMS: a small SQL subset. The Remote DBMS Interface
+// of the CMS translates CAQL queries into this language (Section 5.5: "The
+// CMS-DBMS language interface is given by the DML of the remote DBMS").
+//
+// Supported statements:
+//
+//	CREATE TABLE t (a INT, b TEXT, ...)
+//	INSERT INTO t VALUES (1, 'x'), (2, 'y')
+//	SELECT [DISTINCT] items FROM t1 [AS] a1, t2 [AS] a2
+//	       [WHERE cond AND cond ...]
+//	       [GROUP BY col, ...]
+//	       [ORDER BY col, ...] [LIMIT n]
+//
+// Select items are qualified columns (a1.x), bare columns (unambiguous), *,
+// or aggregates COUNT(*), COUNT(c), SUM(c), MIN(c), MAX(c), AVG(c).
+// Conditions are col OP col or col OP literal with OP in = != < <= > >=.
+// Notably absent (by design, mirroring 1990 DBMS limits the paper leans on):
+// OR, NOT, subqueries, unions, recursion — those are CMS-only capabilities.
+
+// Statement is a parsed DML statement: exactly one field is non-nil.
+type Statement struct {
+	Create *CreateStmt
+	Insert *InsertStmt
+	Select *SelectStmt
+}
+
+// CreateStmt is CREATE TABLE.
+type CreateStmt struct {
+	Table  string
+	Schema *relation.Schema
+}
+
+// InsertStmt is INSERT INTO ... VALUES.
+type InsertStmt struct {
+	Table string
+	Rows  []relation.Tuple
+}
+
+// SelectStmt is a conjunctive select-project-join with optional aggregation.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    []SQLCond
+	GroupBy  []ColRef
+	OrderBy  []ColRef
+	Limit    int // -1 when absent
+}
+
+// TableRef names a table and its alias (alias defaults to the table name).
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// ColRef is a possibly-qualified column reference.
+type ColRef struct {
+	Qualifier string // alias; empty if bare
+	Column    string
+}
+
+// String renders "qualifier.column" or "column".
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Column
+	}
+	return c.Qualifier + "." + c.Column
+}
+
+// SelectItem is one output column: a column reference, a star, or an
+// aggregate.
+type SelectItem struct {
+	Star bool
+	Col  ColRef
+	// Agg is non-zero-valued when the item is an aggregate; AggStar marks
+	// COUNT(*).
+	IsAgg   bool
+	Agg     relation.AggOp
+	AggStar bool
+}
+
+// SQLCond is a conjunct of the WHERE clause.
+type SQLCond struct {
+	Left ColRef
+	Op   relation.CmpOp
+	// RightCol is valid when RightIsCol; otherwise RightVal holds a literal.
+	RightIsCol bool
+	RightCol   ColRef
+	RightVal   relation.Value
+}
+
+// String renders the condition in SQL syntax.
+func (c SQLCond) String() string {
+	op := c.Op.String()
+	if op == "!=" {
+		op = "<>"
+	}
+	if c.RightIsCol {
+		return fmt.Sprintf("%s %s %s", c.Left, op, c.RightCol)
+	}
+	return fmt.Sprintf("%s %s %s", c.Left, op, sqlLiteral(c.RightVal))
+}
+
+// sqlLiteral renders a value as a SQL literal (single-quoted strings).
+func sqlLiteral(v relation.Value) string {
+	if v.Kind() == relation.KindString {
+		return "'" + strings.ReplaceAll(v.AsString(), "'", "''") + "'"
+	}
+	if v.Kind() == relation.KindBool {
+		if v.AsBool() {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return v.String()
+}
+
+// String renders the statement back to SQL text.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			b.WriteByte('*')
+		case it.IsAgg && it.AggStar:
+			fmt.Fprintf(&b, "%s(*)", it.Agg)
+		case it.IsAgg:
+			fmt.Fprintf(&b, "%s(%s)", it.Agg, it.Col)
+		default:
+			b.WriteString(it.Col.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != "" && t.Alias != t.Table {
+			b.WriteString(" AS ")
+			b.WriteString(t.Alias)
+		}
+	}
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range s.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, c := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,527 @@
+package remotedb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// ParseSQL parses one DML statement.
+func ParseSQL(src string) (*Statement, error) {
+	toks, err := sqlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() && !p.atPunct(";") {
+		return nil, fmt.Errorf("remotedb: trailing input at %q", p.cur().text)
+	}
+	return st, nil
+}
+
+type sqlTokKind int
+
+const (
+	sqlEOF sqlTokKind = iota
+	sqlWord
+	sqlNumber
+	sqlString
+	sqlPunct
+)
+
+type sqlToken struct {
+	kind sqlTokKind
+	text string // words are uppercased; raw preserved for identifiers via orig
+	orig string
+}
+
+func sqlLex(src string) ([]sqlToken, error) {
+	var toks []sqlToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("remotedb: unterminated string literal")
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // doubled quote escape
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, sqlToken{kind: sqlString, text: sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E') {
+				j++
+			}
+			toks = append(toks, sqlToken{kind: sqlNumber, text: src[i:j]})
+			i = j
+		case isSQLWordStart(c):
+			j := i + 1
+			for j < len(src) && isSQLWordPart(src[j]) {
+				j++
+			}
+			w := src[i:j]
+			toks = append(toks, sqlToken{kind: sqlWord, text: strings.ToUpper(w), orig: w})
+			i = j
+		default:
+			for _, p := range []string{"<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, sqlToken{kind: sqlPunct, text: p})
+					i += len(p)
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '.', '=', '<', '>', ';':
+				toks = append(toks, sqlToken{kind: sqlPunct, text: string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("remotedb: unexpected character %q", string(c))
+			}
+		next:
+		}
+	}
+	toks = append(toks, sqlToken{kind: sqlEOF})
+	return toks, nil
+}
+
+func isSQLWordStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isSQLWordPart(c byte) bool {
+	return isSQLWordStart(c) || c >= '0' && c <= '9'
+}
+
+type sqlParser struct {
+	toks []sqlToken
+	pos  int
+}
+
+func (p *sqlParser) cur() sqlToken { return p.toks[p.pos] }
+func (p *sqlParser) advance()      { p.pos++ }
+func (p *sqlParser) atEOF() bool   { return p.cur().kind == sqlEOF }
+
+func (p *sqlParser) atWord(w string) bool {
+	t := p.cur()
+	return t.kind == sqlWord && t.text == w
+}
+
+func (p *sqlParser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == sqlPunct && t.text == s
+}
+
+func (p *sqlParser) expectWord(w string) error {
+	if !p.atWord(w) {
+		return fmt.Errorf("remotedb: expected %s, found %q", w, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *sqlParser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return fmt.Errorf("remotedb: expected %q, found %q", s, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *sqlParser) identifier() (string, error) {
+	t := p.cur()
+	if t.kind != sqlWord {
+		return "", fmt.Errorf("remotedb: expected identifier, found %q", t.text)
+	}
+	p.advance()
+	return strings.ToLower(t.orig), nil
+}
+
+func (p *sqlParser) parseStatement() (*Statement, error) {
+	switch {
+	case p.atWord("CREATE"):
+		c, err := p.parseCreate()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Create: c}, nil
+	case p.atWord("INSERT"):
+		ins, err := p.parseInsert()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Insert: ins}, nil
+	case p.atWord("SELECT"):
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Select: sel}, nil
+	default:
+		return nil, fmt.Errorf("remotedb: expected CREATE, INSERT, or SELECT, found %q", p.cur().text)
+	}
+}
+
+func (p *sqlParser) parseCreate() (*CreateStmt, error) {
+	p.advance() // CREATE
+	if err := p.expectWord("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var attrs []relation.Attr
+	for {
+		col, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		t := p.cur()
+		if t.kind != sqlWord {
+			return nil, fmt.Errorf("remotedb: expected type for column %s", col)
+		}
+		var kind relation.Kind
+		switch t.text {
+		case "INT", "INTEGER", "BIGINT":
+			kind = relation.KindInt
+		case "FLOAT", "REAL", "DOUBLE":
+			kind = relation.KindFloat
+		case "TEXT", "VARCHAR", "CHAR", "STRING":
+			kind = relation.KindString
+		case "BOOL", "BOOLEAN":
+			kind = relation.KindBool
+		default:
+			return nil, fmt.Errorf("remotedb: unknown column type %q", t.orig)
+		}
+		p.advance()
+		// Ignore an optional length like VARCHAR(20).
+		if p.atPunct("(") {
+			p.advance()
+			if p.cur().kind != sqlNumber {
+				return nil, fmt.Errorf("remotedb: expected length after type")
+			}
+			p.advance()
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		attrs = append(attrs, relation.Attr{Name: col, Kind: kind})
+		if p.atPunct(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &CreateStmt{Table: name, Schema: relation.NewSchema(attrs...)}, nil
+}
+
+func (p *sqlParser) parseInsert() (*InsertStmt, error) {
+	p.advance() // INSERT
+	if err := p.expectWord("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.identifier()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row relation.Tuple
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.atPunct(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *sqlParser) parseLiteral() (relation.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case sqlString:
+		p.advance()
+		return relation.Str(t.text), nil
+	case sqlNumber:
+		p.advance()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return relation.Int(i), nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("remotedb: bad number %q", t.text)
+		}
+		return relation.Float(f), nil
+	case sqlWord:
+		switch t.text {
+		case "TRUE":
+			p.advance()
+			return relation.Bool(true), nil
+		case "FALSE":
+			p.advance()
+			return relation.Bool(false), nil
+		case "NULL":
+			p.advance()
+			return relation.Null(), nil
+		}
+	}
+	return relation.Value{}, fmt.Errorf("remotedb: expected literal, found %q", t.text)
+}
+
+func (p *sqlParser) parseSelect() (*SelectStmt, error) {
+	p.advance() // SELECT
+	sel := &SelectStmt{Limit: -1}
+	if p.atWord("DISTINCT") {
+		sel.Distinct = true
+		p.advance()
+	}
+	// Select items.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.atPunct(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		table, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: table, Alias: table}
+		if p.atWord("AS") {
+			p.advance()
+			alias, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = alias
+		} else if p.cur().kind == sqlWord && !isSQLKeyword(p.cur().text) {
+			alias, _ := p.identifier()
+			ref.Alias = alias
+		}
+		sel.From = append(sel.From, ref)
+		if p.atPunct(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.atWord("WHERE") {
+		p.advance()
+		for {
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, cond)
+			if p.atWord("AND") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.atWord("GROUP") {
+		p.advance()
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.atWord("ORDER") {
+		p.advance()
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.OrderBy = append(sel.OrderBy, c)
+			if p.atPunct(",") {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.atWord("LIMIT") {
+		p.advance()
+		t := p.cur()
+		if t.kind != sqlNumber {
+			return nil, fmt.Errorf("remotedb: expected LIMIT count")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("remotedb: bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+		p.advance()
+	}
+	return sel, nil
+}
+
+func isSQLKeyword(w string) bool {
+	switch w {
+	case "SELECT", "FROM", "WHERE", "AND", "GROUP", "ORDER", "BY", "LIMIT", "AS", "DISTINCT", "INSERT", "INTO", "VALUES", "CREATE", "TABLE":
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) parseSelectItem() (SelectItem, error) {
+	if p.atPunct("*") {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	t := p.cur()
+	if t.kind == sqlWord {
+		if op, err := relation.ParseAggOp(t.text); err == nil && p.toks[p.pos+1].kind == sqlPunct && p.toks[p.pos+1].text == "(" {
+			p.advance() // agg name
+			p.advance() // (
+			item := SelectItem{IsAgg: true, Agg: op}
+			if p.atPunct("*") {
+				if op != relation.AggCount {
+					return SelectItem{}, fmt.Errorf("remotedb: only COUNT accepts *")
+				}
+				item.AggStar = true
+				p.advance()
+			} else {
+				col, err := p.parseColRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Col = col
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return item, nil
+		}
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
+}
+
+func (p *sqlParser) parseColRef() (ColRef, error) {
+	first, err := p.identifier()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.atPunct(".") {
+		p.advance()
+		col, err := p.identifier()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: first, Column: col}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *sqlParser) parseCond() (SQLCond, error) {
+	left, err := p.parseColRef()
+	if err != nil {
+		return SQLCond{}, err
+	}
+	t := p.cur()
+	if t.kind != sqlPunct {
+		return SQLCond{}, fmt.Errorf("remotedb: expected comparison operator, found %q", t.text)
+	}
+	op, err := relation.ParseCmpOp(t.text)
+	if err != nil {
+		return SQLCond{}, err
+	}
+	p.advance()
+	cond := SQLCond{Left: left, Op: op}
+	rt := p.cur()
+	if rt.kind == sqlWord && rt.text != "TRUE" && rt.text != "FALSE" && rt.text != "NULL" {
+		col, err := p.parseColRef()
+		if err != nil {
+			return SQLCond{}, err
+		}
+		cond.RightIsCol = true
+		cond.RightCol = col
+		return cond, nil
+	}
+	v, err := p.parseLiteral()
+	if err != nil {
+		return SQLCond{}, err
+	}
+	cond.RightVal = v
+	return cond, nil
+}

@@ -1,0 +1,110 @@
+package remotedb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestParseCreate(t *testing.T) {
+	st, err := ParseSQL("CREATE TABLE emp (id INT, name VARCHAR(20), salary FLOAT, active BOOL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.Create
+	if c == nil || c.Table != "emp" || c.Schema.Arity() != 4 {
+		t.Fatalf("create parse wrong: %+v", st)
+	}
+	if c.Schema.Attr(0).Kind != relation.KindInt ||
+		c.Schema.Attr(1).Kind != relation.KindString ||
+		c.Schema.Attr(2).Kind != relation.KindFloat ||
+		c.Schema.Attr(3).Kind != relation.KindBool {
+		t.Fatalf("kinds wrong: %v", c.Schema)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := ParseSQL("INSERT INTO emp VALUES (1, 'alice', 10.5, TRUE), (2, 'bo''b', 9.0, FALSE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.Insert
+	if ins == nil || len(ins.Rows) != 2 {
+		t.Fatalf("insert parse wrong: %+v", st)
+	}
+	if ins.Rows[1][1].AsString() != "bo'b" {
+		t.Fatalf("escaped quote wrong: %v", ins.Rows[1][1])
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	src := "SELECT DISTINCT a.x, b.y FROM emp AS a, dept b WHERE a.id = b.id AND a.x > 3 AND b.name = 'eng' ORDER BY x LIMIT 10"
+	st, err := ParseSQL(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.Select
+	if sel == nil || !sel.Distinct || len(sel.Items) != 2 || len(sel.From) != 2 || len(sel.Where) != 3 {
+		t.Fatalf("select parse wrong: %+v", sel)
+	}
+	if sel.From[1].Alias != "b" || sel.From[1].Table != "dept" {
+		t.Fatalf("implicit alias wrong: %+v", sel.From[1])
+	}
+	if sel.Limit != 10 || len(sel.OrderBy) != 1 {
+		t.Fatalf("order/limit wrong: %+v", sel)
+	}
+	// Round trip through String.
+	st2, err := ParseSQL(sel.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", sel.String(), err)
+	}
+	if st2.Select.String() != sel.String() {
+		t.Errorf("string round trip: %q vs %q", sel.String(), st2.Select.String())
+	}
+}
+
+func TestParseSelectAggregates(t *testing.T) {
+	st, err := ParseSQL("SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.Select
+	if len(sel.Items) != 3 || sel.Items[0].IsAgg || !sel.Items[1].IsAgg || !sel.Items[1].AggStar || sel.Items[2].Agg != relation.AggSum {
+		t.Fatalf("aggregate parse wrong: %+v", sel.Items)
+	}
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0].Column != "dept" {
+		t.Fatalf("group by wrong: %+v", sel.GroupBy)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE x",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE x ==",
+		"CREATE TABLE t (x BLOB)",
+		"INSERT INTO t VALUES (1,)",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT SUM(*) FROM t",
+		"SELECT * FROM t WHERE x = 'unterminated",
+	}
+	for _, src := range bad {
+		if _, err := ParseSQL(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestSQLCondString(t *testing.T) {
+	c := SQLCond{Left: ColRef{Qualifier: "a", Column: "x"}, Op: relation.OpNe, RightVal: relation.Str("o'k")}
+	if got := c.String(); got != "a.x <> 'o''k'" {
+		t.Errorf("cond string = %q", got)
+	}
+	if !strings.Contains((&SelectStmt{Items: []SelectItem{{Star: true}}, From: []TableRef{{Table: "t", Alias: "t"}}, Limit: -1}).String(), "SELECT * FROM t") {
+		t.Error("select star string wrong")
+	}
+}

@@ -1,0 +1,138 @@
+package remotedb
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// TCPClient is a Client over the TCP wire protocol. Requests are serialized
+// per connection (one outstanding request at a time), matching the paper's
+// session-oriented DBMS interface; the CMS opens several clients when it
+// wants genuine parallelism against the server.
+//
+// The same virtual cost model as InProcClient is charged, so experiments can
+// switch transports without changing cost semantics (real network time is on
+// top, visible in wall-clock benchmarks).
+type TCPClient struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	costs Costs
+	stats Stats
+}
+
+// DialTCP connects to a Server at addr.
+func DialTCP(addr string, costs Costs) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPClient{
+		conn:  conn,
+		enc:   gob.NewEncoder(conn),
+		dec:   gob.NewDecoder(conn),
+		costs: costs,
+	}, nil
+}
+
+func (c *TCPClient) roundTrip(req *wireRequest) (*wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("remotedb: client closed")
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Exec implements Client.
+func (c *TCPClient) Exec(sql string) (*Result, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: "exec", SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	rel, err := fromWireRelation(resp.Rel)
+	if err != nil {
+		return nil, err
+	}
+	var tuples int64
+	if rel != nil {
+		tuples = int64(rel.Len())
+	}
+	sim := c.costs.RequestCost(tuples, resp.Ops)
+	c.mu.Lock()
+	c.stats.Requests++
+	c.stats.TuplesReturned += tuples
+	c.stats.ServerOps += resp.Ops
+	c.stats.SimMS += sim
+	c.mu.Unlock()
+	return &Result{Rel: rel, SimMS: sim}, nil
+}
+
+// RelationSchema implements Client.
+func (c *TCPClient) RelationSchema(name string, arity int) (*relation.Schema, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: "schema", Name: name})
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]relation.Attr, len(resp.Attrs))
+	for i, a := range resp.Attrs {
+		attrs[i] = relation.Attr{Name: a.Name, Kind: relation.Kind(a.Kind)}
+	}
+	sch := relation.NewSchema(attrs...)
+	if arity >= 0 && sch.Arity() != arity {
+		return nil, errArity(name, sch.Arity(), arity)
+	}
+	return sch, nil
+}
+
+// TableStats implements Client.
+func (c *TCPClient) TableStats(name string) (TableStats, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: "stats", Name: name})
+	if err != nil {
+		return TableStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Tables implements Client.
+func (c *TCPClient) Tables() ([]string, error) {
+	resp, err := c.roundTrip(&wireRequest{Op: "tables"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// Stats implements Client.
+func (c *TCPClient) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

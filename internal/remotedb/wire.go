@@ -1,0 +1,122 @@
+package remotedb
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Wire representation for the TCP protocol. relation.Value keeps its fields
+// unexported (by design), so the protocol uses explicit, versionable mirror
+// types encoded with encoding/gob.
+
+type wireValue struct {
+	Kind uint8
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+func toWireValue(v relation.Value) wireValue {
+	switch v.Kind() {
+	case relation.KindInt:
+		return wireValue{Kind: 1, I: v.AsInt()}
+	case relation.KindFloat:
+		return wireValue{Kind: 2, F: v.AsFloat()}
+	case relation.KindString:
+		return wireValue{Kind: 3, S: v.AsString()}
+	case relation.KindBool:
+		return wireValue{Kind: 4, B: v.AsBool()}
+	default:
+		return wireValue{Kind: 0}
+	}
+}
+
+func fromWireValue(w wireValue) (relation.Value, error) {
+	switch w.Kind {
+	case 0:
+		return relation.Null(), nil
+	case 1:
+		return relation.Int(w.I), nil
+	case 2:
+		return relation.Float(w.F), nil
+	case 3:
+		return relation.Str(w.S), nil
+	case 4:
+		return relation.Bool(w.B), nil
+	default:
+		return relation.Value{}, fmt.Errorf("remotedb: bad wire value kind %d", w.Kind)
+	}
+}
+
+type wireAttr struct {
+	Name string
+	Kind uint8
+}
+
+type wireRelation struct {
+	Name   string
+	Attrs  []wireAttr
+	Tuples [][]wireValue
+}
+
+func toWireRelation(r *relation.Relation) *wireRelation {
+	if r == nil {
+		return nil
+	}
+	w := &wireRelation{Name: r.Name}
+	for _, a := range r.Schema().Attrs() {
+		w.Attrs = append(w.Attrs, wireAttr{Name: a.Name, Kind: uint8(a.Kind)})
+	}
+	for _, t := range r.Tuples() {
+		row := make([]wireValue, len(t))
+		for i, v := range t {
+			row[i] = toWireValue(v)
+		}
+		w.Tuples = append(w.Tuples, row)
+	}
+	return w
+}
+
+func fromWireRelation(w *wireRelation) (*relation.Relation, error) {
+	if w == nil {
+		return nil, nil
+	}
+	attrs := make([]relation.Attr, len(w.Attrs))
+	for i, a := range w.Attrs {
+		attrs[i] = relation.Attr{Name: a.Name, Kind: relation.Kind(a.Kind)}
+	}
+	r := relation.New(w.Name, relation.NewSchema(attrs...))
+	for _, row := range w.Tuples {
+		t := make(relation.Tuple, len(row))
+		for i, wv := range row {
+			v, err := fromWireValue(wv)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		if err := r.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// wireRequest is one protocol request. Op selects the action.
+type wireRequest struct {
+	Op   string // "exec", "schema", "stats", "tables"
+	SQL  string
+	Name string
+}
+
+// wireResponse is one protocol response.
+type wireResponse struct {
+	Err    string
+	Rel    *wireRelation
+	Ops    int64
+	Attrs  []wireAttr
+	Stats  TableStats
+	Tables []string
+}

@@ -1,0 +1,107 @@
+package subsume
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// Property tests via testing/quick on the Range lattice.
+
+func opOf(b uint8) relation.CmpOp {
+	return relation.CmpOp(b % 6)
+}
+
+// Adding a constraint makes the range imply that constraint (tightening).
+func TestQuickRangeAddImplies(t *testing.T) {
+	f := func(ops []uint8, consts []int8, lastOp uint8, lastC int8) bool {
+		var r Range
+		n := len(ops)
+		if len(consts) < n {
+			n = len(consts)
+		}
+		for i := 0; i < n && i < 4; i++ {
+			r.Add(opOf(ops[i]), relation.Int(int64(consts[i])))
+		}
+		op, c := opOf(lastOp), relation.Int(int64(lastC))
+		r.Add(op, c)
+		return r.Implies(op, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Implication is sound: every integer in the range satisfies any implied
+// comparison (checked by brute force over a window).
+func TestQuickRangeImplicationSound(t *testing.T) {
+	f := func(ops []uint8, consts []int8, probeOp uint8, probeC int8) bool {
+		var r Range
+		n := len(ops)
+		if len(consts) < n {
+			n = len(consts)
+		}
+		for i := 0; i < n && i < 3; i++ {
+			r.Add(opOf(ops[i]), relation.Int(int64(consts[i])))
+		}
+		op, c := opOf(probeOp), relation.Int(int64(probeC))
+		if !r.Implies(op, c) {
+			return true // nothing claimed
+		}
+		// Every in-range integer in [-300, 300] must satisfy the probe.
+		for x := int64(-300); x <= 300; x++ {
+			v := relation.Int(x)
+			if inRange(r, v) && !op.Eval(v, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// inRange checks membership directly from the constraint fields.
+func inRange(r Range, v relation.Value) bool {
+	if r.Infeasib {
+		return false
+	}
+	if r.Eq != nil && !r.Eq.Equal(v) {
+		return false
+	}
+	if r.HasLo {
+		c := v.Compare(r.Lo)
+		if c < 0 || (c == 0 && r.LoOpen) {
+			return false
+		}
+	}
+	if r.HasHi {
+		c := v.Compare(r.Hi)
+		if c > 0 || (c == 0 && r.HiOpen) {
+			return false
+		}
+	}
+	for _, n := range r.Ne {
+		if n.Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equality constraints collapse the range to a point: any implied comparison
+// then matches direct evaluation exactly.
+func TestQuickRangePointEquality(t *testing.T) {
+	f := func(c int8, probeOp uint8, probeC int8) bool {
+		var r Range
+		r.Add(relation.OpEq, relation.Int(int64(c)))
+		op := opOf(probeOp)
+		pv := relation.Int(int64(probeC))
+		return r.Implies(op, pv) == op.Eval(relation.Int(int64(c)), pv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

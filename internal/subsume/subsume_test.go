@@ -1,0 +1,477 @@
+package subsume
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/caql"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+func at(name string, kind relation.Kind) relation.Attr {
+	return relation.Attr{Name: name, Kind: kind}
+}
+
+// paperSource builds extensions for b21, b22, b23 and the paper's b1/b2/b3.
+func paperSource(rng *rand.Rand, names map[string]int) caql.MapSource {
+	src := caql.MapSource{}
+	for name, arity := range names {
+		attrs := make([]relation.Attr, arity)
+		for i := range attrs {
+			attrs[i] = at(string(rune('a'+i)), relation.KindInt)
+		}
+		rel := relation.New(name, relation.NewSchema(attrs...))
+		for i := 0; i < 8+rng.Intn(10); i++ {
+			tu := make(relation.Tuple, arity)
+			for j := range tu {
+				tu[j] = relation.Int(int64(rng.Intn(5)))
+			}
+			rel.MustAppend(tu)
+		}
+		src[name] = rel
+	}
+	return src
+}
+
+func headVars(q *caql.Query) map[string]bool {
+	out := make(map[string]bool)
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			out[t.Var] = true
+		}
+	}
+	return out
+}
+
+// Section 5.3.2 step 1 example: Q_c1 = b21(X,2) vs E1, E2, E3.
+func TestPaperStep1Example(t *testing.T) {
+	q := caql.MustParse("q(X) :- b21(X, 2)")
+	e1 := caql.MustParse("e1(X, Y, Z) :- b21(X, Y) & b22(Y, Z)")
+	e2 := caql.MustParse("e2(Y) :- b21(3, Y)")
+	e3 := caql.MustParse("e3(X, Z) :- b21(X, 2) & b23(2, Z)")
+
+	// E1 has atoms the query lacks (b22): usable only for decomposition, and
+	// its b21 atom matches. The element uses all its atoms, so Match against
+	// the single-atom query fails (element more restricted).
+	if cands := Match(e1, q, headVars(q)); len(cands) != 0 {
+		t.Errorf("E1 should be rejected for the single-atom query (more restricted), got %d candidates", len(cands))
+	}
+	// E2: constant 3 where query has variable X — rejected.
+	if cands := Match(e2, q, headVars(q)); len(cands) != 0 {
+		t.Errorf("E2 should be rejected, got %d", len(cands))
+	}
+	// E3: likewise multi-atom; but against the two-atom query Q1b it works.
+	q1b := caql.MustParse("q(X) :- b23(2, 3) & b21(X, 2)")
+	cands := Match(e3, q1b, headVars(q1b))
+	if len(cands) == 0 {
+		t.Fatal("E3 should match Q1b")
+	}
+	if !cands[0].CoversAll(2) {
+		t.Errorf("E3 should cover both atoms of Q1b, covered %v", cands[0].Cover)
+	}
+
+	// Q1a = b21(X,2) & b22(2,Y): E3 must NOT be considered (b23 missing).
+	q1a := caql.MustParse("q(X, Y) :- b21(X, 2) & b22(2, Y)")
+	if cands := Match(e3, q1a, headVars(q1a)); len(cands) != 0 {
+		t.Errorf("E3 should not match Q1a, got %d", len(cands))
+	}
+	// Q1c = b21(2,Y) & b23(Y,Z): E3's b21 has var where query has const —
+	// fine (2 matches X3) — but E3's b23(2,Z) has const 2 where query has
+	// var Y: rejected.
+	q1c := caql.MustParse("q(Y, Z) :- b21(2, Y) & b23(Y, Z)")
+	if cands := Match(e3, q1c, headVars(q1c)); len(cands) != 0 {
+		t.Errorf("E3 should not match Q1c, got %d", len(cands))
+	}
+}
+
+// Section 5.3.2 continuation: cache elements E11, E12, E13 and query
+// d2(X,c6) = b2(X,Z) & b3(Z,c2,c6).
+func TestPaperElementExample(t *testing.T) {
+	q := caql.MustParse(`d2(X) :- b2(X, Z) & b3(Z, "c2", "c6")`)
+	e11 := caql.MustParse(`e11(X, Y) :- b2(X, "c1") & b3(Y, "c2", "c6")`)
+	e12 := caql.MustParse(`e12(X, Y) :- b3(X, "c2", Y)`)
+	e13 := caql.MustParse(`e13(X, Y, Z) :- b3(X, Y, Z)`)
+
+	needed := map[string]bool{"X": true, "Z": true}
+	// E11: its b2 atom has constant "c1" where the query has variable Z —
+	// more restricted; no candidate may use it. (Its b3 atom alone cannot be
+	// used either because all element atoms must be used.)
+	if cands := Match(e11, q, needed); len(cands) != 0 {
+		t.Errorf("E11 should be rejected, got %d candidates", len(cands))
+	}
+	// E12 covers the b3 atom.
+	cands := Match(e12, q, needed)
+	if len(cands) != 1 || len(cands[0].Cover) != 1 || cands[0].Cover[0] != 1 {
+		t.Fatalf("E12 should cover exactly the b3 atom: %+v", cands)
+	}
+	// Residual selection: second head col (Y of e12) = "c6".
+	if len(cands[0].Conds) != 1 {
+		t.Fatalf("E12 candidate conds = %v", cands[0].Conds)
+	}
+	// E13 covers the b3 atom too, with selections on cols 1 and 2.
+	cands13 := Match(e13, q, needed)
+	if len(cands13) != 1 || len(cands13[0].Conds) != 2 {
+		t.Fatalf("E13 candidate wrong: %+v", cands13)
+	}
+}
+
+func TestFullDerivationExactAndGeneralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	src := paperSource(rng, map[string]int{"b2": 2, "b3": 3})
+	// Element: generalized query; Query: instance with constant.
+	e := caql.MustParse("e(X, Z, Y) :- b2(X, Z) & b3(Z, 2, Y)")
+	q := caql.MustParse("d2(X, 3) :- b2(X, Z) & b3(Z, 2, 3)")
+
+	d, ok := DeriveFull(e, q)
+	if !ok {
+		t.Fatal("generalized element should derive the instance")
+	}
+	ext, err := caql.Eval(e, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := caql.Eval(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply("d2", want.Schema(), ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsBag(want) {
+		t.Fatalf("derivation wrong:\ngot %v\nwant %v", got, want)
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	a := caql.MustParse("d(X, Y) :- b2(X, Z) & b3(Z, 2, Y)")
+	b := caql.MustParse("d(P, Q) :- b2(P, R) & b3(R, 2, Q)")
+	c := caql.MustParse("d(P, Q) :- b2(P, R) & b3(R, 3, Q)")
+	if !ExactMatch(a, b) {
+		t.Error("alpha-equivalent queries should exact-match")
+	}
+	if ExactMatch(a, c) {
+		t.Error("different constants should not exact-match")
+	}
+}
+
+func TestRangeImplication(t *testing.T) {
+	cmps := func(src string) *caql.Query { return caql.MustParse(src) }
+	q := cmps("q(X) :- r(X) & X >= 3 & X < 10")
+	r := RangeOf("X", q.Cmps)
+	cases := []struct {
+		op   relation.CmpOp
+		c    int64
+		want bool
+	}{
+		{relation.OpGe, 3, true},
+		{relation.OpGe, 2, true},
+		{relation.OpGe, 4, false},
+		{relation.OpGt, 2, true},
+		{relation.OpGt, 3, false},
+		{relation.OpLt, 10, true},
+		{relation.OpLt, 9, false},
+		{relation.OpLe, 10, true},
+		// x < 10 does not imply x <= 9 over reals (9.5 is in range); the
+		// implication must be conservative.
+		{relation.OpLe, 9, false},
+		{relation.OpNe, 11, true},
+		{relation.OpNe, 5, false},
+		{relation.OpEq, 5, false},
+	}
+	for _, c := range cases {
+		if got := r.Implies(c.op, relation.Int(c.c)); got != c.want {
+			t.Errorf("[3,10).Implies(%s %d) = %v, want %v", c.op, c.c, got, c.want)
+		}
+	}
+	// Exact value.
+	qe := cmps("q(X) :- r(X) & X = 5")
+	re := RangeOf("X", qe.Cmps)
+	if !re.Implies(relation.OpLt, relation.Int(6)) || re.Implies(relation.OpLt, relation.Int(5)) {
+		t.Error("exact-value implication wrong")
+	}
+	// Infeasible.
+	qi := cmps("q(X) :- r(X) & X < 3 & X > 5")
+	ri := RangeOf("X", qi.Cmps)
+	if !ri.Infeasib || !ri.Implies(relation.OpEq, relation.Int(99)) {
+		t.Error("infeasible range should imply everything")
+	}
+}
+
+func TestRangeSubsumption(t *testing.T) {
+	// Element caches X in [0, 100); query asks X in [10, 20]: derivable with
+	// residual range selections.
+	e := caql.MustParse("e(X, Y) :- r(X, Y) & X >= 0 & X < 100")
+	q := caql.MustParse("q(X, Y) :- r(X, Y) & X >= 10 & X <= 20")
+	d, ok := DeriveFull(e, q)
+	if !ok {
+		t.Fatal("range-contained query should be derivable")
+	}
+	if len(d.Candidate.Conds) == 0 {
+		t.Fatal("expected residual range selections")
+	}
+	// Reverse direction must fail: element narrower than query.
+	if _, ok := DeriveFull(q, e); ok {
+		t.Fatal("narrow element must not derive wider query")
+	}
+}
+
+func TestVarVarComparisonSubsumption(t *testing.T) {
+	e := caql.MustParse("e(X, Y) :- r(X, Y) & X < Y")
+	q := caql.MustParse("q(X, Y) :- r(X, Y) & X < Y")
+	if _, ok := DeriveFull(e, q); !ok {
+		t.Fatal("identical var-var comparison should be accepted")
+	}
+	q2 := caql.MustParse("q(X, Y) :- r(X, Y)")
+	if _, ok := DeriveFull(e, q2); ok {
+		t.Fatal("element with extra var-var constraint must be rejected")
+	}
+	// Flipped spelling still matches.
+	q3 := caql.MustParse("q(X, Y) :- r(X, Y) & Y > X")
+	if _, ok := DeriveFull(e, q3); !ok {
+		t.Fatal("flipped var-var comparison should be accepted")
+	}
+}
+
+func TestNonHeadConstantBindingRejected(t *testing.T) {
+	// Element projects away Z; query binds Z's position to a constant. The
+	// selection cannot be applied to ext(E): must reject.
+	e := caql.MustParse("e(X) :- r(X, Z)")
+	q := caql.MustParse("q(X) :- r(X, 5)")
+	if _, ok := DeriveFull(e, q); ok {
+		t.Fatal("constant on projected-away column must be rejected")
+	}
+	// With the column retained it works.
+	e2 := caql.MustParse("e(X, Z) :- r(X, Z)")
+	if _, ok := DeriveFull(e2, q); !ok {
+		t.Fatal("retained column should allow the selection")
+	}
+}
+
+func TestSharedVarNeedsColumns(t *testing.T) {
+	// Query joins r and s on Y; element has them unjoined but projects Y
+	// columns: equality enforceable.
+	e := caql.MustParse("e(X, Y1, Y2, Z) :- r(X, Y1) & s(Y2, Z)")
+	q := caql.MustParse("q(X, Z) :- r(X, Y) & s(Y, Z)")
+	d, ok := DeriveFull(e, q)
+	if !ok {
+		t.Fatal("join enforceable via residual equality")
+	}
+	hasColCol := false
+	for _, c := range d.Candidate.Conds {
+		if c.Right >= 0 {
+			hasColCol = true
+		}
+	}
+	if !hasColCol {
+		t.Fatal("expected a column-equality residual selection")
+	}
+	// Element projecting away one Y column cannot enforce the join.
+	e2 := caql.MustParse("e(X, Z) :- r(X, Y1) & s(Y2, Z)")
+	if _, ok := DeriveFull(e2, q); ok {
+		t.Fatal("cross-product element without join columns must be rejected")
+	}
+	// Element that already joins is fine even without Y in head.
+	e3 := caql.MustParse("e(X, Z) :- r(X, Y) & s(Y, Z)")
+	if _, ok := DeriveFull(e3, q); !ok {
+		t.Fatal("already-joined element should derive")
+	}
+}
+
+func TestElementEquatesMoreThanQuery(t *testing.T) {
+	// Element r(X,X) requires equality the query does not: more restricted.
+	e := caql.MustParse("e(X) :- r(X, X)")
+	q := caql.MustParse("q(X, Y) :- r(X, Y)")
+	if cands := Match(e, q, headVars(q)); len(cands) != 0 {
+		t.Fatal("diagonal element must not derive full relation")
+	}
+	// Opposite direction: query diagonal, element full — derivable with a
+	// col=col selection.
+	if _, ok := DeriveFull(caql.MustParse("e(X, Y) :- r(X, Y)"), caql.MustParse("q(X) :- r(X, X)")); !ok {
+		t.Fatal("full element should derive diagonal query")
+	}
+}
+
+// The big soundness property: whenever DeriveFull succeeds on random
+// element/query pairs, applying the derivation to the element's extension
+// equals direct evaluation of the query. Additionally, exact self-derivation
+// always succeeds.
+func TestDerivationSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	names := map[string]int{"r": 2, "s": 2, "u": 3}
+	derived := 0
+	for trial := 0; trial < 400; trial++ {
+		src := paperSource(rng, names)
+		e := randomQuery(rng, "e", names)
+		if e == nil {
+			continue
+		}
+		// Bias toward derivable pairs: most trials specialize the element
+		// (instantiate a head variable and/or tighten with a comparison),
+		// the rest draw an independent random query.
+		var q *caql.Query
+		if rng.Intn(10) < 7 {
+			q = specialize(rng, e)
+		} else {
+			q = randomQuery(rng, "q", names)
+		}
+		if q == nil {
+			continue
+		}
+		// Self-derivation must always hold.
+		if _, ok := DeriveFull(e, e.Clone()); !ok {
+			t.Fatalf("self-derivation failed for %s", e)
+		}
+		d, ok := DeriveFull(e, q)
+		if !ok {
+			continue
+		}
+		derived++
+		ext, err := caql.Eval(e, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := caql.Eval(q, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Apply("q", want.Schema(), ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualAsSet(want) {
+			t.Fatalf("trial %d unsound derivation:\nE: %s\nQ: %s\ngot %v\nwant %v",
+				trial, e, q, relation.DistinctRel(got).Sort(), relation.DistinctRel(want).Sort())
+		}
+	}
+	if derived < 20 {
+		t.Fatalf("too few successful derivations to be meaningful: %d", derived)
+	}
+}
+
+// specialize derives a random instance of e: constant bindings on head
+// variables and/or extra range comparisons.
+func specialize(rng *rand.Rand, e *caql.Query) *caql.Query {
+	q := e.Clone()
+	q.Head.Pred = "q"
+	var headVarList []string
+	for _, t := range q.Head.Args {
+		if t.IsVar() {
+			headVarList = append(headVarList, t.Var)
+		}
+	}
+	if len(headVarList) > 0 && rng.Intn(2) == 0 {
+		v := headVarList[rng.Intn(len(headVarList))]
+		q = q.Instantiate(map[string]relation.Value{v: relation.Int(int64(rng.Intn(5)))})
+	}
+	if len(headVarList) > 0 && rng.Intn(2) == 0 {
+		v := headVarList[rng.Intn(len(headVarList))]
+		ops := []relation.CmpOp{relation.OpLt, relation.OpLe, relation.OpGt, relation.OpGe, relation.OpNe}
+		q.Cmps = append(q.Cmps, logic.Cmp(logic.V(v), ops[rng.Intn(len(ops))], logic.CInt(int64(rng.Intn(5)))))
+	}
+	if q.Validate() != nil {
+		return nil
+	}
+	return q
+}
+
+// randomQuery builds a random valid conjunctive query (nil if invalid).
+func randomQuery(rng *rand.Rand, name string, names map[string]int) *caql.Query {
+	preds := []string{"r", "s", "u"}
+	varsPool := []string{"X", "Y", "Z", "W"}
+	term := func() logic.Term {
+		if rng.Intn(5) == 0 {
+			return logic.CInt(int64(rng.Intn(5)))
+		}
+		return logic.V(varsPool[rng.Intn(len(varsPool))])
+	}
+	var body []logic.Atom
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		p := preds[rng.Intn(len(preds))]
+		args := make([]logic.Term, names[p])
+		for j := range args {
+			args[j] = term()
+		}
+		body = append(body, logic.A(p, args...))
+	}
+	varSet := logic.VarsOf(body)
+	var varList []string
+	for _, v := range varsPool {
+		if varSet[v] {
+			varList = append(varList, v)
+		}
+	}
+	if len(varList) == 0 {
+		return nil
+	}
+	if rng.Intn(3) == 0 {
+		ops := []relation.CmpOp{relation.OpLt, relation.OpLe, relation.OpGt, relation.OpGe, relation.OpNe}
+		body = append(body, logic.Cmp(logic.V(varList[rng.Intn(len(varList))]), ops[rng.Intn(len(ops))], logic.CInt(int64(rng.Intn(5)))))
+	}
+	// Head: random subset (nonempty) of vars.
+	var head []logic.Term
+	for _, v := range varList {
+		if rng.Intn(3) != 0 {
+			head = append(head, logic.V(v))
+		}
+	}
+	if len(head) == 0 {
+		head = append(head, logic.V(varList[0]))
+	}
+	q := caql.NewQuery(logic.A(name, head...), body)
+	if q.Validate() != nil {
+		return nil
+	}
+	return q
+}
+
+// Decomposition: a multi-atom query partially covered by an element; the
+// piece joined with the residual equals direct evaluation.
+func TestPartialCoverageDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	src := paperSource(rng, map[string]int{"r": 2, "s": 2, "u": 3})
+	q := caql.MustParse("q(X, W) :- r(X, Y) & s(Y, Z) & u(Z, W, 1)")
+	e := caql.MustParse("e(X, Y, Z) :- r(X, Y) & s(Y, Z)")
+
+	needed := map[string]bool{"X": true, "W": true, "Z": true} // Z shared with residual
+	cands := Match(e, q, needed)
+	if len(cands) == 0 {
+		t.Fatal("element should cover the r,s prefix")
+	}
+	cand := cands[0]
+	if len(cand.Cover) != 2 {
+		t.Fatalf("cover = %v", cand.Cover)
+	}
+
+	ext, err := caql.Eval(e, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piece := cand.Materialize("piece", ext)
+
+	// Rewrite: q'(X, W) :- piece(vars...) & u(Z, W, 1)
+	overlay := caql.MapSource{"piece": piece, "u": src["u"]}
+	rew := caql.NewQuery(q.Head, append([]logic.Atom{cand.PieceAtom("piece")}, q.Rels[2]))
+	got, err := caql.Eval(rew, overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := caql.Eval(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualAsSet(want) {
+		t.Fatalf("decomposed evaluation wrong:\ngot %v\nwant %v", got, want)
+	}
+}
+
+func TestMatchCandidateOrdering(t *testing.T) {
+	// Elements with larger cover should sort first.
+	q := caql.MustParse("q(X, Z) :- r(X, Y) & s(Y, Z)")
+	e := caql.MustParse("e(X, Y, Z) :- r(X, Y) & s(Y, Z)")
+	cands := Match(e, q, map[string]bool{"X": true, "Z": true})
+	if len(cands) == 0 || len(cands[0].Cover) != 2 {
+		t.Fatalf("expected full-cover candidate first: %+v", cands)
+	}
+}

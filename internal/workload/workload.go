@@ -1,0 +1,219 @@
+// Package workload provides deterministic synthetic workloads for the
+// experiment suite: a recursive kinship knowledge base (the classic
+// expert-system family domain), a suppliers-and-parts domain (the relational
+// classic), and the b1/b2/b3 chain shape of the paper's running example with
+// controllable sizes and selectivities.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/caql"
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+)
+
+// Workload bundles a knowledge base, the base relation extensions, and a
+// representative AI query mix.
+type Workload struct {
+	Name    string
+	KB      *logic.KB
+	Tables  []*relation.Relation
+	Queries []logic.Atom
+}
+
+// Engine loads the workload's tables into a fresh remote DBMS engine.
+func (w *Workload) Engine() *remotedb.Engine {
+	e := remotedb.NewEngine()
+	for _, t := range w.Tables {
+		e.LoadTable(t)
+	}
+	return e
+}
+
+// Source returns the extensions as a caql.MapSource (reference evaluation).
+func (w *Workload) Source() caql.MapSource {
+	src := caql.MapSource{}
+	for _, t := range w.Tables {
+		src[t.Name] = t
+	}
+	return src
+}
+
+func mustKB(src string) *logic.KB {
+	kb, err := logic.ParseProgram(src)
+	if err != nil {
+		panic(fmt.Sprintf("workload: bad builtin KB: %v", err))
+	}
+	return kb
+}
+
+// Kinship builds a random family forest of the given size with the classic
+// derived relations. Parent edges are acyclic by construction (children have
+// strictly larger identifiers), so every strategy handles the recursion.
+func Kinship(seed int64, people int) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	kb := mustKB(`
+		:- base(parent/2).
+		:- base(male/1).
+		:- base(female/1).
+		:- base(age/2).
+		:- mutex(male/1, female/1).
+		father(X, Y) :- parent(X, Y), male(X).
+		mother(X, Y) :- parent(X, Y), female(X).
+		grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+		grandfather(X, Z) :- grandparent(X, Z), male(X).
+		sibling(X, Y) :- parent(P, X), parent(P, Y), X != Y.
+		brother(X, Y) :- sibling(X, Y), male(X).
+		uncle(X, Y) :- brother(X, P), parent(P, Y).
+		cousin(X, Y) :- parent(P, X), parent(Q, Y), sibling(P, Q).
+		anc(X, Y) :- parent(X, Y).
+		anc(X, Y) :- parent(X, Z), anc(Z, Y).
+		adult(X) :- age(X, A), A >= 18.
+		elder_parent(X, Y) :- parent(X, Y), age(X, A), A >= 60.
+	`)
+
+	parent := relation.New("parent", relation.NewSchema(
+		relation.Attr{Name: "p", Kind: relation.KindString},
+		relation.Attr{Name: "c", Kind: relation.KindString}))
+	male := relation.New("male", relation.NewSchema(relation.Attr{Name: "x", Kind: relation.KindString}))
+	female := relation.New("female", relation.NewSchema(relation.Attr{Name: "x", Kind: relation.KindString}))
+	age := relation.New("age", relation.NewSchema(
+		relation.Attr{Name: "x", Kind: relation.KindString},
+		relation.Attr{Name: "a", Kind: relation.KindInt}))
+
+	name := func(i int) string { return fmt.Sprintf("p%03d", i) }
+	for i := 0; i < people; i++ {
+		if rng.Intn(2) == 0 {
+			male.MustAppend(relation.Tuple{relation.Str(name(i))})
+		} else {
+			female.MustAppend(relation.Tuple{relation.Str(name(i))})
+		}
+		age.MustAppend(relation.Tuple{relation.Str(name(i)), relation.Int(int64(5 + rng.Intn(80)))})
+		// Up to two parents with smaller identifiers (acyclic).
+		if i > 0 {
+			nParents := 1 + rng.Intn(2)
+			seen := map[int]bool{}
+			for k := 0; k < nParents; k++ {
+				p := rng.Intn(i)
+				if !seen[p] {
+					seen[p] = true
+					parent.MustAppend(relation.Tuple{relation.Str(name(p)), relation.Str(name(i))})
+				}
+			}
+		}
+	}
+
+	queries := []logic.Atom{
+		logic.A("grandparent", logic.V("X"), logic.V("Y")),
+		logic.A("uncle", logic.V("X"), logic.V("Y")),
+		logic.A("cousin", logic.V("X"), logic.V("Y")),
+		logic.A("anc", logic.CStr(name(0)), logic.V("Y")),
+		logic.A("elder_parent", logic.V("X"), logic.V("Y")),
+	}
+	return &Workload{Name: "kinship", KB: kb, Tables: []*relation.Relation{parent, male, female, age}, Queries: queries}
+}
+
+// Suppliers builds the suppliers/parts/shipments domain at the given scale
+// (suppliers = scale, parts = 2*scale, shipments ≈ 8*scale).
+func Suppliers(seed int64, scale int) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	kb := mustKB(`
+		:- base(supplier/3).
+		:- base(part/3).
+		:- base(shipment/3).
+		:- fd(supplier/3, [1] -> [2,3]).
+		:- fd(part/3, [1] -> [2,3]).
+		supplies(S, P) :- shipment(S, P, Q), Q > 0.
+		red_part(P) :- part(P, "red", W).
+		supplies_red(S) :- supplies(S, P), red_part(P).
+		heavy_shipment(S, P) :- shipment(S, P, Q), part(P, C, W), W > 70.
+		big_order(S, P) :- shipment(S, P, Q), Q >= 400.
+		colocated(S1, S2) :- supplier(S1, N1, C), supplier(S2, N2, C), S1 != S2.
+		local_red(S1, S2) :- colocated(S1, S2), supplies_red(S2).
+		status_ok(S) :- supplier(S, N, C), shipment(S, P, Q), Q >= 100.
+	`)
+
+	cities := []string{"london", "paris", "athens", "oslo", "rome"}
+	colors := []string{"red", "green", "blue"}
+
+	supplier := relation.New("supplier", relation.NewSchema(
+		relation.Attr{Name: "sid", Kind: relation.KindInt},
+		relation.Attr{Name: "name", Kind: relation.KindString},
+		relation.Attr{Name: "city", Kind: relation.KindString}))
+	part := relation.New("part", relation.NewSchema(
+		relation.Attr{Name: "pid", Kind: relation.KindInt},
+		relation.Attr{Name: "color", Kind: relation.KindString},
+		relation.Attr{Name: "weight", Kind: relation.KindFloat}))
+	shipment := relation.New("shipment", relation.NewSchema(
+		relation.Attr{Name: "sid", Kind: relation.KindInt},
+		relation.Attr{Name: "pid", Kind: relation.KindInt},
+		relation.Attr{Name: "qty", Kind: relation.KindInt}))
+
+	for s := 0; s < scale; s++ {
+		supplier.MustAppend(relation.Tuple{
+			relation.Int(int64(s)),
+			relation.Str(fmt.Sprintf("s%03d", s)),
+			relation.Str(cities[rng.Intn(len(cities))])})
+	}
+	for p := 0; p < 2*scale; p++ {
+		part.MustAppend(relation.Tuple{
+			relation.Int(int64(p)),
+			relation.Str(colors[rng.Intn(len(colors))]),
+			relation.Float(float64(10 + rng.Intn(90)))})
+	}
+	for i := 0; i < 8*scale; i++ {
+		shipment.MustAppend(relation.Tuple{
+			relation.Int(int64(rng.Intn(scale))),
+			relation.Int(int64(rng.Intn(2 * scale))),
+			relation.Int(int64(rng.Intn(500)))})
+	}
+
+	queries := []logic.Atom{
+		logic.A("supplies_red", logic.V("S")),
+		logic.A("heavy_shipment", logic.V("S"), logic.V("P")),
+		logic.A("local_red", logic.V("S1"), logic.V("S2")),
+		logic.A("big_order", logic.V("S"), logic.V("P")),
+		logic.A("status_ok", logic.V("S")),
+	}
+	return &Workload{Name: "suppliers", KB: kb, Tables: []*relation.Relation{supplier, part, shipment}, Queries: queries}
+}
+
+// Chain builds the paper's running-example shape: b1(string, int),
+// b2(int, int), b3(int, string, int), with the Example 1 rules. domain
+// controls join fanout (values drawn from [0, domain)).
+func Chain(seed int64, rows, domain int) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	kb := mustKB(`
+		:- base(b1/2).
+		:- base(b2/2).
+		:- base(b3/3).
+		k1(X, Y) :- b1(c1, Y), k2(X, Y).
+		k2(X, Y) :- b2(X, Z), b3(Z, c2, Y).
+		k2(X, Y) :- b3(X, c3, Z), b1(Z, Y).
+	`)
+	tags := []string{"c1", "c2", "c3", "d1", "d2"}
+	b1 := relation.New("b1", relation.NewSchema(
+		relation.Attr{Name: "x", Kind: relation.KindString},
+		relation.Attr{Name: "y", Kind: relation.KindInt}))
+	b2 := relation.New("b2", relation.NewSchema(
+		relation.Attr{Name: "x", Kind: relation.KindInt},
+		relation.Attr{Name: "y", Kind: relation.KindInt}))
+	b3 := relation.New("b3", relation.NewSchema(
+		relation.Attr{Name: "x", Kind: relation.KindInt},
+		relation.Attr{Name: "y", Kind: relation.KindString},
+		relation.Attr{Name: "z", Kind: relation.KindInt}))
+	for i := 0; i < rows; i++ {
+		b1.MustAppend(relation.Tuple{relation.Str(tags[rng.Intn(len(tags))]), relation.Int(int64(rng.Intn(domain)))})
+		b2.MustAppend(relation.Tuple{relation.Int(int64(rng.Intn(domain))), relation.Int(int64(rng.Intn(domain)))})
+		b3.MustAppend(relation.Tuple{relation.Int(int64(rng.Intn(domain))), relation.Str(tags[rng.Intn(len(tags))]), relation.Int(int64(rng.Intn(domain)))})
+		b3.MustAppend(relation.Tuple{relation.Int(int64(rng.Intn(domain))), relation.Str(tags[rng.Intn(len(tags))]), relation.Int(int64(rng.Intn(domain)))})
+	}
+	queries := []logic.Atom{
+		logic.A("k1", logic.V("X"), logic.V("Y")),
+		logic.A("k2", logic.V("X"), logic.V("Y")),
+	}
+	return &Workload{Name: "chain", KB: kb, Tables: []*relation.Relation{b1, b2, b3}, Queries: queries}
+}
