@@ -1,5 +1,5 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E10, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E11, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
@@ -33,6 +33,7 @@ var registry = []struct {
 	{"E8", "parallel cache/remote subqueries", experiments.E8ParallelSubqueries},
 	{"E9", "subsumption overhead", experiments.E9SubsumptionOverhead},
 	{"E10", "feature ablation (Figure 2)", experiments.E10FeatureAblation},
+	{"E11", "fault tolerance under an unreliable remote", experiments.E11FaultTolerance},
 }
 
 func main() {

@@ -18,6 +18,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/remotedb"
 	"repro/internal/workload"
@@ -29,6 +31,12 @@ func main() {
 	wl := flag.String("workload", "", "built-in workload to load: kinship | suppliers | chain")
 	scale := flag.Int("scale", 100, "workload scale")
 	seed := flag.Int64("seed", 1, "workload seed")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle for this long (0: never)")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period for in-flight requests")
+	flakyDrop := flag.Float64("flaky-drop", 0, "fault injection: per-request probability of dropping the connection")
+	flakyDelayRate := flag.Float64("flaky-delay-rate", 0, "fault injection: per-request probability of a delay")
+	flakyDelay := flag.Duration("flaky-delay", 100*time.Millisecond, "fault injection: delay duration")
+	flakySeed := flag.Int64("flaky-seed", 1, "fault injection: deterministic seed")
 	flag.Parse()
 
 	engine := remotedb.NewEngine()
@@ -67,7 +75,18 @@ func main() {
 		}
 	}
 
-	srv := remotedb.NewServer(engine)
+	opts := remotedb.ServerOptions{IdleTimeout: *idle}
+	if *flakyDrop > 0 || *flakyDelayRate > 0 {
+		opts.Faults = &remotedb.ListenerFaults{
+			Seed:      *flakySeed,
+			DropRate:  *flakyDrop,
+			DelayRate: *flakyDelayRate,
+			Delay:     *flakyDelay,
+		}
+		fmt.Printf("braid-server: FLAKY mode (drop %.2f, delay %.2f x %v, seed %d)\n",
+			*flakyDrop, *flakyDelayRate, *flakyDelay, *flakySeed)
+	}
+	srv := remotedb.NewServerWithOptions(engine, opts)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -79,8 +98,10 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("\nshutting down")
-	srv.Close()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("\n%v: shutting down (draining up to %v)\n", got, *grace)
+	if err := srv.Shutdown(*grace); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 }

@@ -70,6 +70,13 @@ type SourceStats struct {
 	Evictions       int64   // cache elements evicted
 	IndexBuilds     int64   // attribute indexes built on cached extensions
 	LazyAnswers     int64   // queries answered with a generator (lazy)
+
+	// Fault-tolerance counters (populated when the remote client is a
+	// remotedb.ResilientClient and/or the remote becomes unavailable).
+	DegradedHits   int64 // cache hits served while the remote was unavailable
+	RemoteFailures int64 // remote requests that failed after all retries (or failed fast)
+	Retries        int64 // remote request retry attempts
+	BreakerOpens   int64 // circuit-breaker open transitions
 }
 
 // Session is one advice-then-queries interaction (Section 3: "a session ...

@@ -117,8 +117,18 @@ func (c *CMS) Stats() bridge.SourceStats {
 	st.RemoteTuples = remote.TuplesReturned
 	st.RemoteSimMS = remote.SimMS
 	st.Evictions = c.mgr.Evictions()
+	if rs, ok := c.rdi.Resilience(); ok {
+		st.Retries = rs.Retries
+		st.RemoteFailures = rs.Failures
+		st.BreakerOpens = rs.BreakerOpens
+	}
 	return st
 }
+
+// Degraded reports whether the CMS is in cache-only degraded mode (the
+// remote DBMS is unavailable). Cached and subsumable queries keep working;
+// queries that need the remote fail fast with remotedb.ErrRemoteUnavailable.
+func (c *CMS) Degraded() bool { return !c.rdi.Available() }
 
 // BeginSession implements bridge.DataSource. A session accepts optional
 // advice and then a sequence of CAQL queries (Section 3).

@@ -49,7 +49,9 @@ func (s *Session) Query(q *caql.Query) (*bridge.Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c.opts.Features.Prefetch && s.adv != nil && s.adv.Path != nil {
+	if c.opts.Features.Prefetch && s.adv != nil && s.adv.Path != nil && c.rdi.Available() {
+		// Prefetching is suppressed while degraded: speculative remote work
+		// would only burn the breaker's half-open probes.
 		s.prefetchFollowers(q, vs)
 	}
 	return stream, nil
@@ -59,6 +61,10 @@ func (s *Session) Query(q *caql.Query) (*bridge.Stream, error) {
 func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, error) {
 	c := s.cms
 	f := c.opts.Features
+	// Degraded mode (remote unavailable): cache-derived answers still work
+	// and are counted as DegradedHits; eager remote work (generalization) is
+	// skipped; the mandatory remote paths fail fast in the client.
+	degraded := !c.rdi.Available()
 
 	// Step 2a: exact-match result cache ([IOAN88]-style reuse, subsumed by
 	// full subsumption but cheaper: a single map lookup).
@@ -70,6 +76,9 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 					st.ExactHits++
 					if e.prefetched {
 						st.PrefetchHits++
+					}
+					if degraded {
+						st.DegradedHits++
 					}
 				})
 				return s.serveFromElement(e, d, q, vs)
@@ -97,6 +106,9 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 				if e.prefetched {
 					st.PrefetchHits++
 				}
+				if degraded {
+					st.DegradedHits++
+				}
 			})
 			return s.serveFromElement(bestE, bestD, q, vs)
 		}
@@ -106,7 +118,7 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 	// either the path expression predicts further instances of this view or
 	// the session has already seen a sibling instance (frequency fallback
 	// for sessions without usable advice).
-	if f.Generalization && (s.predictsReuse(q.Name()) || s.repeatedInstance(q)) {
+	if f.Generalization && !degraded && (s.predictsReuse(q.Name()) || s.repeatedInstance(q)) {
 		if gq := s.generalizationOf(q, vs); gq != nil {
 			ext, sim, err := c.rdi.Fetch(gq)
 			if err == nil {
@@ -512,7 +524,13 @@ func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.
 	s.advanceLocal(c.opts.Costs.PerLocalOp * float64(inputs+out.Len()))
 
 	if len(residualIdx) == 0 {
-		s.bump(func(st *bridge.SourceStats) { st.CacheHits++ })
+		degraded := !c.rdi.Available()
+		s.bump(func(st *bridge.SourceStats) {
+			st.CacheHits++
+			if degraded {
+				st.DegradedHits++
+			}
+		})
 	} else {
 		s.bump(func(st *bridge.SourceStats) { st.PartialHits++ })
 	}

@@ -18,11 +18,34 @@ type RDI struct {
 
 	mu      sync.Mutex
 	schemas map[string]*relation.Schema
+	down    bool // last remote call failed at the transport level
 }
 
 // NewRDI wraps a remote client.
 func NewRDI(client remotedb.Client) *RDI {
 	return &RDI{client: client, schemas: make(map[string]*relation.Schema)}
+}
+
+// Available reports whether the remote DBMS is believed reachable. When the
+// client tracks its own health (remotedb.ResilientClient's circuit breaker),
+// that verdict wins; otherwise the RDI remembers whether the last remote
+// call failed at the transport level. While unavailable the CMS serves what
+// it can from the cache (degraded mode) and suppresses prefetch/eager work.
+func (r *RDI) Available() bool {
+	if a, ok := r.client.(remotedb.AvailabilityReporter); ok {
+		return a.Available()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.down
+}
+
+// noteRemote records the outcome of a remote call for availability tracking.
+func (r *RDI) noteRemote(err error) {
+	transientDown := err != nil && (remotedb.IsUnavailable(err) || remotedb.IsTransient(err))
+	r.mu.Lock()
+	r.down = transientDown
+	r.mu.Unlock()
 }
 
 // RelationSchema implements caql.SchemaSource with a schema cache.
@@ -33,6 +56,7 @@ func (r *RDI) RelationSchema(name string, arity int) (*relation.Schema, error) {
 	if !ok {
 		var err error
 		sch, err = r.client.RelationSchema(name, -1)
+		r.noteRemote(err)
 		if err != nil {
 			return nil, err
 		}
@@ -55,6 +79,7 @@ func (r *RDI) Fetch(q *caql.Query) (*relation.Relation, float64, error) {
 		return nil, 0, err
 	}
 	res, err := r.client.Exec(tr.SQL)
+	r.noteRemote(err)
 	if err != nil {
 		return nil, 0, fmt.Errorf("cache: remote execution of %q: %w", tr.SQL, err)
 	}
@@ -71,6 +96,15 @@ func (r *RDI) Fetch(q *caql.Query) (*relation.Relation, float64, error) {
 
 // Stats returns the client's cumulative transfer statistics.
 func (r *RDI) Stats() remotedb.Stats { return r.client.Stats() }
+
+// Resilience returns the client's fault-handling counters when the client
+// keeps them (remotedb.ResilientClient).
+func (r *RDI) Resilience() (remotedb.ResilienceStats, bool) {
+	if rr, ok := r.client.(remotedb.ResilienceReporter); ok {
+		return rr.ResilienceStats(), true
+	}
+	return remotedb.ResilienceStats{}, false
+}
 
 // Tables lists remote tables.
 func (r *RDI) Tables() ([]string, error) { return r.client.Tables() }

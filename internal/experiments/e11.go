@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/bridge"
+	"repro/internal/cache"
+	"repro/internal/caql"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+// E11FaultTolerance drives the Example 1 session through a deterministically
+// seeded FaultClient at increasing transport fault rates, with the
+// ResilientClient (retries + circuit breaker) between the CMS and the faults.
+// The paper's remote DBMS is "realized on a separate system" (Section 5.5) —
+// this experiment measures what the cache layer buys when that system
+// misbehaves: retried requests absorb transient faults, and a warm cache
+// keeps answering subsumable queries even as remote failures mount.
+func E11FaultTolerance() *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "fault tolerance: hit rate and failures vs injected fault rate",
+		Claim:  "retries absorb transient remote faults and the warm cache degrades gracefully — answered queries fall off far slower than the fault rate rises",
+		Header: []string{"faultRate", "queries", "answered", "failed", "hits", "remote", "retries", "failures", "opens", "answered%"},
+	}
+	for _, rate := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		st, queries, failed := RunE11(rate)
+		answered := queries - failed
+		t.AddRow(fp(rate), fi(int64(queries)), fi(int64(answered)), fi(int64(failed)),
+			fi(st.CacheHits+st.PartialHits), fi(st.RemoteRequests),
+			fi(st.Retries), fi(st.RemoteFailures), fi(st.BreakerOpens),
+			fp(float64(answered)/float64(queries)))
+	}
+	t.Notes = append(t.Notes,
+		"faults are injected client-side from a fixed seed (reproducible); retries use zero-sleep backoff so the table is fast",
+		"cache-served queries never touch the faulty transport, so the answered rate stays above 1-faultRate")
+	return t
+}
+
+// RunE11 runs the fault-tolerance session at the given injected fault rate,
+// returning the CMS stats plus how many of the session's queries were issued
+// and how many failed despite retries.
+func RunE11(rate float64) (st bridge.SourceStats, queries, failed int) {
+	w := workload.Chain(53, 700, 24)
+	costs := remotedb.DefaultCosts()
+	noSleep := func(time.Duration) {}
+	fc := remotedb.NewFaultClient(remotedb.NewInProcClient(w.Engine(), costs), remotedb.FaultConfig{
+		Seed:      911,
+		ErrorRate: rate * 0.75,
+		DropRate:  rate * 0.25,
+		Sleep:     noSleep,
+	})
+	rc := remotedb.NewResilientClient(fc, remotedb.Resilience{
+		MaxRetries:      2,
+		BaseBackoff:     time.Millisecond,
+		JitterSeed:      7,
+		BreakerFailures: 5,
+		BreakerCooldown: time.Millisecond,
+		Sleep:           noSleep,
+	})
+	cms := cache.New(rc, cache.Options{
+		Features: cache.AllFeatures(), Costs: costs, ThinkTimeMS: 100, PredictHorizon: 16,
+	})
+	adv := advice.MustParse(e4Advice)
+	s := cms.BeginSession(adv).(*cache.Session)
+	defer s.End()
+
+	run := func(q *caql.Query) {
+		queries++
+		stream, err := s.Query(q)
+		if err != nil {
+			failed++
+			return
+		}
+		stream.Drain("out")
+	}
+
+	// The E10 session shape: d1 once, (d2, d3) instance pairs, an exact
+	// repeat, and decomposable joins — now under fire.
+	run(caql.MustParse(`d1(Y) :- b1("c1", Y)`))
+	d2t := caql.MustParse(`d2(X, Y) :- b2(X, Z) & b3(Z, "c2", Y)`)
+	d3t := caql.MustParse(`d3(X, Y) :- b3(X, "c3", Z) & b1(Z, Y)`)
+	for c := 0; c < 6; c++ {
+		bind := map[string]relation.Value{"Y": relation.Int(int64(c))}
+		run(d2t.Instantiate(bind))
+		run(d3t.Instantiate(bind))
+	}
+	run(caql.MustParse(`d1(Y) :- b1("c1", Y)`)) // exact repeat
+	run(caql.MustParse(`j1(X, W) :- b2(X, Z) & b3(Z, "c2", W) & W != 1`))
+	run(caql.MustParse(`j2(X, W) :- b2(X, Z) & b3(Z, "c2", W) & W != 2`))
+
+	return cms.Stats(), queries, failed
+}

@@ -211,12 +211,41 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	tables := All()
-	if len(tables) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(tables))
+	if len(tables) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 || tab.String() == "" {
 			t.Errorf("%s produced no rows", tab.ID)
+		}
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tab := E11FaultTolerance()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("E11 rows = %d", len(tab.Rows))
+	}
+	failedC := colIndex(t, tab, "failed")
+	retriesC := colIndex(t, tab, "retries")
+	hitsC := colIndex(t, tab, "hits")
+	ansC := colIndex(t, tab, "answered%")
+	// A fault-free run is fault-free.
+	if cell(t, tab, 0, failedC) != 0 || cell(t, tab, 0, retriesC) != 0 {
+		t.Errorf("zero fault rate should not fail or retry\n%s", tab)
+	}
+	// Under the heaviest fault rate, retries are doing work and the warm
+	// cache keeps the answered rate far above 1-faultRate.
+	last := len(tab.Rows) - 1
+	if cell(t, tab, last, retriesC) == 0 {
+		t.Errorf("40%% fault rate should force retries\n%s", tab)
+	}
+	if cell(t, tab, last, ansC) < 75 {
+		t.Errorf("degradation not graceful: answered%% = %v\n%s", tab.Rows[last][ansC], tab)
+	}
+	for r := 0; r < len(tab.Rows); r++ {
+		if cell(t, tab, r, hitsC) == 0 {
+			t.Errorf("row %d: cache hits vanished under faults\n%s", r, tab)
 		}
 	}
 }

@@ -1,0 +1,338 @@
+package remotedb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// collectFaults runs n Execs against a freshly seeded FaultClient and
+// returns which requests failed.
+func collectFaults(t *testing.T, seed int64, n int) []bool {
+	t.Helper()
+	e := newTestEngine(t)
+	fc := NewFaultClient(NewInProcClient(e, DefaultCosts()), FaultConfig{
+		Seed:      seed,
+		ErrorRate: 0.3,
+		DropRate:  0.1,
+	})
+	out := make([]bool, n)
+	for i := range out {
+		_, err := fc.Exec("SELECT * FROM dept")
+		out[i] = err != nil
+	}
+	return out
+}
+
+func TestFaultClientDeterministic(t *testing.T) {
+	a := collectFaults(t, 42, 200)
+	b := collectFaults(t, 42, 200)
+	failures := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault stream diverged at request %d", i)
+		}
+		if a[i] {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(a) {
+		t.Fatalf("fault mix degenerate: %d/%d failed", failures, len(a))
+	}
+	c := collectFaults(t, 43, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault streams")
+	}
+}
+
+func TestFaultClientDownAndTransience(t *testing.T) {
+	e := newTestEngine(t)
+	fc := NewFaultClient(NewInProcClient(e, DefaultCosts()), FaultConfig{Seed: 1})
+	if _, err := fc.Exec("SELECT * FROM dept"); err != nil {
+		t.Fatalf("no faults configured, exec should work: %v", err)
+	}
+	fc.SetDown(true)
+	_, err := fc.Exec("SELECT * FROM dept")
+	if err == nil {
+		t.Fatal("down server should refuse")
+	}
+	if !IsTransient(err) || !IsUnavailable(err) {
+		t.Fatalf("down error should be transient and unavailable: %v", err)
+	}
+	if _, err := fc.Tables(); err == nil {
+		t.Fatal("all remote ops should fail while down")
+	}
+	fc.SetDown(false)
+	if _, err := fc.Exec("SELECT * FROM dept"); err != nil {
+		t.Fatalf("restart should restore service: %v", err)
+	}
+	if fc.Counts().Refusals != 2 {
+		t.Fatalf("refusals = %d, want 2", fc.Counts().Refusals)
+	}
+}
+
+func TestResilientAbsorbsTransientFaults(t *testing.T) {
+	e := newTestEngine(t)
+	fc := NewFaultClient(NewInProcClient(e, DefaultCosts()), FaultConfig{
+		Seed:      7,
+		ErrorRate: 0.25,
+		DropRate:  0.05,
+	})
+	rc := NewResilientClient(fc, Resilience{
+		MaxRetries:      6,
+		BaseBackoff:     time.Microsecond,
+		BreakerFailures: -1, // isolate retry behaviour
+		Sleep:           func(time.Duration) {},
+	})
+	failed := 0
+	for i := 0; i < 100; i++ {
+		if _, err := rc.Exec("SELECT * FROM dept"); err != nil {
+			failed++
+		}
+	}
+	st := rc.ResilienceStats()
+	if st.Retries == 0 {
+		t.Fatal("expected retries under 30% fault rate")
+	}
+	// P(7 consecutive faults) ≈ 0.3^7; the deterministic seed yields none.
+	if failed != 0 {
+		t.Fatalf("%d requests failed despite 6 retries (retries=%d)", failed, st.Retries)
+	}
+	if got := fc.Counts(); got.Errors+got.Drops == 0 {
+		t.Fatal("fault client injected nothing")
+	}
+}
+
+func TestResilientSemanticErrorsPassThrough(t *testing.T) {
+	e := newTestEngine(t)
+	rc := NewResilientClient(NewInProcClient(e, DefaultCosts()), Resilience{
+		MaxRetries: 5,
+		Sleep:      func(time.Duration) {},
+	})
+	_, err := rc.Exec("SELECT * FROM missing")
+	if err == nil {
+		t.Fatal("unknown table should error")
+	}
+	if IsUnavailable(err) {
+		t.Fatalf("semantic error misclassified as unavailability: %v", err)
+	}
+	st := rc.ResilienceStats()
+	if st.Retries != 0 || st.Failures != 0 || st.BreakerOpens != 0 {
+		t.Fatalf("semantic error should not touch retry/breaker counters: %+v", st)
+	}
+	if rc.Breaker() != BreakerClosed {
+		t.Fatalf("breaker = %v, want closed", rc.Breaker())
+	}
+}
+
+// flakyStub is a Client stub whose Exec fails with a transport error while
+// failing is set, and counts calls that reach it.
+type flakyStub struct {
+	mu      sync.Mutex
+	failing bool
+	hang    time.Duration
+	calls   int
+}
+
+func (s *flakyStub) Exec(string) (*Result, error) {
+	s.mu.Lock()
+	s.calls++
+	failing, hang := s.failing, s.hang
+	s.mu.Unlock()
+	if hang > 0 {
+		time.Sleep(hang)
+	}
+	if failing {
+		return nil, &TransportError{Op: "exec", Err: errors.New("stub down")}
+	}
+	return &Result{SimMS: 1}, nil
+}
+func (s *flakyStub) set(failing bool) {
+	s.mu.Lock()
+	s.failing = failing
+	s.mu.Unlock()
+}
+
+func (s *flakyStub) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	stub := &flakyStub{failing: true}
+	now := time.Unix(0, 0)
+	var nowMu sync.Mutex
+	clock := func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		return now
+	}
+	tick := func(d time.Duration) {
+		nowMu.Lock()
+		now = now.Add(d)
+		nowMu.Unlock()
+	}
+	rc := NewResilientClient(clientStub{stub}, Resilience{
+		MaxRetries:      -1, // no retries: one attempt per request
+		BreakerFailures: 2,
+		BreakerCooldown: time.Second,
+		Sleep:           func(time.Duration) {},
+		Now:             clock,
+	})
+
+	// Two consecutive failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := rc.Exec("x"); !IsUnavailable(err) {
+			t.Fatalf("request %d: want unavailable, got %v", i, err)
+		}
+	}
+	if rc.Breaker() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", rc.Breaker())
+	}
+	if rc.ResilienceStats().BreakerOpens != 1 {
+		t.Fatalf("opens = %d, want 1", rc.ResilienceStats().BreakerOpens)
+	}
+	if rc.Available() {
+		t.Fatal("open breaker inside cooldown should report unavailable")
+	}
+
+	// While open, requests fail fast without reaching the inner client.
+	calls := stub.callCount()
+	if _, err := rc.Exec("x"); !IsUnavailable(err) {
+		t.Fatalf("want fail-fast unavailable, got %v", err)
+	}
+	if stub.callCount() != calls {
+		t.Fatal("open breaker let a request through")
+	}
+	if rc.ResilienceStats().FastFails != 1 {
+		t.Fatalf("fastFails = %d, want 1", rc.ResilienceStats().FastFails)
+	}
+
+	// After the cooldown a probe goes through; still failing -> reopen.
+	tick(time.Second + time.Millisecond)
+	if _, err := rc.Exec("x"); !IsUnavailable(err) {
+		t.Fatalf("probe should fail: %v", err)
+	}
+	if stub.callCount() != calls+1 {
+		t.Fatal("half-open should admit exactly one probe")
+	}
+	if rc.Breaker() != BreakerOpen || rc.ResilienceStats().BreakerOpens != 2 {
+		t.Fatalf("failed probe should reopen: %v opens=%d", rc.Breaker(), rc.ResilienceStats().BreakerOpens)
+	}
+
+	// Server recovers; after the next cooldown the probe closes the breaker.
+	stub.set(false)
+	tick(time.Second + time.Millisecond)
+	if _, err := rc.Exec("x"); err != nil {
+		t.Fatalf("recovered probe should succeed: %v", err)
+	}
+	if rc.Breaker() != BreakerClosed || !rc.Available() {
+		t.Fatalf("breaker = %v, want closed and available", rc.Breaker())
+	}
+	if _, err := rc.Exec("x"); err != nil {
+		t.Fatalf("closed breaker should serve normally: %v", err)
+	}
+}
+
+func TestResilientDeadlineCatchesHangs(t *testing.T) {
+	stub := &flakyStub{hang: 2 * time.Second}
+	rc := NewResilientClient(clientStub{stub}, Resilience{
+		Deadline:        30 * time.Millisecond,
+		MaxRetries:      -1,
+		BreakerFailures: 1,
+		BreakerCooldown: time.Minute,
+		Sleep:           func(time.Duration) {},
+	})
+	start := time.Now()
+	_, err := rc.Exec("x")
+	elapsed := time.Since(start)
+	if !IsUnavailable(err) || !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want unavailable wrapping deadline, got %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline did not bound the hang: %v", elapsed)
+	}
+	st := rc.ResilienceStats()
+	if st.DeadlinesExceeded != 1 || st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Breaker opened on the hang: the next call fails instantly.
+	start = time.Now()
+	if _, err := rc.Exec("x"); !IsUnavailable(err) {
+		t.Fatalf("want fail-fast, got %v", err)
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("fail-fast was not fast")
+	}
+}
+
+// TestResilientFaultMatrix exercises the resilient client against every
+// injected fault kind at once: errors, drops, latency spikes, and hangs
+// caught by the deadline.
+func TestResilientFaultMatrix(t *testing.T) {
+	e := newTestEngine(t)
+	fc := NewFaultClient(NewInProcClient(e, DefaultCosts()), FaultConfig{
+		Seed:        99,
+		ErrorRate:   0.15,
+		DropRate:    0.05,
+		HangRate:    0.05,
+		HangFor:     300 * time.Millisecond,
+		LatencyRate: 0.2,
+		Latency:     time.Millisecond,
+	})
+	rc := NewResilientClient(fc, Resilience{
+		Deadline:        60 * time.Millisecond,
+		MaxRetries:      5,
+		BaseBackoff:     time.Microsecond,
+		BreakerFailures: -1,
+		Sleep:           func(time.Duration) {},
+	})
+	failed := 0
+	for i := 0; i < 60; i++ {
+		start := time.Now()
+		_, err := rc.Exec("SELECT * FROM emp")
+		if err != nil {
+			failed++
+			if !IsUnavailable(err) {
+				t.Fatalf("request %d: unexpected error class: %v", i, err)
+			}
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("request %d took %v despite deadline", i, d)
+		}
+	}
+	st := rc.ResilienceStats()
+	counts := fc.Counts()
+	if counts.Errors == 0 || counts.Latencies == 0 {
+		t.Fatalf("fault mix not exercised: %+v", counts)
+	}
+	if st.Retries == 0 {
+		t.Fatal("no retries under a 25% fault rate")
+	}
+	if failed > 5 {
+		t.Fatalf("%d/60 failed despite retries (stats %+v)", failed, st)
+	}
+}
+
+// clientStub adapts flakyStub (which only implements Exec meaningfully) to
+// the full Client interface.
+type clientStub struct{ s *flakyStub }
+
+func (c clientStub) Exec(sql string) (*Result, error) { return c.s.Exec(sql) }
+func (c clientStub) RelationSchema(string, int) (*relation.Schema, error) {
+	return nil, errors.New("unused")
+}
+func (c clientStub) TableStats(string) (TableStats, error) { return TableStats{}, nil }
+func (c clientStub) Tables() ([]string, error)             { return nil, nil }
+func (c clientStub) Stats() Stats                          { return Stats{} }
+func (c clientStub) Close() error                          { return nil }

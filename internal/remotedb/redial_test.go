@@ -1,0 +1,220 @@
+package remotedb
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTCPBrokenConnFailsFast(t *testing.T) {
+	addr, _, cleanup := startTestServer(t)
+	c, err := DialTCP(addr, DefaultCosts()) // no redial
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SELECT * FROM dept"); err != nil {
+		t.Fatal(err)
+	}
+	cleanup() // kill the server mid-session
+
+	// First call after the kill fails at I/O level and breaks the stream.
+	_, err = c.Exec("SELECT * FROM dept")
+	if err == nil {
+		t.Fatal("exec against dead server should fail")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("I/O failure should be transient: %v", err)
+	}
+	// Subsequent calls fail fast with the typed broken-conn error instead of
+	// decoding from a desynced gob stream.
+	start := time.Now()
+	_, err = c.Exec("SELECT * FROM dept")
+	if !errors.Is(err, ErrBrokenConn) {
+		t.Fatalf("want ErrBrokenConn, got %v", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("broken-conn failure was not fast")
+	}
+}
+
+func TestTCPRedialAcrossServerRestart(t *testing.T) {
+	addr, engine, cleanup := startTestServer(t)
+	c, err := DialTCPOpts(addr, TCPOptions{
+		Costs:       DefaultCosts(),
+		Redial:      true,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SELECT * FROM dept"); err != nil {
+		t.Fatal(err)
+	}
+
+	cleanup()
+	if _, err := c.Exec("SELECT * FROM dept"); err == nil {
+		t.Fatal("exec against dead server should fail")
+	}
+	// Server still down: the redial itself fails, transiently.
+	if _, err := c.Exec("SELECT * FROM dept"); !IsTransient(err) {
+		t.Fatalf("failed redial should be transient: %v", err)
+	}
+
+	// Restart on the same address; the next call redials transparently.
+	srv2 := NewServer(engine)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	res, err := c.Exec("SELECT * FROM dept")
+	if err != nil {
+		t.Fatalf("exec after restart should redial and succeed: %v", err)
+	}
+	if res.Rel.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", res.Rel.Len())
+	}
+	if c.Redials() < 2 {
+		t.Fatalf("redials = %d, want >= 2 (initial + reconnect)", c.Redials())
+	}
+	// Close still wins over redial.
+	c.Close()
+	if _, err := c.Exec("SELECT * FROM dept"); err == nil {
+		t.Fatal("closed client must not redial")
+	}
+}
+
+func TestServerIdleTimeoutDropsDeadPeers(t *testing.T) {
+	e := newTestEngine(t)
+	srv := NewServerWithOptions(e, ServerOptions{IdleTimeout: 50 * time.Millisecond})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP(addr, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SELECT * FROM dept"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond) // exceed the idle deadline
+	if _, err := c.Exec("SELECT * FROM dept"); err == nil {
+		t.Fatal("server should have dropped the idle connection")
+	}
+	// An active client inside the idle window is unaffected.
+	c2, err := DialTCP(addr, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := c2.Exec("SELECT * FROM dept"); err != nil {
+			t.Fatalf("active connection dropped: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerCloseUnderLoad drives concurrent clients and closes the server
+// mid-flight: Close must return promptly, and every client must observe a
+// connection error rather than a hang.
+func TestServerCloseUnderLoad(t *testing.T) {
+	e := newTestEngine(t)
+	srvRef := NewServer(e)
+	addr, err := srvRef.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	errCount := int64(0)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := DialTCP(addr, DefaultCosts())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for !stopped.Load() {
+				if _, err := c.Exec("SELECT e.name FROM emp e, dept d WHERE e.dept = d.id"); err != nil {
+					atomic.AddInt64(&errCount, 1)
+					return // connection error, as expected after Close
+				}
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let the load build
+
+	closed := make(chan error, 1)
+	go func() { closed <- srvRef.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close under load: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung with in-flight requests")
+	}
+	stopped.Store(true)
+
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("clients hung after server close")
+	}
+	// New connections must be refused.
+	if _, err := DialTCP(addr, DefaultCosts()); err == nil {
+		t.Fatal("dial after close should fail")
+	}
+}
+
+// TestServerShutdownDrains verifies the graceful path: an in-flight request
+// gets its response before the connection is released.
+func TestServerShutdownDrains(t *testing.T) {
+	e := newTestEngine(t)
+	srv := NewServer(e)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(addr, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	results := make(chan error, 1)
+	go func() {
+		_, err := c.Exec("SELECT e.name FROM emp e, dept d WHERE e.dept = d.id")
+		results <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-results:
+		// The in-flight request either completed (drained before the read
+		// deadline landed) or failed with a connection error; it must not
+		// have hung.
+		_ = err
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight request hung across Shutdown")
+	}
+	// The drained server accepts no further work.
+	if _, err := c.Exec("SELECT * FROM dept"); err == nil {
+		t.Fatal("exec after shutdown should fail")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server exposes an Engine over TCP with a gob-encoded request/response
@@ -15,17 +17,58 @@ import (
 // protocol" (Section 5.5). Each accepted connection is served concurrently.
 type Server struct {
 	engine *Engine
+	opts   ServerOptions
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+
+	faultMu  sync.Mutex
+	faultRng *rand.Rand
 }
 
-// NewServer wraps the engine in a protocol server.
+// ServerOptions configures connection handling and fault injection.
+type ServerOptions struct {
+	// IdleTimeout drops a connection whose peer sends no request for this
+	// long, so dead peers don't pin handler goroutines forever (0: never).
+	IdleTimeout time.Duration
+	// Faults, when non-nil, makes the listener flaky for fault-tolerance
+	// experiments: requests are delayed or their connection dropped from a
+	// deterministically seeded stream.
+	Faults *ListenerFaults
+}
+
+// ListenerFaults parameterizes server-side fault injection, the counterpart
+// of the client-side FaultClient for experiments that need the *wire* to
+// fail (dropped connections exercise client redial; delays exercise client
+// deadlines).
+type ListenerFaults struct {
+	// Seed seeds the deterministic fault stream.
+	Seed int64
+	// DropRate is the per-request probability of closing the connection
+	// without responding.
+	DropRate float64
+	// DelayRate is the per-request probability of stalling for Delay before
+	// handling the request.
+	DelayRate float64
+	// Delay is the stall duration for delay faults.
+	Delay time.Duration
+}
+
+// NewServer wraps the engine in a protocol server with default options.
 func NewServer(engine *Engine) *Server {
-	return &Server{engine: engine, conns: make(map[net.Conn]bool)}
+	return NewServerWithOptions(engine, ServerOptions{})
+}
+
+// NewServerWithOptions wraps the engine in a protocol server.
+func NewServerWithOptions(engine *Engine, opts ServerOptions) *Server {
+	s := &Server{engine: engine, opts: opts, conns: make(map[net.Conn]bool)}
+	if opts.Faults != nil {
+		s.faultRng = rand.New(rand.NewSource(opts.Faults.Seed))
+	}
+	return s
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts accepting
@@ -63,6 +106,25 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// rollFault decides the fate of one request on a flaky listener: drop the
+// connection (return false), possibly after a delay.
+func (s *Server) rollFault() (keep bool) {
+	f := s.opts.Faults
+	if f == nil {
+		return true
+	}
+	s.faultMu.Lock()
+	roll := s.faultRng.Float64()
+	s.faultMu.Unlock()
+	switch {
+	case roll < f.DropRate:
+		return false
+	case roll < f.DropRate+f.DelayRate:
+		time.Sleep(f.Delay)
+	}
+	return true
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -74,19 +136,36 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
 				// Protocol error: best effort to report, then drop.
 				_ = enc.Encode(wireResponse{Err: fmt.Sprintf("protocol: %v", err)})
 			}
 			return
 		}
+		if !s.rollFault() {
+			return // injected dropped connection
+		}
 		resp := s.handle(&req)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+		s.mu.Lock()
+		draining := s.closed
+		s.mu.Unlock()
+		if draining {
+			return // shutdown: response written, now let go of the conn
+		}
 	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *Server) handle(req *wireRequest) wireResponse {
@@ -120,7 +199,9 @@ func (s *Server) handle(req *wireRequest) wireResponse {
 	}
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
+// Close stops accepting, closes all connections immediately, and waits for
+// handlers to exit. In-flight requests are aborted; use Shutdown to drain
+// them first.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -134,5 +215,47 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	return err
+}
+
+// Shutdown stops accepting and drains gracefully: in-flight requests finish
+// and their responses are written, while idle connections are unblocked by
+// an immediate read deadline. Connections still busy after grace are closed
+// forcibly (grace <= 0 waits forever).
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	now := time.Now()
+	for c := range s.conns {
+		// Unblock pending reads; writes (in-flight responses) still proceed.
+		c.SetReadDeadline(now)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if grace <= 0 {
+		<-done
+		return err
+	}
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -17,43 +18,134 @@ import (
 // The same virtual cost model as InProcClient is charged, so experiments can
 // switch transports without changing cost semantics (real network time is on
 // top, visible in wall-clock benchmarks).
+//
+// Fault behaviour: any encode/decode error leaves the gob stream
+// desynchronized, so the connection is marked broken and torn down — further
+// calls fail fast with ErrBrokenConn instead of decoding garbage. With
+// TCPOptions.Redial the next call transparently dials a fresh connection
+// instead, which is how a session survives a server restart.
 type TCPClient struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	enc   *gob.Encoder
-	dec   *gob.Decoder
-	costs Costs
-	stats Stats
+	addr string
+	opts TCPOptions
+
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	closed  bool // Close was called; never redial
+	broken  bool // stream desynced or torn down; redial or fail fast
+	redials int64
+	costs   Costs
+	stats   Stats
 }
 
-// DialTCP connects to a Server at addr.
+// TCPOptions configures the transport-level fault behaviour of a TCPClient.
+type TCPOptions struct {
+	// Costs is the virtual cost model charged per request.
+	Costs Costs
+	// Redial re-establishes a broken connection on the next request instead
+	// of failing fast forever.
+	Redial bool
+	// DialTimeout bounds connection establishment (0: no bound).
+	DialTimeout time.Duration
+	// RequestTimeout is a per-round-trip I/O deadline on the connection; a
+	// request that cannot complete within it breaks the connection (0: no
+	// deadline). This is the transport-level backstop under the
+	// ResilientClient's per-request deadline.
+	RequestTimeout time.Duration
+}
+
+// DialTCP connects to a Server at addr with default (fail-fast, no redial)
+// transport options.
 func DialTCP(addr string, costs Costs) (*TCPClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	return DialTCPOpts(addr, TCPOptions{Costs: costs})
+}
+
+// DialTCPOpts connects to a Server at addr with explicit transport options.
+func DialTCPOpts(addr string, opts TCPOptions) (*TCPClient, error) {
+	c := &TCPClient{addr: addr, opts: opts, costs: opts.Costs}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.redialLocked(); err != nil {
+		return nil, &TransportError{Op: "dial", Err: err}
 	}
-	return &TCPClient{
-		conn:  conn,
-		enc:   gob.NewEncoder(conn),
-		dec:   gob.NewDecoder(conn),
-		costs: costs,
-	}, nil
+	return c, nil
+}
+
+// redialLocked (re)establishes the connection. Caller holds c.mu.
+func (c *TCPClient) redialLocked() error {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		c.conn, c.enc, c.dec = nil, nil, nil
+		c.broken = true
+		return err
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	c.broken = false
+	c.redials++
+	return nil
+}
+
+// Redials returns how many times the client (re)dialed, including the
+// initial dial.
+func (c *TCPClient) Redials() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redials
+}
+
+// breakConn marks the connection dead and tears it down (also used by
+// FaultClient to simulate a dropped connection).
+func (c *TCPClient) breakConn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.breakLocked()
+}
+
+func (c *TCPClient) breakLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn, c.enc, c.dec = nil, nil, nil
+	c.broken = true
 }
 
 func (c *TCPClient) roundTrip(req *wireRequest) (*wireResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return nil, errors.New("remotedb: client closed")
 	}
+	if c.broken || c.conn == nil {
+		if !c.opts.Redial {
+			return nil, &TransportError{Op: req.Op, Err: ErrBrokenConn}
+		}
+		if err := c.redialLocked(); err != nil {
+			return nil, &TransportError{Op: req.Op, Err: err}
+		}
+	}
+	if c.opts.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, err
+		c.breakLocked()
+		return nil, &TransportError{Op: req.Op, Err: err}
 	}
 	var resp wireResponse
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+		c.breakLocked()
+		return nil, &TransportError{Op: req.Op, Err: err}
+	}
+	if c.opts.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Time{})
 	}
 	if resp.Err != "" {
+		// Semantic error reported by the server; the stream is intact.
 		return nil, errors.New(resp.Err)
 	}
 	return &resp, nil
@@ -129,10 +221,14 @@ func (c *TCPClient) Stats() Stats {
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
+	c.closed = true
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+	}
+	c.conn, c.enc, c.dec = nil, nil, nil
 	return err
 }
