@@ -190,6 +190,22 @@ func BenchmarkE10_FeatureAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkE12_ConcurrentSessions: K sessions replaying the E10 workload
+// against one shared CMS; reports aggregate wall-clock QPS and tail latency.
+func BenchmarkE12_ConcurrentSessions(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", k), func(b *testing.B) {
+			var r experiments.E12Result
+			for i := 0; i < b.N; i++ {
+				r = experiments.RunE12(k)
+			}
+			b.ReportMetric(r.QPS, "qps")
+			b.ReportMetric(float64(r.P50.Microseconds()), "p50us")
+			b.ReportMetric(float64(r.P99.Microseconds()), "p99us")
+		})
+	}
+}
+
 // BenchmarkDeriveApply: the derive-and-apply fast path serving a query from
 // a cached extension.
 func BenchmarkDeriveApply(b *testing.B) {
@@ -251,6 +267,7 @@ func BenchmarkHashJoin(b *testing.B) {
 		return r
 	}
 	l, r := mk(10000, "l"), mk(10000, "r")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		it := relation.HashJoin(l.Iter(), r.Iter(), []relation.JoinCond{{Left: 0, Right: 0}})

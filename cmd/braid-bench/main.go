@@ -1,5 +1,5 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E11, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E12, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
@@ -7,12 +7,15 @@
 //	braid-bench            # run every experiment
 //	braid-bench E2 E5      # run selected experiments
 //	braid-bench -list      # list experiments
+//	braid-bench -cpuprofile cpu.out -memprofile mem.out E12
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -34,10 +37,13 @@ var registry = []struct {
 	{"E9", "subsumption overhead", experiments.E9SubsumptionOverhead},
 	{"E10", "feature ablation (Figure 2)", experiments.E10FeatureAblation},
 	{"E11", "fault tolerance under an unreliable remote", experiments.E11FaultTolerance},
+	{"E12", "concurrent multi-session scaling", experiments.E12ConcurrentScaling},
 }
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -45,6 +51,20 @@ func main() {
 			fmt.Printf("%-4s %s\n", e.id, e.title)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	want := map[string]bool{}
@@ -62,5 +82,19 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "braid-bench: no experiment matched %v (use -list)\n", flag.Args())
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package advice
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Tracker performs path expression tracking (Section 4.2.2): it associates
 // the CAQL queries the IE actually submits with positions in the session's
@@ -12,10 +15,17 @@ import "sort"
 // transitions are labeled with view names. Symbolic and large repetition
 // bounds are approximated by unbounded loops — the tracker is a predictor,
 // not a validator, so over-approximation merely widens predictions.
+//
+// Trackers are safe for concurrent use: the owning session observes queries
+// while other sessions' eviction sweeps consult its predictions through the
+// cache manager's predictor registry. The automaton itself (edges/eps) is
+// immutable after construction; mu guards the tracking state.
 type Tracker struct {
-	edges   map[int][]tEdge
-	eps     map[int][]int
-	start   int
+	edges map[int][]tEdge
+	eps   map[int][]int
+	start int
+
+	mu      sync.Mutex
 	current map[int]bool
 	lost    bool
 }
@@ -106,12 +116,18 @@ func (t *Tracker) closure(states map[int]bool) map[int]bool {
 
 // Lost reports whether an observed query fell outside the path expression;
 // once lost, the tracker stops predicting.
-func (t *Tracker) Lost() bool { return t.lost }
+func (t *Tracker) Lost() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lost
+}
 
 // Observe advances the tracker on a query against view name. It returns
 // false (and enters the lost state) when the query does not fit the path
 // expression at the current position.
 func (t *Tracker) Observe(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.lost {
 		return false
 	}
@@ -141,6 +157,12 @@ func (t *Tracker) PredictNext() []string {
 // the minimum number of observations before a query against it can occur
 // (1 = could be next). Names not reachable within k are absent.
 func (t *Tracker) PredictWithin(k int) map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.predictWithinLocked(k)
+}
+
+func (t *Tracker) predictWithinLocked(k int) map[string]int {
 	if t.lost || k <= 0 {
 		return nil
 	}
@@ -178,7 +200,9 @@ func (t *Tracker) PredictWithin(k int) map[string]int {
 }
 
 func (t *Tracker) keysWithin(k int) []string {
-	m := t.PredictWithin(k)
+	t.mu.Lock()
+	m := t.predictWithinLocked(k)
+	t.mu.Unlock()
 	out := make([]string, 0, len(m))
 	for n := range m {
 		out = append(out, n)

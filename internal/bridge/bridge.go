@@ -66,6 +66,7 @@ type SourceStats struct {
 	ExactHits       int64   // full hits that were exact result-cache matches
 	Prefetches      int64   // prefetch requests issued
 	PrefetchHits    int64   // queries answered by previously prefetched data
+	PrefetchDrops   int64   // prefetch requests dropped (worker pool saturated)
 	Generalizations int64   // queries widened before remote execution
 	Evictions       int64   // cache elements evicted
 	IndexBuilds     int64   // attribute indexes built on cached extensions

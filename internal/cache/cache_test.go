@@ -201,6 +201,7 @@ func TestPrefetchFollowers(t *testing.T) {
 	// Query d2 with a constant: its sequence follower d3 with the same
 	// constant should be prefetched.
 	drainQ(t, s, `d2(X, 3) :- b2(X, Z) & b3(Z, "a", 3)`)
+	s.waitPrefetches() // prefetching is asynchronous; settle stats before reading
 	st := cms.Stats()
 	if st.Prefetches == 0 {
 		t.Fatalf("expected a prefetch after d2: %+v", st)

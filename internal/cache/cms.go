@@ -2,6 +2,7 @@ package cache
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/advice"
 	"repro/internal/bridge"
@@ -69,16 +70,22 @@ type Options struct {
 	// PredictHorizon is how many queries ahead advice-based predictions
 	// look (replacement protection, reuse prediction). Default 8.
 	PredictHorizon int
+	// PrefetchWorkers bounds the asynchronous prefetch pool shared by every
+	// session of this CMS. Default 4.
+	PrefetchWorkers int
 }
 
-// CMS is the Cache Management System. It implements bridge.DataSource.
+// CMS is the Cache Management System. It implements bridge.DataSource and is
+// safe for concurrent use by many sessions: the cache manager is sharded, the
+// stats are atomic counters, and prefetches run on a bounded worker pool.
 type CMS struct {
 	opts Options
 	rdi  *RDI
 	mgr  *Manager
+	pf   *prefetchPool
 
-	mu    sync.Mutex
-	stats bridge.SourceStats
+	nextSID atomic.Int64
+	stats   bridge.StatsCounters
 }
 
 var _ bridge.DataSource = (*CMS)(nil)
@@ -88,10 +95,14 @@ func New(client remotedb.Client, opts Options) *CMS {
 	if opts.PredictHorizon <= 0 {
 		opts.PredictHorizon = 8
 	}
+	if opts.PrefetchWorkers <= 0 {
+		opts.PrefetchWorkers = 4
+	}
 	return &CMS{
 		opts: opts,
 		rdi:  NewRDI(client),
 		mgr:  NewManager(opts.CacheBytes),
+		pf:   newPrefetchPool(opts.PrefetchWorkers),
 	}
 }
 
@@ -109,9 +120,7 @@ func (c *CMS) RelationSchema(name string, arity int) (*relation.Schema, error) {
 // Stats implements bridge.DataSource, folding in the remote client's
 // transfer counters.
 func (c *CMS) Stats() bridge.SourceStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.stats
+	st := c.stats.Snapshot()
 	remote := c.rdi.Stats()
 	st.RemoteRequests = remote.Requests
 	st.RemoteTuples = remote.TuplesReturned
@@ -131,14 +140,22 @@ func (c *CMS) Stats() bridge.SourceStats {
 func (c *CMS) Degraded() bool { return !c.rdi.Available() }
 
 // BeginSession implements bridge.DataSource. A session accepts optional
-// advice and then a sequence of CAQL queries (Section 3).
+// advice and then a sequence of CAQL queries (Section 3). Each session gets a
+// unique ID; advice-driven replacement predictors are registered per session
+// so concurrent sessions' advice compose (the eviction victim is the element
+// no session predicts a near reuse for).
 func (c *CMS) BeginSession(adv *advice.Advice) bridge.Session {
-	s := &Session{cms: c, adv: adv, genSeen: make(map[string]int)}
+	s := &Session{
+		cms:     c,
+		id:      c.nextSID.Add(1),
+		adv:     adv,
+		genSeen: make(map[string]int),
+	}
 	if adv != nil && adv.Path != nil {
 		s.tracker = advice.NewTracker(adv.Path)
 	}
 	if c.opts.Features.AdviceReplacement && s.tracker != nil {
-		c.mgr.SetPredictor(func(e *Element) (int, bool) {
+		c.mgr.RegisterPredictor(s.id, func(e *Element) (int, bool) {
 			if e.AdviceName == "" || s.tracker.Lost() {
 				return 0, false
 			}
@@ -149,11 +166,12 @@ func (c *CMS) BeginSession(adv *advice.Advice) bridge.Session {
 	return s
 }
 
-// Session is a CMS session. Sessions are not safe for concurrent use (a
-// session models a single IE's query sequence); open one session per
-// concurrent client.
+// Session is a CMS session. A session models a single IE's query sequence, so
+// its own methods are not safe for concurrent use — but any number of
+// sessions may run against one CMS concurrently; open one session per client.
 type Session struct {
 	cms     *CMS
+	id      int64
 	adv     *advice.Advice
 	tracker *advice.Tracker
 
@@ -167,18 +185,36 @@ type Session struct {
 	genSeen map[string]int
 	// tcMemo memoizes per-session transitive closures (QueryFixpoint).
 	tcMemo map[string]*relation.Relation
+
+	// Async prefetch bookkeeping (prefetch.go): pfWG tracks in-flight
+	// prefetch jobs, pmu guards the dedup set and the private (not yet
+	// published) prefetched elements.
+	pfWG     sync.WaitGroup
+	pmu      sync.Mutex
+	inflight map[string]bool
+	private  []*Element
 }
 
 // SimNow returns the session's virtual clock (milliseconds).
 func (s *Session) SimNow() float64 { return s.simNow }
 
-// End implements bridge.Session.
+// End implements bridge.Session. It waits for the session's in-flight
+// prefetches, publishes its private elements (the data is materialized; a
+// departing session has no clock left to wait on), and withdraws its
+// replacement predictor.
 func (s *Session) End() {
 	if s.ended {
 		return
 	}
 	s.ended = true
-	s.cms.mgr.SetPredictor(nil)
+	s.waitPrefetches()
+	s.pmu.Lock()
+	for _, e := range s.private {
+		e.publish()
+	}
+	s.private = nil
+	s.pmu.Unlock()
+	s.cms.mgr.UnregisterPredictor(s.id)
 }
 
 // QueryText parses and answers a CAQL query.
@@ -194,23 +230,13 @@ func (s *Session) QueryText(src string) (*bridge.Stream, error) {
 // it as response time.
 func (s *Session) advance(d float64) {
 	s.simNow += d
-	s.cms.mu.Lock()
-	s.cms.stats.ResponseSimMS += d
-	s.cms.mu.Unlock()
+	s.cms.stats.AddResponseSimMS(d)
 }
 
 // advanceLocal additionally accounts CMS-local processing time.
 func (s *Session) advanceLocal(d float64) {
 	s.advance(d)
-	s.cms.mu.Lock()
-	s.cms.stats.LocalSimMS += d
-	s.cms.mu.Unlock()
-}
-
-func (s *Session) bump(f func(*bridge.SourceStats)) {
-	s.cms.mu.Lock()
-	f(&s.cms.stats)
-	s.cms.mu.Unlock()
+	s.cms.stats.AddLocalSimMS(d)
 }
 
 // RelationStats implements bridge.DataSource by proxying the remote catalog.

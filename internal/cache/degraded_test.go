@@ -223,10 +223,12 @@ func TestDegradedSuppressesSpeculativeWork(t *testing.T) {
 	// Healthy: each d2 answer attempts the follower prefetch (visible as a
 	// schema lookup for the missing base relation).
 	drainQ(t, s, `d2(X, 1) :- b2(X, 1)`)
+	s.waitPrefetches() // prefetches are asynchronous; let the probe land
 	if counter.count("schema:nosuch") == 0 {
 		t.Fatal("healthy session should attempt the follower prefetch")
 	}
 	drainQ(t, s, `d2(X, 1) :- b2(X, 1)`) // exact repeat: hit + prefetch attempt
+	s.waitPrefetches()
 	healthyProbes := counter.count("schema:nosuch")
 	if healthyProbes < 2 {
 		t.Fatalf("nosuch schema probes = %d, want >= 2", healthyProbes)

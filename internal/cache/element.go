@@ -5,12 +5,19 @@
 // replacement, generalization and lazy evaluation, an execution monitor for
 // parallel cache/remote subqueries, and the Remote DBMS Interface that
 // translates CAQL to the remote DML.
+//
+// The CMS is a concurrent multi-session engine: the cache manager is sharded
+// (manager.go), elements carry their own lock so several sessions can read
+// one extension or index at once, and prefetches run on a bounded worker
+// pool (prefetch.go). Lock ordering is shard → element, never the reverse;
+// see DESIGN.md §10.
 package cache
 
 import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/caql"
 	"repro/internal/relation"
@@ -38,6 +45,11 @@ func (m Mode) String() string {
 // Element is one cache element: a relation defined by a CAQL expression,
 // stored as an extension or a (memoized) generator, with optional attribute
 // indexes and bookkeeping for replacement decisions.
+//
+// Elements are safe for concurrent use: mu guards the representation
+// (mode/extension/memo/indexes/sorted representations/selection counts), and
+// the replacement bookkeeping is atomic so Touch never needs a lock. An
+// element's Def and canonical form are immutable after construction.
 type Element struct {
 	ID  int
 	Def *caql.Query
@@ -45,7 +57,16 @@ type Element struct {
 	// generalizes, when known; it links the element to path-expression
 	// predictions.
 	AdviceName string
+	// canon caches Def.Canonical(); canonicalization is allocation-heavy and
+	// the manager keys its shards and exact-match index on it.
+	canon string
 
+	// mu guards the representation fields below. Element locks are leaves:
+	// code holding an element lock never acquires a shard lock (DESIGN.md
+	// §10 lock ordering: shard → element, never the reverse).
+	mu sync.Mutex
+	// Mode is guarded by mu; read it via Materialized/String (or under a
+	// single-session test where no concurrent upgrade can run).
 	Mode   Mode
 	schema *relation.Schema
 	ext    *relation.Relation // valid in ModeExtension
@@ -56,29 +77,52 @@ type Element struct {
 	// extension (Section 5.2: "the case where alternative sortings are
 	// required"); keyed by sort column, built on demand and memoized.
 	sorted map[int]*relation.Relation
-
-	// Replacement bookkeeping (Section 5.4: LRU modified by advice).
-	lastUse int64
-	hits    int64
-	size    int64
-	pinned  bool
-	// readyAtSim is the virtual time at which the element's data is fully
-	// present (prefetched elements may still be "in flight").
-	readyAtSim float64
-	// prefetched marks elements loaded ahead of demand by path-expression
-	// advice.
-	prefetched bool
 	// selUses counts equality selections per column, driving heuristic
 	// index builds on unadvised columns.
 	selUses map[int]int
+	size    int64
+
+	// Replacement bookkeeping (Section 5.4: LRU modified by advice).
+	lastUse atomic.Int64
+	hits    atomic.Int64
+	pinned  bool
+	// readyAtSim is the owning session's virtual time at which the element's
+	// data is fully present (prefetched elements may still be "in flight").
+	// Immutable once the element is inserted into the manager.
+	readyAtSim float64
+	// prefetched marks elements loaded ahead of demand by path-expression
+	// advice. Immutable after construction.
+	prefetched bool
+	// ownerSID is the session that inserted the element while its data was
+	// still in (simulated) flight; 0 means published — visible to every
+	// session. Prefetched elements stay session-private until the owning
+	// session's clock passes readyAtSim, so other sessions never observe
+	// "not yet ready" data (materialization-gated cross-session visibility).
+	ownerSID atomic.Int64
 }
 
 // noteSelection records an equality selection on a column (index heuristics).
 func (e *Element) noteSelection(col int) {
+	e.mu.Lock()
 	if e.selUses == nil {
 		e.selUses = make(map[int]int)
 	}
 	e.selUses[col]++
+	e.mu.Unlock()
+}
+
+// selCount returns the recorded equality-selection count for a column.
+func (e *Element) selCount(col int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.selUses[col]
+}
+
+// hasIndex reports whether an index exists on the column.
+func (e *Element) hasIndex(col int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.indexes[col] != nil
 }
 
 // newExtensionElement builds an extension-mode element.
@@ -86,6 +130,7 @@ func newExtensionElement(id int, def *caql.Query, ext *relation.Relation) *Eleme
 	return &Element{
 		ID:      id,
 		Def:     def,
+		canon:   def.Canonical(),
 		Mode:    ModeExtension,
 		schema:  ext.Schema(),
 		ext:     ext,
@@ -100,6 +145,7 @@ func newGeneratorElement(id int, def *caql.Query, schema *relation.Schema, src r
 	return &Element{
 		ID:      id,
 		Def:     def,
+		canon:   def.Canonical(),
 		Mode:    ModeGenerator,
 		schema:  schema,
 		memo:    relation.NewMemo(src),
@@ -107,13 +153,28 @@ func newGeneratorElement(id int, def *caql.Query, schema *relation.Schema, src r
 	}
 }
 
+// Canonical returns the element definition's cached canonical form.
+func (e *Element) Canonical() string { return e.canon }
+
 // Schema returns the element's schema.
 func (e *Element) Schema() *relation.Schema { return e.schema }
+
+// visibleTo reports whether the element may be served to the given session:
+// either it is published (owner 0) or that session owns it.
+func (e *Element) visibleTo(sid int64) bool {
+	o := e.ownerSID.Load()
+	return o == 0 || o == sid
+}
+
+// publish makes the element visible to every session.
+func (e *Element) publish() { e.ownerSID.Store(0) }
 
 // Iter returns an iterator over the element's tuples. For generator-mode
 // elements this re-reads memoized tuples and produces further ones on
 // demand.
 func (e *Element) Iter() relation.Iterator {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.Mode == ModeGenerator {
 		return e.memo.Iter()
 	}
@@ -123,6 +184,12 @@ func (e *Element) Iter() relation.Iterator {
 // Extension forces materialization and returns the full extension, flipping
 // a generator-mode element to extension mode (eager upgrade).
 func (e *Element) Extension() *relation.Relation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.extensionLocked()
+}
+
+func (e *Element) extensionLocked() *relation.Relation {
 	if e.Mode == ModeGenerator {
 		tuples := e.memo.DrainAll()
 		e.ext = relation.FromTuples(e.Def.Name(), e.schema, tuples)
@@ -135,12 +202,20 @@ func (e *Element) Extension() *relation.Relation {
 
 // Materialized reports whether the element's data is fully present.
 func (e *Element) Materialized() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.Mode == ModeExtension || e.memo.Exhausted()
 }
 
 // SizeBytes returns the current resource accounting for the element,
 // including indexes.
 func (e *Element) SizeBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sizeLocked()
+}
+
+func (e *Element) sizeLocked() int64 {
 	n := e.size
 	if e.Mode == ModeGenerator && e.memo != nil {
 		n += int64(e.memo.Produced()) * 64
@@ -159,265 +234,50 @@ func (e *Element) SizeBytes() int64 {
 // build serves every later ordered use (Section 5.2). It forces
 // materialization.
 func (e *Element) SortedBy(col int) *relation.Relation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if r, ok := e.sorted[col]; ok {
 		return r
 	}
 	if e.sorted == nil {
 		e.sorted = make(map[int]*relation.Relation)
 	}
-	r := e.Extension().Clone().SortBy([]int{col})
+	r := e.extensionLocked().Clone().SortBy([]int{col})
 	e.sorted[col] = r
 	return r
 }
 
 // Index returns the element's index on the given column, building it if
-// requested and absent. Index building requires materialization.
+// requested and absent.
 func (e *Element) Index(col int, build bool) *relation.Index {
+	ix, _ := e.indexBuilt(col, build)
+	return ix
+}
+
+// indexBuilt is Index plus a report of whether this call performed the build.
+// Index building requires materialization. Concurrent callers racing to build
+// the same index serialize on the element lock; the first build wins (built
+// is true for it alone) and later callers reuse it.
+func (e *Element) indexBuilt(col int, build bool) (ix *relation.Index, built bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ix, ok := e.indexes[col]; ok {
-		return ix
+		return ix, false
 	}
 	if !build {
-		return nil
+		return nil, false
 	}
-	ix := relation.BuildIndex(e.Extension(), []int{col})
+	ix = relation.BuildIndex(e.extensionLocked(), []int{col})
 	e.indexes[col] = ix
-	return ix
+	return ix, true
 }
 
 // String renders a cache-model row for humans.
 func (e *Element) String() string {
-	return fmt.Sprintf("E%d[%s, %s, %dB, hits=%d] %s",
-		e.ID, e.Mode, e.AdviceName, e.SizeBytes(), e.hits, strings.TrimSuffix(e.Def.String(), "."))
-}
-
-// Manager is the Cache Manager (Section 5.4): it stores and replaces cache
-// elements (LRU modified by advice), tracks resources, and maintains the
-// cache model. It is safe for concurrent use.
-type Manager struct {
-	mu       sync.Mutex
-	budget   int64
-	elements map[int]*Element
-	byCanon  map[string]*Element // exact-match result cache index
-	byPred   map[string][]*Element
-	nextID   int
-	tick     int64
-	evicted  int64
-
-	// predict returns the number of queries until an element is predicted to
-	// be needed again (advice-modified replacement); ok is false when the
-	// advice predicts nothing for it. Set per session.
-	predict func(e *Element) (distance int, ok bool)
-}
-
-// NewManager creates a cache manager with the given byte budget (<= 0 means
-// unbounded).
-func NewManager(budget int64) *Manager {
-	return &Manager{
-		budget:   budget,
-		elements: make(map[int]*Element),
-		byCanon:  make(map[string]*Element),
-		byPred:   make(map[string][]*Element),
-	}
-}
-
-// SetPredictor installs the advice-driven replacement predictor (nil
-// clears): given an element, the predicted number of queries until its next
-// use.
-func (m *Manager) SetPredictor(f func(e *Element) (int, bool)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.predict = f
-}
-
-// Len returns the number of cached elements.
-func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.elements)
-}
-
-// SizeBytes returns the total cache footprint.
-func (m *Manager) SizeBytes() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sizeLocked()
-}
-
-func (m *Manager) sizeLocked() int64 {
-	var n int64
-	for _, e := range m.elements {
-		n += e.SizeBytes()
-	}
-	return n
-}
-
-// Evictions returns the cumulative eviction count.
-func (m *Manager) Evictions() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.evicted
-}
-
-// Insert stores an element built from the given parts and returns it.
-// Insertion may evict LRU victims to respect the budget; elements larger
-// than the whole budget are returned unstored (callers still use them for
-// the current answer).
-func (m *Manager) Insert(e *Element) (stored bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	size := e.SizeBytes()
-	if m.budget > 0 && size > m.budget {
-		return false
-	}
-	m.tick++
-	e.lastUse = m.tick
-	if old, ok := m.byCanon[e.Def.Canonical()]; ok {
-		m.removeLocked(old)
-	}
-	m.elements[e.ID] = e
-	m.byCanon[e.Def.Canonical()] = e
-	for _, p := range e.Def.Preds() {
-		m.byPred[p] = append(m.byPred[p], e)
-	}
-	m.ensureSpaceLocked()
-	_, still := m.elements[e.ID]
-	return still
-}
-
-// NewElementID allocates a fresh element ID.
-func (m *Manager) NewElementID() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextID++
-	return m.nextID
-}
-
-// ensureSpaceLocked evicts elements until within budget. The victim is the
-// element predicted to be needed *farthest* in the future (unpredicted
-// elements count as infinitely far), ties broken by least recent use — the
-// paper's replacement use of path expressions: an element predicted "for one
-// of the next two queries ... is not the best candidate". Without a
-// predictor this degenerates to plain LRU.
-func (m *Manager) ensureSpaceLocked() {
-	if m.budget <= 0 {
-		return
-	}
-	const farAway = int(^uint(0) >> 1)
-	for m.sizeLocked() > m.budget {
-		var victim *Element
-		victimDist := -1
-		for _, e := range m.elements {
-			if e.pinned {
-				continue
-			}
-			dist := farAway
-			if m.predict != nil {
-				if d, ok := m.predict(e); ok {
-					dist = d
-				}
-			}
-			if victim == nil || dist > victimDist ||
-				(dist == victimDist && e.lastUse < victim.lastUse) {
-				victim = e
-				victimDist = dist
-			}
-		}
-		if victim == nil {
-			return
-		}
-		m.removeLocked(victim)
-		m.evicted++
-	}
-}
-
-func (m *Manager) removeLocked(e *Element) {
-	delete(m.elements, e.ID)
-	if cur, ok := m.byCanon[e.Def.Canonical()]; ok && cur.ID == e.ID {
-		delete(m.byCanon, e.Def.Canonical())
-	}
-	for _, p := range e.Def.Preds() {
-		list := m.byPred[p]
-		for i, x := range list {
-			if x.ID == e.ID {
-				m.byPred[p] = append(list[:i], list[i+1:]...)
-				break
-			}
-		}
-	}
-}
-
-// Touch records a use of the element for LRU purposes.
-func (m *Manager) Touch(e *Element) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.tick++
-	e.lastUse = m.tick
-	e.hits++
-}
-
-// ExactMatch finds an element whose definition exactly matches q up to
-// variable renaming (result caching).
-func (m *Manager) ExactMatch(q *caql.Query) *Element {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.byCanon[q.Canonical()]
-}
-
-// CandidatesFor returns elements sharing at least one predicate with q — the
-// paper's "(predicate name, cache element)" index for expediting step 2.
-func (m *Manager) CandidatesFor(q *caql.Query) []*Element {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	seen := make(map[int]bool)
-	var out []*Element
-	for _, p := range q.Preds() {
-		for _, e := range m.byPred[p] {
-			if !seen[e.ID] {
-				seen[e.ID] = true
-				out = append(out, e)
-			}
-		}
-	}
-	return out
-}
-
-// Elements returns a snapshot of all elements.
-func (m *Manager) Elements() []*Element {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]*Element, 0, len(m.elements))
-	for _, e := range m.elements {
-		out = append(out, e)
-	}
-	return out
-}
-
-// Model returns the cache model (Section 5.4: "the cache model represents
-// the state and statistical information about the cache") as a relation, so
-// the IE can query it through the normal interface.
-func (m *Manager) Model() *relation.Relation {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	schema := relation.NewSchema(
-		relation.Attr{Name: "e_id", Kind: relation.KindInt},
-		relation.Attr{Name: "e_def", Kind: relation.KindString},
-		relation.Attr{Name: "mode", Kind: relation.KindString},
-		relation.Attr{Name: "size_bytes", Kind: relation.KindInt},
-		relation.Attr{Name: "hits", Kind: relation.KindInt},
-		relation.Attr{Name: "last_use", Kind: relation.KindInt},
-		relation.Attr{Name: "advice_name", Kind: relation.KindString},
-	)
-	out := relation.New("cache_model", schema)
-	for _, e := range m.elements {
-		out.MustAppend(relation.Tuple{
-			relation.Int(int64(e.ID)),
-			relation.Str(e.Def.String()),
-			relation.Str(e.Mode.String()),
-			relation.Int(e.SizeBytes()),
-			relation.Int(e.hits),
-			relation.Int(e.lastUse),
-			relation.Str(e.AdviceName),
-		})
-	}
-	return out.SortBy([]int{0})
+	e.mu.Lock()
+	mode := e.Mode
+	e.mu.Unlock()
+	return fmt.Sprintf("E%d[%s, %s, %dB, hits=%d] %s",
+		e.ID, mode, e.AdviceName, size, e.hits.Load(), strings.TrimSuffix(e.Def.String(), "."))
 }

@@ -26,6 +26,7 @@ func TestPrefetchFailureIsSilent(t *testing.T) {
 	if out.Len() == 0 {
 		t.Fatal("foreground query should succeed")
 	}
+	s.waitPrefetches() // let the asynchronous prefetch attempt resolve
 	if cms.Stats().Prefetches != 0 {
 		t.Fatal("failed prefetch must not count as a prefetch")
 	}

@@ -1,0 +1,345 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/caql"
+	"repro/internal/relation"
+)
+
+// Manager is the Cache Manager (Section 5.4): it stores and replaces cache
+// elements (LRU modified by advice), tracks resources, and maintains the
+// cache model. It is safe for concurrent use by many sessions.
+//
+// Concurrency design: the store is split into numShards shards keyed by the
+// FNV hash of an element definition's canonical form. Each shard holds the
+// elements homed there plus that shard's slice of the (predicate → elements)
+// index, under its own RWMutex — lookups (ExactMatch, CandidatesFor) take
+// read locks only, so concurrent sessions probing the cache never serialize;
+// insert/remove take one shard's write lock. Touch is entirely atomic (no
+// lock). Budget eviction is the one global operation: it serializes on
+// evictMu and takes shard locks one at a time, never holding two at once.
+type Manager struct {
+	budget int64
+	shards [numShards]managerShard
+
+	nextID  atomic.Int64
+	tick    atomic.Int64
+	evicted atomic.Int64
+
+	// evictMu serializes budget-eviction sweeps.
+	evictMu sync.Mutex
+
+	// pmu guards the per-session predictor registry. A predictor returns the
+	// number of queries until an element is predicted to be needed again
+	// (advice-modified replacement); ok is false when that session's advice
+	// predicts nothing for it.
+	pmu        sync.RWMutex
+	predictors map[int64]func(e *Element) (int, bool)
+}
+
+const numShards = 16
+
+type managerShard struct {
+	mu       sync.RWMutex
+	elements map[int]*Element
+	byCanon  map[string]*Element // exact-match result cache index
+	byPred   map[string][]*Element
+}
+
+func shardIndex(canon string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(canon); i++ {
+		h = (h ^ uint64(canon[i])) * 1099511628211
+	}
+	return int(h % numShards)
+}
+
+// NewManager creates a cache manager with the given byte budget (<= 0 means
+// unbounded).
+func NewManager(budget int64) *Manager {
+	m := &Manager{budget: budget, predictors: make(map[int64]func(*Element) (int, bool))}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.elements = make(map[int]*Element)
+		s.byCanon = make(map[string]*Element)
+		s.byPred = make(map[string][]*Element)
+	}
+	return m
+}
+
+func (m *Manager) shardFor(canon string) *managerShard {
+	return &m.shards[shardIndex(canon)]
+}
+
+// RegisterPredictor installs a session's advice-driven replacement predictor.
+func (m *Manager) RegisterPredictor(sid int64, f func(e *Element) (int, bool)) {
+	m.pmu.Lock()
+	m.predictors[sid] = f
+	m.pmu.Unlock()
+}
+
+// UnregisterPredictor removes a session's predictor.
+func (m *Manager) UnregisterPredictor(sid int64) {
+	m.pmu.Lock()
+	delete(m.predictors, sid)
+	m.pmu.Unlock()
+}
+
+// SetPredictor installs a single advice-driven replacement predictor (nil
+// clears). It is the single-session convenience form of RegisterPredictor.
+func (m *Manager) SetPredictor(f func(e *Element) (int, bool)) {
+	m.pmu.Lock()
+	if f == nil {
+		delete(m.predictors, 0)
+	} else {
+		m.predictors[0] = f
+	}
+	m.pmu.Unlock()
+}
+
+// predictDistance returns the minimum predicted reuse distance for e across
+// all registered session predictors; ok is false when no session predicts it.
+func (m *Manager) predictDistance(e *Element) (int, bool) {
+	m.pmu.RLock()
+	defer m.pmu.RUnlock()
+	best, ok := 0, false
+	for _, f := range m.predictors {
+		if d, predicted := f(e); predicted && (!ok || d < best) {
+			best, ok = d, true
+		}
+	}
+	return best, ok
+}
+
+// Len returns the number of cached elements.
+func (m *Manager) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.elements)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// SizeBytes returns the total cache footprint.
+func (m *Manager) SizeBytes() int64 {
+	var n int64
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, e := range s.elements {
+			n += e.SizeBytes()
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Evictions returns the cumulative eviction count.
+func (m *Manager) Evictions() int64 { return m.evicted.Load() }
+
+// Insert stores an element built from the given parts. Insertion may evict
+// victims to respect the budget; elements larger than the whole budget are
+// returned unstored (callers still use them for the current answer). stored
+// reports whether the element survived the post-insert budget sweep.
+func (m *Manager) Insert(e *Element) (stored bool) {
+	size := e.SizeBytes()
+	if m.budget > 0 && size > m.budget {
+		return false
+	}
+	e.lastUse.Store(m.tick.Add(1))
+
+	s := m.shardFor(e.canon)
+	s.mu.Lock()
+	if old, ok := s.byCanon[e.canon]; ok {
+		s.removeLocked(old)
+	}
+	s.elements[e.ID] = e
+	s.byCanon[e.canon] = e
+	for _, p := range e.Def.Preds() {
+		s.byPred[p] = append(s.byPred[p], e)
+	}
+	s.mu.Unlock()
+
+	if m.budget > 0 {
+		m.ensureSpace()
+		s.mu.RLock()
+		_, stored = s.elements[e.ID]
+		s.mu.RUnlock()
+		return stored
+	}
+	return true
+}
+
+// NewElementID allocates a fresh element ID.
+func (m *Manager) NewElementID() int { return int(m.nextID.Add(1)) }
+
+// ensureSpace evicts elements until within budget. The victim is the element
+// predicted to be needed *farthest* in the future (unpredicted elements count
+// as infinitely far), ties broken by least recent use — the paper's
+// replacement use of path expressions: an element predicted "for one of the
+// next two queries ... is not the best candidate". Without a predictor this
+// degenerates to plain LRU. Sweeps serialize on evictMu and hold at most one
+// shard lock at a time.
+func (m *Manager) ensureSpace() {
+	m.evictMu.Lock()
+	defer m.evictMu.Unlock()
+	const farAway = int(^uint(0) >> 1)
+	for m.SizeBytes() > m.budget {
+		var victim *Element
+		victimDist := -1
+		var victimUse int64
+		for i := range m.shards {
+			s := &m.shards[i]
+			s.mu.RLock()
+			for _, e := range s.elements {
+				if e.pinned {
+					continue
+				}
+				dist := farAway
+				if d, ok := m.predictDistance(e); ok {
+					dist = d
+				}
+				use := e.lastUse.Load()
+				if victim == nil || dist > victimDist ||
+					(dist == victimDist && use < victimUse) {
+					victim, victimDist, victimUse = e, dist, use
+				}
+			}
+			s.mu.RUnlock()
+		}
+		if victim == nil {
+			return
+		}
+		s := m.shardFor(victim.canon)
+		s.mu.Lock()
+		if _, still := s.elements[victim.ID]; still {
+			s.removeLocked(victim)
+			m.evicted.Add(1)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *managerShard) removeLocked(e *Element) {
+	delete(s.elements, e.ID)
+	if cur, ok := s.byCanon[e.canon]; ok && cur.ID == e.ID {
+		delete(s.byCanon, e.canon)
+	}
+	for _, p := range e.Def.Preds() {
+		list := s.byPred[p]
+		for i, x := range list {
+			if x.ID == e.ID {
+				s.byPred[p] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Touch records a use of the element for LRU purposes. It is lock-free.
+func (m *Manager) Touch(e *Element) {
+	e.lastUse.Store(m.tick.Add(1))
+	e.hits.Add(1)
+}
+
+// ExactMatch finds a published element whose definition exactly matches q up
+// to variable renaming (result caching).
+func (m *Manager) ExactMatch(q *caql.Query) *Element { return m.ExactMatchFor(q, 0) }
+
+// ExactMatchFor is ExactMatch restricted to elements visible to the given
+// session: published elements plus the session's own in-flight prefetches.
+func (m *Manager) ExactMatchFor(q *caql.Query, sid int64) *Element {
+	canon := q.Canonical()
+	s := m.shardFor(canon)
+	s.mu.RLock()
+	e := s.byCanon[canon]
+	s.mu.RUnlock()
+	if e != nil && !e.visibleTo(sid) {
+		return nil
+	}
+	return e
+}
+
+// CandidatesFor returns published elements sharing at least one predicate
+// with q — the paper's "(predicate name, cache element)" index for expediting
+// step 2.
+func (m *Manager) CandidatesFor(q *caql.Query) []*Element { return m.CandidatesForSession(q, 0) }
+
+// CandidatesForSession is CandidatesFor restricted to elements visible to the
+// given session. Every shard is probed under a read lock, so concurrent
+// lookups proceed in parallel.
+func (m *Manager) CandidatesForSession(q *caql.Query, sid int64) []*Element {
+	preds := q.Preds()
+	var out []*Element
+	contains := func(e *Element) bool {
+		for _, x := range out {
+			if x.ID == e.ID {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, p := range preds {
+			for _, e := range s.byPred[p] {
+				if e.visibleTo(sid) && !contains(e) {
+					out = append(out, e)
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Elements returns a snapshot of all elements.
+func (m *Manager) Elements() []*Element {
+	var out []*Element
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, e := range s.elements {
+			out = append(out, e)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Model returns the cache model (Section 5.4: "the cache model represents
+// the state and statistical information about the cache") as a relation, so
+// the IE can query it through the normal interface.
+func (m *Manager) Model() *relation.Relation {
+	schema := relation.NewSchema(
+		relation.Attr{Name: "e_id", Kind: relation.KindInt},
+		relation.Attr{Name: "e_def", Kind: relation.KindString},
+		relation.Attr{Name: "mode", Kind: relation.KindString},
+		relation.Attr{Name: "size_bytes", Kind: relation.KindInt},
+		relation.Attr{Name: "hits", Kind: relation.KindInt},
+		relation.Attr{Name: "last_use", Kind: relation.KindInt},
+		relation.Attr{Name: "advice_name", Kind: relation.KindString},
+	)
+	out := relation.New("cache_model", schema)
+	for _, e := range m.Elements() {
+		e.mu.Lock()
+		mode := e.Mode
+		e.mu.Unlock()
+		out.MustAppend(relation.Tuple{
+			relation.Int(int64(e.ID)),
+			relation.Str(e.Def.String()),
+			relation.Str(mode.String()),
+			relation.Int(e.SizeBytes()),
+			relation.Int(e.hits.Load()),
+			relation.Int(e.lastUse.Load()),
+			relation.Str(e.AdviceName),
+		})
+	}
+	return out.SortBy([]int{0})
+}

@@ -76,7 +76,7 @@ func (s *Session) QueryFixpoint(q *caql.Query) (*bridge.Stream, error) {
 		s.tcMemo = make(map[string]*relation.Relation)
 	}
 	if memo, ok := s.tcMemo[key]; ok {
-		s.bump(func(st *bridge.SourceStats) { st.CacheHits++ })
+		s.cms.stats.CacheHits.Add(1)
 		return bridge.NewEagerStream(memo), nil
 	}
 
@@ -88,9 +88,9 @@ func (s *Session) QueryFixpoint(q *caql.Query) (*bridge.Stream, error) {
 
 	// Semi-naive transitive closure: delta ∘ base joined each round.
 	closure := base.Clone()
-	seen := make(map[string]bool, base.Len())
+	seen := relation.NewTupleSet(base.Len())
 	for _, tu := range base.Tuples() {
-		seen[tu.Key()] = true
+		seen.Add(tu)
 	}
 	delta := base
 	var ops int
@@ -104,8 +104,7 @@ func (s *Session) QueryFixpoint(q *caql.Query) (*bridge.Stream, error) {
 			}
 			ops++
 			out := relation.Tuple{tu[0], tu[3]}
-			if !seen[out.Key()] {
-				seen[out.Key()] = true
+			if seen.Add(out) {
 				next.MustAppend(out)
 				closure.MustAppend(out)
 			}

@@ -28,13 +28,18 @@ func (s *Session) Query(q *caql.Query) (*bridge.Stream, error) {
 		return nil, err
 	}
 	c := s.cms
-	s.bump(func(st *bridge.SourceStats) { st.Queries++ })
+	c.stats.Queries.Add(1)
 	if s.queries > 0 {
 		// IE think time between queries: the session clock advances but it
 		// is not response time; prefetches issued earlier overlap with it.
 		s.simNow += c.opts.ThinkTimeMS
 	}
 	s.queries++
+	// Prefetches issued after the previous query ran during the think time
+	// that just elapsed; wait them in, then publish the ones whose simulated
+	// in-flight period has passed so other sessions can see them too.
+	s.waitPrefetches()
+	s.publishReady()
 
 	name := q.Name()
 	var vs *advice.ViewSpec
@@ -69,18 +74,16 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 	// Step 2a: exact-match result cache ([IOAN88]-style reuse, subsumed by
 	// full subsumption but cheaper: a single map lookup).
 	if f.ExactMatch && f.ResultCaching {
-		if e := c.mgr.ExactMatch(q); e != nil {
+		if e := c.mgr.ExactMatchFor(q, s.id); e != nil {
 			if d, ok := subsume.DeriveFull(e.Def, q); ok {
-				s.bump(func(st *bridge.SourceStats) {
-					st.CacheHits++
-					st.ExactHits++
-					if e.prefetched {
-						st.PrefetchHits++
-					}
-					if degraded {
-						st.DegradedHits++
-					}
-				})
+				c.stats.CacheHits.Add(1)
+				c.stats.ExactHits.Add(1)
+				if e.prefetched {
+					c.stats.PrefetchHits.Add(1)
+				}
+				if degraded {
+					c.stats.DegradedHits.Add(1)
+				}
 				return s.serveFromElement(e, d, q, vs)
 			}
 		}
@@ -90,7 +93,7 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 	if f.Subsumption {
 		var bestE *Element
 		var bestD *subsume.Derivation
-		for _, e := range c.mgr.CandidatesFor(q) {
+		for _, e := range c.mgr.CandidatesForSession(q, s.id) {
 			d, ok := subsume.DeriveFull(e.Def, q)
 			if !ok {
 				continue
@@ -100,16 +103,13 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 			}
 		}
 		if bestE != nil {
-			e := bestE
-			s.bump(func(st *bridge.SourceStats) {
-				st.CacheHits++
-				if e.prefetched {
-					st.PrefetchHits++
-				}
-				if degraded {
-					st.DegradedHits++
-				}
-			})
+			c.stats.CacheHits.Add(1)
+			if bestE.prefetched {
+				c.stats.PrefetchHits.Add(1)
+			}
+			if degraded {
+				c.stats.DegradedHits.Add(1)
+			}
 			return s.serveFromElement(bestE, bestD, q, vs)
 		}
 	}
@@ -123,9 +123,9 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 			ext, sim, err := c.rdi.Fetch(gq)
 			if err == nil {
 				s.advance(sim)
-				e := s.cacheResult(gq, ext, vs, false)
+				e := s.cacheResult(gq, ext, vs)
 				if d, ok := subsume.DeriveFull(gq, q); ok {
-					s.bump(func(st *bridge.SourceStats) { st.Generalizations++ })
+					c.stats.Generalizations.Add(1)
 					return s.serveFromElement(e, d, q, vs)
 				}
 			}
@@ -149,7 +149,7 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 	}
 	s.advance(sim)
 	if s.shouldCache(vs) {
-		s.cacheResult(q, ext, vs, false)
+		s.cacheResult(q, ext, vs)
 	}
 	return bridge.NewEagerStream(ext), nil
 }
@@ -161,9 +161,11 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 func (s *Session) serveFromElement(e *Element, d *subsume.Derivation, q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, error) {
 	c := s.cms
 	c.mgr.Touch(e)
-	if e.readyAtSim > s.simNow {
-		// Prefetched data still in flight: wait out the remainder.
-		s.advance(e.readyAtSim - s.simNow)
+	if rem := s.readyRemainder(e); rem > 0 {
+		// Own prefetched data still in flight: wait out the remainder. (Other
+		// sessions never see an in-flight element; visibility is gated on
+		// the owner's clock passing readyAtSim.)
+		s.advance(rem)
 	}
 	schema, err := q.OutputSchema(c.rdi)
 	if err != nil {
@@ -176,7 +178,7 @@ func (s *Session) serveFromElement(e *Element, d *subsume.Derivation, q *caql.Qu
 	if lazy {
 		per := c.opts.Costs.PerLocalOp
 		src := chargeIter(e.Iter(), func(n int) { s.advanceLocal(per * float64(n)) })
-		s.bump(func(st *bridge.SourceStats) { st.LazyAnswers++ })
+		c.stats.LazyAnswers.Add(1)
 		return bridge.NewStream(schema, d.ApplyLazy(src), true), nil
 	}
 
@@ -196,7 +198,11 @@ func (s *Session) derivedIter(e *Element, d *subsume.Derivation, vs *advice.View
 			if cond.Right >= 0 || cond.Op != relation.OpEq {
 				continue
 			}
-			if ix := e.Index(cond.Left, s.shouldIndex(e, cond.Left)); ix != nil {
+			ix, built := e.indexBuilt(cond.Left, s.shouldIndex(e, cond.Left))
+			if built {
+				c.stats.IndexBuilds.Add(1)
+			}
+			if ix != nil {
 				rows := ix.Lookup([]relation.Value{cond.Const})
 				rest := append(append([]relation.Cond(nil), d.Candidate.Conds[:i]...), d.Candidate.Conds[i+1:]...)
 				cand := *d.Candidate
@@ -214,31 +220,26 @@ func (s *Session) derivedIter(e *Element, d *subsume.Derivation, vs *advice.View
 
 // shouldIndex decides whether to build an index on the element column:
 // consumer-annotated columns are prime candidates (Section 4.2.1); other
-// columns earn an index after repeated equality selections.
+// columns earn an index after repeated equality selections. The IndexBuilds
+// stat is counted where the build actually happens (indexBuilt), so two
+// sessions racing to index the same column count one build.
 func (s *Session) shouldIndex(e *Element, col int) bool {
-	if e.indexes[col] != nil {
+	if e.hasIndex(col) {
 		return true
 	}
 	if !e.Materialized() {
 		return false
 	}
-	build := false
 	if e.AdviceName != "" && s.adv != nil {
 		if vs := s.adv.ViewByName(e.AdviceName); vs != nil {
 			for _, cc := range vs.ConsumerCols() {
 				if cc == col {
-					build = true
+					return true
 				}
 			}
 		}
 	}
-	if e.selUses[col] >= 2 {
-		build = true
-	}
-	if build {
-		s.bump(func(st *bridge.SourceStats) { st.IndexBuilds++ })
-	}
-	return build
+	return e.selCount(col) >= 2
 }
 
 // generalizationOf widens the IE-query at its consumer-bound constant
@@ -311,14 +312,14 @@ func (s *Session) shouldCache(vs *advice.ViewSpec) bool {
 }
 
 // cacheResult stores (budget permitting) and returns an element holding a
-// query result.
-func (s *Session) cacheResult(def *caql.Query, ext *relation.Relation, vs *advice.ViewSpec, prefetched bool) *Element {
+// demand-fetched query result. (Prefetched elements are built by the worker
+// pool in prefetch.go, which also sets their visibility gate.)
+func (s *Session) cacheResult(def *caql.Query, ext *relation.Relation, vs *advice.ViewSpec) *Element {
 	c := s.cms
 	e := newExtensionElement(c.mgr.NewElementID(), def.Clone(), ext)
 	if vs != nil {
 		e.AdviceName = vs.Name()
 	}
-	e.prefetched = prefetched
 	e.readyAtSim = s.simNow
 	if c.opts.Features.ResultCaching {
 		c.mgr.Insert(e)
@@ -341,8 +342,8 @@ func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.
 	covered := make([]bool, len(q.Rels))
 	cmpCovered := make([]bool, len(q.Cmps))
 	var picks []pick
-	for _, e := range c.mgr.CandidatesFor(q) {
-		if !e.Materialized() && e.readyAtSim > s.simNow {
+	for _, e := range c.mgr.CandidatesForSession(q, s.id) {
+		if !e.Materialized() && s.readyRemainder(e) > 0 {
 			continue
 		}
 		for _, cand := range subsume.Match(e.Def, q, needed) {
@@ -418,9 +419,7 @@ func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.
 		for i, p := range picks {
 			name := fmt.Sprintf("__p%d", i)
 			c.mgr.Touch(p.e)
-			if p.e.readyAtSim > s.simNow {
-				localDur += p.e.readyAtSim - s.simNow
-			}
+			localDur += s.readyRemainder(p.e)
 			ext := p.e.Extension()
 			piece := p.cand.Materialize(name, ext)
 			overlay[name] = piece
@@ -507,7 +506,7 @@ func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.
 		atoms = append(atoms, rq.Head)
 		if s.cms.opts.Features.ResultCaching {
 			// The residual result is itself reusable.
-			s.cacheResult(rq, residualExt, nil, false)
+			s.cacheResult(rq, residualExt, nil)
 		}
 	}
 
@@ -524,27 +523,26 @@ func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.
 	s.advanceLocal(c.opts.Costs.PerLocalOp * float64(inputs+out.Len()))
 
 	if len(residualIdx) == 0 {
-		degraded := !c.rdi.Available()
-		s.bump(func(st *bridge.SourceStats) {
-			st.CacheHits++
-			if degraded {
-				st.DegradedHits++
-			}
-		})
+		c.stats.CacheHits.Add(1)
+		if !c.rdi.Available() {
+			c.stats.DegradedHits.Add(1)
+		}
 	} else {
-		s.bump(func(st *bridge.SourceStats) { st.PartialHits++ })
+		c.stats.PartialHits.Add(1)
 	}
 	if s.shouldCache(vs) {
-		s.cacheResult(q, out, vs, false)
+		s.cacheResult(q, out, vs)
 	}
 	return bridge.NewEagerStream(out), true, nil
 }
 
-// prefetchFollowers issues predicted follow-up queries after answering q:
-// the items following q's view in its sequence grouping are "likely to be
+// prefetchFollowers plans predicted follow-up queries after answering q: the
+// items following q's view in its sequence grouping are "likely to be
 // evaluated when the first item is evaluated" (Section 5.3.1). Consumer
 // arguments are instantiated from the current query's constants; followers
-// with unresolved consumers are skipped.
+// with unresolved consumers are skipped. The selected fetches are handed to
+// the asynchronous worker pool (prefetch.go) so they overlap the IE's think
+// time in wall-clock terms, not just on the simulated clock.
 func (s *Session) prefetchFollowers(q *caql.Query, vs *advice.ViewSpec) {
 	if vs == nil {
 		return
@@ -571,26 +569,18 @@ func (s *Session) prefetchFollowers(q *caql.Query, vs *advice.ViewSpec) {
 		if unresolved {
 			continue
 		}
-		if c.opts.Features.ResultCaching && c.mgr.ExactMatch(pq) != nil {
+		if c.opts.Features.ResultCaching && c.mgr.ExactMatchFor(pq, s.id) != nil {
 			continue
 		}
 		if c.opts.Features.Subsumption && s.derivableFromCache(pq) {
 			continue
 		}
-		ext, sim, err := c.rdi.Fetch(pq)
-		if err != nil {
-			continue // prefetching is best-effort
-		}
-		e := s.cacheResult(pq, ext, fvs, true)
-		// The fetch proceeds during IE think time: the element becomes ready
-		// sim ms from now without charging response time.
-		e.readyAtSim = s.simNow + sim
-		s.bump(func(st *bridge.SourceStats) { st.Prefetches++ })
+		s.enqueuePrefetch(pq, fvs)
 	}
 }
 
 func (s *Session) derivableFromCache(q *caql.Query) bool {
-	for _, e := range s.cms.mgr.CandidatesFor(q) {
+	for _, e := range s.cms.mgr.CandidatesForSession(q, s.id) {
 		if _, ok := subsume.DeriveFull(e.Def, q); ok {
 			return true
 		}

@@ -52,6 +52,25 @@ func E10FeatureAblation() *Table {
 	return t
 }
 
+// e10Sequence is the ablation session's query list: d1 once, then (d2, d3)
+// instance pairs (prefetch + generalization territory), an exact repeat, and
+// decomposable joins (subsumption + parallel territory). E12 replays the same
+// sequence from concurrent sessions.
+func e10Sequence() []*caql.Query {
+	qs := []*caql.Query{caql.MustParse(`d1(Y) :- b1("c1", Y)`)}
+	d2t := caql.MustParse(`d2(X, Y) :- b2(X, Z) & b3(Z, "c2", Y)`)
+	d3t := caql.MustParse(`d3(X, Y) :- b3(X, "c3", Z) & b1(Z, Y)`)
+	for c := 0; c < 6; c++ {
+		bind := map[string]relation.Value{"Y": relation.Int(int64(c))}
+		qs = append(qs, d2t.Instantiate(bind), d3t.Instantiate(bind))
+	}
+	qs = append(qs,
+		caql.MustParse(`d1(Y) :- b1("c1", Y)`), // exact repeat
+		caql.MustParse(`j1(X, W) :- b2(X, Z) & b3(Z, "c2", W) & W != 1`),
+		caql.MustParse(`j2(X, W) :- b2(X, Z) & b3(Z, "c2", W) & W != 2`))
+	return qs
+}
+
 // RunE10 runs the ablation session under the given feature set.
 func RunE10(f cache.Features) bridge.SourceStats {
 	w := workload.Chain(53, 700, 24)
@@ -62,28 +81,13 @@ func RunE10(f cache.Features) bridge.SourceStats {
 	s := cms.BeginSession(adv).(*cache.Session)
 	defer s.End()
 
-	run := func(q *caql.Query) {
+	for _, q := range e10Sequence() {
 		stream, err := s.Query(q)
 		if err != nil {
 			panic(fmt.Sprintf("E10: %s: %v", q, err))
 		}
 		stream.Drain("out")
 	}
-
-	// The session: d1 once, then (d2, d3) instance pairs (prefetch +
-	// generalization territory), an exact repeat, and decomposable joins
-	// (subsumption + parallel territory).
-	run(caql.MustParse(`d1(Y) :- b1("c1", Y)`))
-	d2t := caql.MustParse(`d2(X, Y) :- b2(X, Z) & b3(Z, "c2", Y)`)
-	d3t := caql.MustParse(`d3(X, Y) :- b3(X, "c3", Z) & b1(Z, Y)`)
-	for c := 0; c < 6; c++ {
-		bind := map[string]relation.Value{"Y": relation.Int(int64(c))}
-		run(d2t.Instantiate(bind))
-		run(d3t.Instantiate(bind))
-	}
-	run(caql.MustParse(`d1(Y) :- b1("c1", Y)`)) // exact repeat
-	run(caql.MustParse(`j1(X, W) :- b2(X, Z) & b3(Z, "c2", W) & W != 1`))
-	run(caql.MustParse(`j2(X, W) :- b2(X, Z) & b3(Z, "c2", W) & W != 2`))
 
 	return cms.Stats()
 }

@@ -211,13 +211,42 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full suite in short mode")
 	}
 	tables := All()
-	if len(tables) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 || tab.String() == "" {
 			t.Errorf("%s produced no rows", tab.ID)
 		}
+	}
+}
+
+// TestE12Shape: concurrent sessions over one shared CMS must answer every
+// query (accounted exactly once) and hit at least as often as the serial
+// session — wall-clock speed is environment-dependent and not asserted.
+func TestE12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent replay in short mode")
+	}
+	perSession := int64(len(e10Sequence()))
+	serial := RunE12(1)
+	if serial.Stats.Queries != perSession {
+		t.Fatalf("serial queries = %d, want %d", serial.Stats.Queries, perSession)
+	}
+	serialRate := float64(serial.Stats.CacheHits+serial.Stats.PartialHits) / float64(serial.Stats.Queries)
+	conc := RunE12(8)
+	if conc.Stats.Queries != 8*perSession {
+		t.Fatalf("concurrent queries = %d, want %d", conc.Stats.Queries, 8*perSession)
+	}
+	concRate := float64(conc.Stats.CacheHits+conc.Stats.PartialHits) / float64(conc.Stats.Queries)
+	// Sessions racing on a cold cache can each miss the same query before the
+	// first insert lands (at most ~one duplicate fetch per session per view),
+	// so parity holds up to a one-query-per-session tolerance.
+	if tol := 1.0 / float64(perSession); concRate < serialRate-tol {
+		t.Errorf("shared-cache hit rate %.3f below serial %.3f (tolerance %.3f)", concRate, serialRate, tol)
+	}
+	if conc.QPS <= 0 || conc.P50 <= 0 || conc.P99 < conc.P50 {
+		t.Errorf("degenerate latency aggregation: %+v", conc)
 	}
 }
 

@@ -85,6 +85,6 @@ func All() []*Table {
 		E1ICRange(), E2CachingStrategies(), E3LazyVsEager(), E4Prefetching(),
 		E5Generalization(), E6AttributeIndexing(), E7Replacement(),
 		E8ParallelSubqueries(), E9SubsumptionOverhead(), E10FeatureAblation(),
-		E11FaultTolerance(),
+		E11FaultTolerance(), E12ConcurrentScaling(),
 	}
 }

@@ -1,0 +1,170 @@
+package relation
+
+import "math"
+
+// Allocation-free 64-bit hashing for tuples and values, and the small
+// collision-safe containers built on it. The string Tuple.Key remains the
+// human-readable/order-stable form; the hot paths (Distinct, Difference,
+// hash-join build sides, attribute indexes) key their maps on Hash64 and
+// verify candidates with Equal, so hash collisions cost a comparison, never
+// correctness.
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// hashInto folds the value into a running FNV-1a hash, consistent with Equal:
+// numerically equal int/float values fold identically.
+func (v Value) hashInto(h uint64) uint64 {
+	switch v.kind {
+	case KindNull:
+		return fnvByte(h, 0)
+	case KindBool:
+		h = fnvByte(h, 1)
+		if v.b {
+			return fnvByte(h, 1)
+		}
+		return fnvByte(h, 0)
+	case KindInt, KindFloat:
+		h = fnvByte(h, 2)
+		return fnvUint64(h, math.Float64bits(v.AsFloat()))
+	default:
+		h = fnvByte(h, 3)
+		for i := 0; i < len(v.s); i++ {
+			h = fnvByte(h, v.s[i])
+		}
+		return h
+	}
+}
+
+// Hash64 returns a 64-bit hash of the tuple, consistent with Equal (and with
+// the string Key), computed without allocating.
+func (t Tuple) Hash64() uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range t {
+		h = v.hashInto(h)
+	}
+	return h
+}
+
+// Hash64On returns a 64-bit hash over the given column subset.
+func (t Tuple) Hash64On(cols []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range cols {
+		h = t[c].hashInto(h)
+	}
+	return h
+}
+
+// equalOn reports whether t and o agree on the given (t-side, o-side) column
+// pairs.
+func equalOn(t Tuple, tCols []int, o Tuple, oCols []int) bool {
+	for i := range tCols {
+		if !t[tCols[i]].Equal(o[oCols[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleSet is a collision-safe set of tuples keyed by Hash64. Membership is
+// decided by Equal, so tuples that merely collide stay distinct.
+type TupleSet struct {
+	buckets map[uint64][]Tuple
+}
+
+// NewTupleSet returns an empty set with capacity hint n.
+func NewTupleSet(n int) *TupleSet {
+	return &TupleSet{buckets: make(map[uint64][]Tuple, n)}
+}
+
+// Add inserts t and reports whether it was absent before.
+func (s *TupleSet) Add(t Tuple) bool {
+	h := t.Hash64()
+	for _, o := range s.buckets[h] {
+		if t.Equal(o) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], t)
+	return true
+}
+
+// Contains reports membership.
+func (s *TupleSet) Contains(t Tuple) bool {
+	for _, o := range s.buckets[t.Hash64()] {
+		if t.Equal(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// tupleCounter is a collision-safe multiset counter used for bag equality.
+type tupleCounter struct {
+	buckets map[uint64][]tupleCount
+}
+
+type tupleCount struct {
+	t Tuple
+	n int
+}
+
+func newTupleCounter(n int) *tupleCounter {
+	return &tupleCounter{buckets: make(map[uint64][]tupleCount, n)}
+}
+
+func (c *tupleCounter) add(t Tuple, d int) int {
+	h := t.Hash64()
+	bucket := c.buckets[h]
+	for i := range bucket {
+		if bucket[i].t.Equal(t) {
+			bucket[i].n += d
+			return bucket[i].n
+		}
+	}
+	c.buckets[h] = append(bucket, tupleCount{t: t, n: d})
+	return d
+}
+
+// tupleArena hands out tuple buffers carved from large shared blocks, cutting
+// the per-output-tuple allocation of the join kernels to ~one allocation per
+// block. Tuples returned by make escape freely: blocks are never reused.
+type tupleArena struct {
+	buf []Value
+}
+
+const arenaBlockValues = 4096
+
+func (a *tupleArena) make(n int) Tuple {
+	if n > arenaBlockValues {
+		return make(Tuple, 0, n)
+	}
+	if cap(a.buf)-len(a.buf) < n {
+		a.buf = make([]Value, 0, arenaBlockValues)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+n]
+	// Zero-length, capacity-capped view: appends fill exactly this carve-out.
+	return Tuple(a.buf[off : off : off+n])
+}
+
+// concat builds the concatenation l ++ r in arena storage.
+func (a *tupleArena) concat(l, r Tuple) Tuple {
+	out := a.make(len(l) + len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}

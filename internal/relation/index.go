@@ -6,21 +6,23 @@ package relation
 // DBMS engine uses them for selections and join probes.
 type Index struct {
 	cols    []int
-	buckets map[string][]int // tuple positions in the indexed relation
+	buckets map[uint64][]int // tuple positions in the indexed relation, by Hash64On
 	rel     *Relation
 }
 
 // BuildIndex constructs a hash index on the given columns of r. The index is
-// a snapshot: it reflects r's extension at build time.
+// a snapshot: it reflects r's extension at build time. Buckets are keyed by
+// the 64-bit tuple hash; Lookup verifies candidates by value, so collisions
+// never surface.
 func BuildIndex(r *Relation, cols []int) *Index {
 	ix := &Index{
 		cols:    append([]int(nil), cols...),
-		buckets: make(map[string][]int, r.Len()),
+		buckets: make(map[uint64][]int, r.Len()),
 		rel:     r,
 	}
 	for i, t := range r.Tuples() {
-		k := t.KeyOn(ix.cols)
-		ix.buckets[k] = append(ix.buckets[k], i)
+		h := t.Hash64On(ix.cols)
+		ix.buckets[h] = append(ix.buckets[h], i)
 	}
 	return ix
 }
@@ -44,11 +46,18 @@ func (ix *Index) Covers(cols []int) bool {
 
 // Lookup returns the tuples whose indexed columns equal the given values.
 func (ix *Index) Lookup(vals []Value) []Tuple {
-	k := Tuple(vals).KeyOn(identity(len(vals)))
-	positions := ix.buckets[k]
+	probe := Tuple(vals)
+	positions := ix.buckets[probe.Hash64()]
+	if len(positions) == 0 {
+		return nil
+	}
+	all := identity(len(vals))
 	out := make([]Tuple, 0, len(positions))
 	for _, p := range positions {
-		out = append(out, ix.rel.Tuple(p))
+		t := ix.rel.Tuple(p)
+		if equalOn(t, ix.cols, probe, all) {
+			out = append(out, t)
+		}
 	}
 	return out
 }
@@ -61,8 +70,8 @@ func (ix *Index) LookupIter(vals []Value) Iterator {
 // SizeBytes estimates the index's memory footprint for cache accounting.
 func (ix *Index) SizeBytes() int64 {
 	var n int64
-	for k, v := range ix.buckets {
-		n += int64(len(k)) + int64(8*len(v)) + 48
+	for _, v := range ix.buckets {
+		n += 8 + int64(8*len(v)) + 48
 	}
 	return n
 }

@@ -39,10 +39,25 @@ func (s *SliceIterator) Next() (Tuple, bool) {
 	return t, true
 }
 
+// SizeHinter is implemented by iterators that know (a lower bound on) how
+// many tuples remain; Drain uses it to preallocate the output buffer.
+type SizeHinter interface {
+	SizeHint() int
+}
+
+// SizeHint reports the number of tuples remaining in the slice.
+func (s *SliceIterator) SizeHint() int { return len(s.tuples) - s.pos }
+
 // Drain consumes the iterator into a relation with the given name and schema.
-// This is eager evaluation of a generator.
+// This is eager evaluation of a generator. When the iterator hints its size,
+// the tuple buffer is allocated once.
 func Drain(name string, schema *Schema, it Iterator) *Relation {
 	r := New(name, schema)
+	if h, ok := it.(SizeHinter); ok {
+		if n := h.SizeHint(); n > 0 {
+			r.tuples = make([]Tuple, 0, n)
+		}
+	}
 	for {
 		t, ok := it.Next()
 		if !ok {

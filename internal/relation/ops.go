@@ -47,18 +47,17 @@ func ProjectRel(r *Relation, cols []int) *Relation {
 }
 
 // Distinct lazily removes duplicate tuples (set semantics). It buffers seen
-// keys but streams output tuples as they are first seen.
+// tuples (hash-keyed, collision-safe) but streams output tuples as they are
+// first seen.
 func Distinct(in Iterator) Iterator {
-	seen := make(map[string]bool)
+	seen := NewTupleSet(0)
 	return IteratorFunc(func() (Tuple, bool) {
 		for {
 			t, ok := in.Next()
 			if !ok {
 				return nil, false
 			}
-			k := t.Key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.Add(t) {
 				return t, true
 			}
 		}
@@ -104,13 +103,13 @@ func UnionRel(name string, rs ...*Relation) *Relation {
 // Difference returns tuples of a not present in b (set difference). The b
 // side is drained eagerly to build the filter.
 func Difference(a, b Iterator) Iterator {
-	keys := make(map[string]bool)
+	keys := NewTupleSet(0)
 	for {
 		t, ok := b.Next()
 		if !ok {
 			break
 		}
-		keys[t.Key()] = true
+		keys.Add(t)
 	}
 	return IteratorFunc(func() (Tuple, bool) {
 		for {
@@ -118,7 +117,7 @@ func Difference(a, b Iterator) Iterator {
 			if !ok {
 				return nil, false
 			}
-			if !keys[t.Key()] {
+			if !keys.Contains(t) {
 				return t, true
 			}
 		}
@@ -132,9 +131,10 @@ type JoinCond struct {
 }
 
 // HashJoin performs an equi-join of two inputs. The right input is drained
-// eagerly into a hash table (build side); the left side streams (probe side),
-// so the join is lazy in its left input. Output tuples are the concatenation
-// left ++ right.
+// eagerly into a hash table (build side, 64-bit-hash keyed with equality
+// verification on probe); the left side streams (probe side), so the join is
+// lazy in its left input. Output tuples are the concatenation left ++ right,
+// allocated from a shared arena.
 func HashJoin(left, right Iterator, conds []JoinCond) Iterator {
 	rightCols := make([]int, len(conds))
 	leftCols := make([]int, len(conds))
@@ -142,36 +142,38 @@ func HashJoin(left, right Iterator, conds []JoinCond) Iterator {
 		leftCols[i] = c.Left
 		rightCols[i] = c.Right
 	}
-	table := make(map[string][]Tuple)
+	table := make(map[uint64][]Tuple)
 	for {
 		t, ok := right.Next()
 		if !ok {
 			break
 		}
-		k := t.KeyOn(rightCols)
-		table[k] = append(table[k], t)
+		h := t.Hash64On(rightCols)
+		table[h] = append(table[h], t)
 	}
 	var (
+		arena   tupleArena
 		cur     Tuple
 		matches []Tuple
 		idx     int
 	)
 	return IteratorFunc(func() (Tuple, bool) {
 		for {
-			if idx < len(matches) {
+			for idx < len(matches) {
 				r := matches[idx]
 				idx++
-				out := make(Tuple, 0, len(cur)+len(r))
-				out = append(out, cur...)
-				out = append(out, r...)
-				return out, true
+				// Verify the join columns: bucket membership only means the
+				// hashes collided.
+				if equalOn(cur, leftCols, r, rightCols) {
+					return arena.concat(cur, r), true
+				}
 			}
 			t, ok := left.Next()
 			if !ok {
 				return nil, false
 			}
 			cur = t
-			matches = table[t.KeyOn(leftCols)]
+			matches = table[t.Hash64On(leftCols)]
 			idx = 0
 		}
 	})
@@ -191,8 +193,12 @@ func NestedLoopJoin(left, right Iterator, leftArity int, conds []Cond) Iterator 
 		rights = append(rights, t)
 	}
 	var (
-		cur Tuple
-		idx int
+		arena tupleArena
+		cur   Tuple
+		idx   int
+		// scratch is the reusable concatenation buffer conditions are
+		// evaluated against; only accepted tuples graduate to arena storage.
+		scratch Tuple
 	)
 	haveCur := false
 	return IteratorFunc(func() (Tuple, bool) {
@@ -201,10 +207,11 @@ func NestedLoopJoin(left, right Iterator, leftArity int, conds []Cond) Iterator 
 				for idx < len(rights) {
 					r := rights[idx]
 					idx++
-					out := make(Tuple, 0, len(cur)+len(r))
-					out = append(out, cur...)
-					out = append(out, r...)
-					if EvalAll(conds, out) {
+					scratch = append(scratch[:0], cur...)
+					scratch = append(scratch, r...)
+					if EvalAll(conds, scratch) {
+						out := arena.make(len(scratch))
+						out = append(out, scratch...)
 						return out, true
 					}
 				}

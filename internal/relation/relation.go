@@ -102,14 +102,12 @@ func (r *Relation) EqualAsBag(o *Relation) bool {
 	if len(r.tuples) != len(o.tuples) {
 		return false
 	}
-	counts := make(map[string]int, len(r.tuples))
+	counts := newTupleCounter(len(r.tuples))
 	for _, t := range r.tuples {
-		counts[t.Key()]++
+		counts.add(t, 1)
 	}
 	for _, t := range o.tuples {
-		k := t.Key()
-		counts[k]--
-		if counts[k] < 0 {
+		if counts.add(t, -1) < 0 {
 			return false
 		}
 	}
@@ -117,12 +115,12 @@ func (r *Relation) EqualAsBag(o *Relation) bool {
 }
 
 func subsetOf(a, b []Tuple) bool {
-	keys := make(map[string]bool, len(b))
+	keys := NewTupleSet(len(b))
 	for _, t := range b {
-		keys[t.Key()] = true
+		keys.Add(t)
 	}
 	for _, t := range a {
-		if !keys[t.Key()] {
+		if !keys.Contains(t) {
 			return false
 		}
 	}

@@ -10,8 +10,6 @@ package relation
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math"
 	"strconv"
 	"strings"
 )
@@ -192,34 +190,9 @@ func (v Value) rank() int {
 func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
 
 // Hash returns a 64-bit hash of the value, consistent with Equal (numerically
-// equal int/float values hash identically).
+// equal int/float values hash identically). It allocates nothing.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	switch v.kind {
-	case KindNull:
-		h.Write([]byte{0})
-	case KindBool:
-		if v.b {
-			h.Write([]byte{1, 1})
-		} else {
-			h.Write([]byte{1, 0})
-		}
-	case KindInt, KindFloat:
-		// Hash the float64 bit pattern so Int(3) and Float(3.0) collide,
-		// matching Equal.
-		f := v.AsFloat()
-		var buf [9]byte
-		buf[0] = 2
-		bits := math.Float64bits(f)
-		for i := 0; i < 8; i++ {
-			buf[1+i] = byte(bits >> (8 * i))
-		}
-		h.Write(buf[:])
-	default:
-		h.Write([]byte{3})
-		h.Write([]byte(v.s))
-	}
-	return h.Sum64()
+	return v.hashInto(fnvOffset64)
 }
 
 // String renders the value in CAQL literal syntax: integers and floats bare,
