@@ -1,5 +1,5 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E12, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E13, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
@@ -38,6 +38,7 @@ var registry = []struct {
 	{"E10", "feature ablation (Figure 2)", experiments.E10FeatureAblation},
 	{"E11", "fault tolerance under an unreliable remote", experiments.E11FaultTolerance},
 	{"E12", "concurrent multi-session scaling", experiments.E12ConcurrentScaling},
+	{"E13", "admission control under overload", experiments.E13AdmissionControl},
 }
 
 func main() {

@@ -32,6 +32,9 @@ func main() {
 	scale := flag.Int("scale", 100, "workload scale")
 	seed := flag.Int64("seed", 1, "workload seed")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle for this long (0: never)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "drop connections whose peer stops reading a response (0: never)")
+	queryTimeout := flag.Duration("query-timeout", 0, "abandon requests still executing after this long (0: unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing requests; excess is shed with an overload error (0: unbounded)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain period for in-flight requests")
 	flakyDrop := flag.Float64("flaky-drop", 0, "fault injection: per-request probability of dropping the connection")
 	flakyDelayRate := flag.Float64("flaky-delay-rate", 0, "fault injection: per-request probability of a delay")
@@ -75,7 +78,16 @@ func main() {
 		}
 	}
 
-	opts := remotedb.ServerOptions{IdleTimeout: *idle}
+	opts := remotedb.ServerOptions{
+		IdleTimeout:    *idle,
+		WriteTimeout:   *writeTimeout,
+		RequestTimeout: *queryTimeout,
+		MaxInflight:    *maxInflight,
+	}
+	if *maxInflight > 0 || *queryTimeout > 0 {
+		fmt.Printf("braid-server: admission control (max-inflight %d, query-timeout %v)\n",
+			*maxInflight, *queryTimeout)
+	}
 	if *flakyDrop > 0 || *flakyDelayRate > 0 {
 		opts.Faults = &remotedb.ListenerFaults{
 			Seed:      *flakySeed,
@@ -103,5 +115,8 @@ func main() {
 	fmt.Printf("\n%v: shutting down (draining up to %v)\n", got, *grace)
 	if err := srv.Shutdown(*grace); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if st := srv.ServerStats(); st.Shed > 0 || st.Timeouts > 0 {
+		fmt.Printf("admission: shed %d requests, timed out %d\n", st.Shed, st.Timeouts)
 	}
 }

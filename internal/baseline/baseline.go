@@ -15,6 +15,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/advice"
@@ -94,6 +95,12 @@ type srSession struct {
 // Query loads each referenced base relation in full on first touch, then
 // answers the query (the CMS's subsumption serves it from the full copies).
 func (s *srSession) Query(q *caql.Query) (*bridge.Stream, error) {
+	return s.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx implements bridge.Session; the first-touch loads run under the
+// same context as the query itself.
+func (s *srSession) QueryCtx(ctx context.Context, q *caql.Query) (*bridge.Stream, error) {
 	for _, a := range q.Rels {
 		key := fmt.Sprintf("%s/%d", a.Pred, len(a.Args))
 		if s.loaded[key] {
@@ -105,22 +112,27 @@ func (s *srSession) Query(q *caql.Query) (*bridge.Stream, error) {
 			args[i] = logic.V(fmt.Sprintf("X%d", i))
 		}
 		load := caql.NewQuery(logic.A("load_"+a.Pred, args...), []logic.Atom{logic.A(a.Pred, args...)})
-		stream, err := s.inner.Query(load)
+		stream, err := s.inner.QueryCtx(ctx, load)
 		if err != nil {
 			return nil, err
 		}
 		stream.Drain("load") // force the fetch; the CMS caches the element
 	}
-	return s.inner.Query(q)
+	return s.inner.QueryCtx(ctx, q)
 }
 
 // QueryText implements bridge.Session.
 func (s *srSession) QueryText(src string) (*bridge.Stream, error) {
+	return s.QueryTextCtx(context.Background(), src)
+}
+
+// QueryTextCtx implements bridge.Session.
+func (s *srSession) QueryTextCtx(ctx context.Context, src string) (*bridge.Stream, error) {
 	q, err := caql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.Query(q)
+	return s.QueryCtx(ctx, q)
 }
 
 // End implements bridge.Session.

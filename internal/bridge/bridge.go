@@ -7,6 +7,8 @@
 package bridge
 
 import (
+	"context"
+
 	"repro/internal/advice"
 	"repro/internal/caql"
 	"repro/internal/relation"
@@ -16,15 +18,27 @@ import (
 // Stream delivers a query result tuple-at-a-time. "The CMS returns the
 // result for the query using a stream" (Section 3). A stream backed by a
 // generator performs lazy evaluation: tuples are computed on demand.
+//
+// A lazy stream may be stopped mid-flight by cooperative cancellation
+// (relation.GuardIterator checkpoints); Next then reports end-of-stream and
+// Err returns the typed reason, so a canceled stream is never mistaken for a
+// complete one.
 type Stream struct {
 	schema *relation.Schema
 	next   func() (relation.Tuple, bool)
 	lazy   bool
+	errFn  func() error
 }
 
-// NewStream builds a stream over an iterator.
+// NewStream builds a stream over an iterator. When the iterator reports
+// cancellation (it implements Err() error, e.g. relation.GuardIterator), the
+// stream's Err surfaces it.
 func NewStream(schema *relation.Schema, it relation.Iterator, lazy bool) *Stream {
-	return &Stream{schema: schema, next: it.Next, lazy: lazy}
+	s := &Stream{schema: schema, next: it.Next, lazy: lazy}
+	if e, ok := it.(interface{ Err() error }); ok {
+		s.errFn = e.Err
+	}
+	return s
 }
 
 // NewEagerStream builds a stream over a materialized relation.
@@ -41,9 +55,29 @@ func (s *Stream) Lazy() bool { return s.lazy }
 // Next produces the next tuple; ok is false at end of stream.
 func (s *Stream) Next() (relation.Tuple, bool) { return s.next() }
 
-// Drain materializes the remainder of the stream.
+// Err reports why the stream stopped early: ErrCanceled or
+// ErrDeadlineExceeded after a cooperative-cancellation checkpoint fired, nil
+// for a stream that ended (or is still running) normally. Check it after
+// draining a lazy stream.
+func (s *Stream) Err() error {
+	if s.errFn == nil {
+		return nil
+	}
+	return s.errFn()
+}
+
+// Drain materializes the remainder of the stream. A canceled stream drains to
+// its partial prefix; use Err (or DrainErr) to distinguish that from a
+// complete result.
 func (s *Stream) Drain(name string) *relation.Relation {
 	return relation.Drain(name, s.schema, relation.IteratorFunc(s.next))
+}
+
+// DrainErr materializes the remainder of the stream and surfaces the typed
+// cancellation error, if the stream was stopped by a checkpoint.
+func (s *Stream) DrainErr(name string) (*relation.Relation, error) {
+	out := s.Drain(name)
+	return out, s.Err()
 }
 
 // Take consumes up to n tuples.
@@ -78,17 +112,44 @@ type SourceStats struct {
 	RemoteFailures int64 // remote requests that failed after all retries (or failed fast)
 	Retries        int64 // remote request retry attempts
 	BreakerOpens   int64 // circuit-breaker open transitions
+
+	// Dispatch-outcome counters (admission control and cancellation). Every
+	// issued query resolves to exactly one outcome, so the conservation
+	// invariant Queries = Completed + Canceled + DeadlineExceeded + Shed +
+	// Failed holds at any quiescent point (the chaos harness asserts it).
+	Admitted         int64 // queries past the admission controller
+	Queued           int64 // admitted queries that waited in the bounded queue
+	Shed             int64 // queries rejected with ErrOverloaded
+	Canceled         int64 // queries aborted by caller cancellation
+	DeadlineExceeded int64 // queries aborted by a deadline (ctx or QueryTimeout)
+	Completed        int64 // queries that returned a stream
+	Failed           int64 // queries that failed for any other reason
+	PanicsRecovered  int64 // panics isolated to one query/prefetch (process survived)
+}
+
+// DispatchConserved checks the stats-conservation invariant: every issued
+// query is accounted by exactly one outcome counter. It only holds at
+// quiescent points (no query mid-dispatch).
+func (s SourceStats) DispatchConserved() bool {
+	return s.Queries == s.Completed+s.Canceled+s.DeadlineExceeded+s.Shed+s.Failed
 }
 
 // Session is one advice-then-queries interaction (Section 3: "a session ...
 // consists of a set of advice. This is followed by a sequence of CAQL
 // queries").
 type Session interface {
-	// Query answers one CAQL query.
+	// Query answers one CAQL query (no cancellation: context.Background).
 	Query(q *caql.Query) (*Stream, error)
+	// QueryCtx answers one CAQL query under the caller's context: a canceled
+	// or expired ctx aborts remote calls, planning, and lazy generators, and
+	// the query resolves to a typed ErrCanceled/ErrDeadlineExceeded. An
+	// admission-controlled source may also shed the query with ErrOverloaded.
+	QueryCtx(ctx context.Context, q *caql.Query) (*Stream, error)
 	// QueryText parses and answers a query in CAQL surface syntax.
 	QueryText(src string) (*Stream, error)
-	// End closes the session.
+	// QueryTextCtx is QueryText under the caller's context.
+	QueryTextCtx(ctx context.Context, src string) (*Stream, error)
+	// End closes the session, canceling its in-flight background work.
 	End()
 }
 

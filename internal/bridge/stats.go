@@ -1,6 +1,8 @@
 package bridge
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync/atomic"
 )
@@ -21,6 +23,16 @@ type StatsCounters struct {
 	IndexBuilds     atomic.Int64
 	LazyAnswers     atomic.Int64
 	DegradedHits    atomic.Int64
+
+	// Dispatch outcomes (see SourceStats for the conservation invariant).
+	Admitted         atomic.Int64
+	Queued           atomic.Int64
+	Shed             atomic.Int64
+	Canceled         atomic.Int64
+	DeadlineExceeded atomic.Int64
+	Completed        atomic.Int64
+	Failed           atomic.Int64
+	PanicsRecovered  atomic.Int64
 
 	localSimBits    atomic.Uint64 // float64 bits
 	responseSimBits atomic.Uint64 // float64 bits
@@ -58,7 +70,35 @@ func (c *StatsCounters) Snapshot() SourceStats {
 		IndexBuilds:     c.IndexBuilds.Load(),
 		LazyAnswers:     c.LazyAnswers.Load(),
 		DegradedHits:    c.DegradedHits.Load(),
-		LocalSimMS:      math.Float64frombits(c.localSimBits.Load()),
-		ResponseSimMS:   math.Float64frombits(c.responseSimBits.Load()),
+
+		Admitted:         c.Admitted.Load(),
+		Queued:           c.Queued.Load(),
+		Shed:             c.Shed.Load(),
+		Canceled:         c.Canceled.Load(),
+		DeadlineExceeded: c.DeadlineExceeded.Load(),
+		Completed:        c.Completed.Load(),
+		Failed:           c.Failed.Load(),
+		PanicsRecovered:  c.PanicsRecovered.Load(),
+
+		LocalSimMS:    math.Float64frombits(c.localSimBits.Load()),
+		ResponseSimMS: math.Float64frombits(c.responseSimBits.Load()),
+	}
+}
+
+// ClassifyOutcome bumps the dispatch-outcome counter matching err: nil →
+// Completed, ErrOverloaded → Shed, deadline → DeadlineExceeded, cancellation
+// → Canceled, anything else → Failed. Call exactly once per issued query.
+func (c *StatsCounters) ClassifyOutcome(err error) {
+	switch {
+	case err == nil:
+		c.Completed.Add(1)
+	case errors.Is(err, ErrOverloaded):
+		c.Shed.Add(1)
+	case errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+		c.DeadlineExceeded.Add(1)
+	case errors.Is(err, ErrCanceled) || errors.Is(err, context.Canceled):
+		c.Canceled.Add(1)
+	default:
+		c.Failed.Add(1)
 	}
 }

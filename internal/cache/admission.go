@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bridge"
+)
+
+// admission is the controller in front of query dispatch: a semaphore bounds
+// concurrently executing queries across all sessions, and a bounded wait
+// queue absorbs short bursts. When both are full the query is shed
+// immediately with the typed bridge.ErrOverloaded — under sustained overload
+// fast rejection beats unbounded queueing, which only converts overload into
+// latency and memory growth. A waiter whose context is canceled (or whose
+// deadline expires) leaves the queue with the corresponding typed error.
+type admission struct {
+	sem      chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+// newAdmission builds a controller, or returns nil (admission disabled) when
+// maxInflight is not positive. maxQueue <= 0 defaults to 2x maxInflight.
+func newAdmission(maxInflight, maxQueue int) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = 2 * maxInflight
+	}
+	return &admission{
+		sem:      make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire admits one query, returning the release that must be called when
+// the query finishes. It never blocks past ctx: a full system sheds
+// instantly, and a queued waiter aborts on cancellation.
+func (a *admission) acquire(ctx context.Context, st *bridge.StatsCounters) (release func(), err error) {
+	select {
+	case a.sem <- struct{}{}:
+		st.Admitted.Add(1)
+		return func() { <-a.sem }, nil
+	default:
+	}
+	// Saturated: try to take a queue slot. The CAS loop bounds the queue
+	// without a lock — losers retry against the fresh count.
+	for {
+		n := a.queued.Load()
+		if n >= a.maxQueue {
+			// The Shed counter is bumped by the dispatcher's single
+			// ClassifyOutcome call, not here, so each query counts once.
+			return nil, fmt.Errorf("%w: %d in flight, %d queued", bridge.ErrOverloaded, cap(a.sem), n)
+		}
+		if a.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	st.Queued.Add(1)
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		st.Admitted.Add(1)
+		return func() { <-a.sem }, nil
+	case <-ctx.Done():
+		return nil, bridge.CtxError(ctx)
+	}
+}

@@ -1,0 +1,364 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/advice"
+	"repro/internal/bridge"
+	"repro/internal/caql"
+	"repro/internal/relation"
+	"repro/internal/remotedb"
+)
+
+// blockingClient wraps an inner client; Exec calls park until the context is
+// canceled or release is closed, either always (arm) or only for
+// context-bearing calls (blockCancelable — the shape of the prefetch path,
+// which runs under the session context while demand queries may not carry a
+// cancelable one).
+type blockingClient struct {
+	inner   remotedb.Client
+	entered chan struct{} // one token per parked call
+	release chan struct{}
+
+	mu              sync.Mutex
+	armed           bool
+	blockCancelable bool
+}
+
+func newBlockingClient(inner remotedb.Client) *blockingClient {
+	return &blockingClient{inner: inner, entered: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (b *blockingClient) arm() {
+	b.mu.Lock()
+	b.armed = true
+	b.mu.Unlock()
+}
+
+func (b *blockingClient) Exec(sql string) (*remotedb.Result, error) {
+	return b.ExecCtx(context.Background(), sql)
+}
+
+func (b *blockingClient) ExecCtx(ctx context.Context, sql string) (*remotedb.Result, error) {
+	b.mu.Lock()
+	block := b.armed || (b.blockCancelable && ctx.Done() != nil)
+	b.mu.Unlock()
+	if block {
+		b.entered <- struct{}{}
+		select {
+		case <-ctx.Done():
+			return nil, &remotedb.TransportError{Op: "exec", Err: ctx.Err()}
+		case <-b.release:
+		}
+	}
+	return remotedb.ExecContext(ctx, b.inner, sql)
+}
+
+func (b *blockingClient) RelationSchema(name string, arity int) (*relation.Schema, error) {
+	return b.inner.RelationSchema(name, arity)
+}
+func (b *blockingClient) TableStats(name string) (remotedb.TableStats, error) {
+	return b.inner.TableStats(name)
+}
+func (b *blockingClient) Tables() ([]string, error) { return b.inner.Tables() }
+func (b *blockingClient) Stats() remotedb.Stats     { return b.inner.Stats() }
+func (b *blockingClient) Close() error              { return b.inner.Close() }
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelMidLazyGenerator cancels the caller's context while a lazy
+// (generator-backed) answer is being consumed: the stream must stop within
+// one checkpoint interval and report the typed cancellation, never a silently
+// truncated result.
+func TestCancelMidLazyGenerator(t *testing.T) {
+	e := remotedb.NewEngine()
+	b2 := relation.New("b2", relation.NewSchema(
+		relation.Attr{Name: "x", Kind: relation.KindInt},
+		relation.Attr{Name: "y", Kind: relation.KindInt}))
+	for i := 0; i < 300; i++ {
+		b2.MustAppend(relation.Tuple{relation.Int(int64(i)), relation.Int(int64(i))})
+	}
+	e.LoadTable(b2)
+	adv := advice.MustParse(`view dp(X^, Y^) :- b2(X, Y).`)
+	cms := newCMS(t, e, Options{Features: AllFeatures()})
+	s := cms.BeginSession(adv).(*Session)
+	defer s.End()
+
+	drainQ(t, s, "dp(X, Y) :- b2(X, Y)") // load and cache the view
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := s.QueryCtx(ctx, caql.MustParse("dp(X, Y) :- b2(X, Y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Lazy() {
+		t.Fatal("strict-producer cached answer should be lazy")
+	}
+	if got := len(st.Take(10)); got != 10 {
+		t.Fatalf("took %d tuples before cancel", got)
+	}
+	cancel()
+	extra := 0
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+		extra++
+	}
+	if extra >= relation.DefaultGuardEvery {
+		t.Fatalf("stream emitted %d tuples after cancel, want < %d (one checkpoint interval)",
+			extra, relation.DefaultGuardEvery)
+	}
+	if 10+extra >= 300 {
+		t.Fatal("stream ran to completion; cancellation had no effect")
+	}
+	if err := st.Err(); !errors.Is(err, bridge.ErrCanceled) {
+		t.Fatalf("stream error = %v, want bridge.ErrCanceled", err)
+	}
+}
+
+// TestSessionEndPoisonsLazyStream checks the session-lifetime half of the
+// guard: ending the session stops its outstanding lazy streams with the
+// typed cancellation.
+func TestSessionEndPoisonsLazyStream(t *testing.T) {
+	e, _ := fixtureEngine(t, 7, 200)
+	adv := advice.MustParse(`view dp(X^, Y^) :- b2(X, Y).`)
+	cms := newCMS(t, e, Options{Features: AllFeatures()})
+	s := cms.BeginSession(adv).(*Session)
+
+	drainQ(t, s, "dp(X, Y) :- b2(X, Y)")
+	st, err := s.QueryText("dp(X, Y) :- b2(X, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Lazy() {
+		t.Fatal("expected a lazy stream")
+	}
+	s.End()
+	if _, ok := st.Next(); ok {
+		t.Fatal("stream yielded a tuple after the session ended")
+	}
+	if err := st.Err(); !errors.Is(err, bridge.ErrCanceled) {
+		t.Fatalf("stream error = %v, want bridge.ErrCanceled", err)
+	}
+}
+
+// TestDeadlineDuringRemoteKeepsBreakerClosed expires a caller deadline while
+// the remote call is parked: the query must fail with the typed deadline
+// error, and — critically — the cancellation must not move the circuit
+// breaker, whose verdicts are about remote health, not caller patience.
+func TestDeadlineDuringRemoteKeepsBreakerClosed(t *testing.T) {
+	e, _ := fixtureEngine(t, 3, 20)
+	costs := remotedb.DefaultCosts()
+	blocking := newBlockingClient(remotedb.NewInProcClient(e, costs))
+	rc := remotedb.NewResilientClient(blocking, remotedb.Resilience{})
+	cms := New(rc, Options{Costs: costs})
+	s := cms.BeginSession(nil).(*Session)
+	defer s.End()
+
+	blocking.arm()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := s.QueryCtx(ctx, caql.MustParse("q(X, Y) :- b2(X, Y)"))
+	if !errors.Is(err, bridge.ErrDeadlineExceeded) {
+		t.Fatalf("query error = %v, want bridge.ErrDeadlineExceeded", err)
+	}
+	st := cms.Stats()
+	if st.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded = %d, want 1 (%+v)", st.DeadlineExceeded, st)
+	}
+	if st.BreakerOpens != 0 || rc.Breaker() != remotedb.BreakerClosed {
+		t.Fatalf("caller deadline moved the breaker: opens=%d state=%v", st.BreakerOpens, rc.Breaker())
+	}
+	if cms.Degraded() {
+		t.Fatal("caller deadline marked the CMS degraded")
+	}
+	if !st.DispatchConserved() {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+// TestBreakerOpenFailsFastUnderDeadline opens the breaker with real remote
+// failures, then checks a deadline-bearing query fails fast as a remote
+// failure — well before its deadline, and not misclassified as one.
+func TestBreakerOpenFailsFastUnderDeadline(t *testing.T) {
+	e, _ := fixtureEngine(t, 3, 20)
+	costs := remotedb.DefaultCosts()
+	fc := remotedb.NewFaultClient(remotedb.NewInProcClient(e, costs),
+		remotedb.FaultConfig{Seed: 1, ErrorRate: 1})
+	rc := remotedb.NewResilientClient(fc, remotedb.Resilience{
+		MaxRetries:      -1,
+		BreakerFailures: 1,
+		BreakerCooldown: time.Hour,
+		Sleep:           func(time.Duration) {},
+	})
+	cms := New(rc, Options{Costs: costs})
+	s := cms.BeginSession(nil).(*Session)
+	defer s.End()
+
+	if _, err := s.Query(caql.MustParse("q(X, Y) :- b2(X, Y)")); err == nil {
+		t.Fatal("query against an always-failing remote succeeded")
+	}
+	if rc.Breaker() != remotedb.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", rc.Breaker())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := s.QueryCtx(ctx, caql.MustParse("q2(X, Y) :- b2(X, Y)"))
+	if err == nil || errors.Is(err, bridge.ErrDeadlineExceeded) {
+		t.Fatalf("open-breaker fast-fail returned %v, want a non-deadline remote failure", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("open breaker took %v to fail, want fast", d)
+	}
+	st := cms.Stats()
+	if st.Failed != 2 || !st.DispatchConserved() {
+		t.Fatalf("outcome accounting wrong: %+v", st)
+	}
+}
+
+// TestShedUnderSaturation saturates a MaxInflight=1, MaxQueue=1 CMS: the
+// third concurrent query must be shed immediately with the typed overload
+// error, and once load clears the conservation invariant must hold.
+func TestShedUnderSaturation(t *testing.T) {
+	e, _ := fixtureEngine(t, 4, 30)
+	costs := remotedb.DefaultCosts()
+	blocking := newBlockingClient(remotedb.NewInProcClient(e, costs))
+	cms := New(blocking, Options{Costs: costs, MaxInflight: 1, MaxQueue: 1})
+	s1 := cms.BeginSession(nil).(*Session)
+	defer s1.End()
+	s2 := cms.BeginSession(nil).(*Session)
+	defer s2.End()
+	s3 := cms.BeginSession(nil).(*Session)
+	defer s3.End()
+
+	// Warm the schema cache so the armed client only parks Exec calls.
+	if _, err := cms.RelationSchema("b2", 2); err != nil {
+		t.Fatal(err)
+	}
+	blocking.arm()
+
+	errs := make(chan error, 2)
+	go func() {
+		_, err := s1.QueryCtx(context.Background(), caql.MustParse("q1(X, Y) :- b2(X, Y)"))
+		errs <- err
+	}()
+	<-blocking.entered // q1 holds the in-flight slot, parked in the client
+	go func() {
+		_, err := s2.QueryCtx(context.Background(), caql.MustParse("q2(X, Y) :- b2(X, Y)"))
+		errs <- err
+	}()
+	waitUntil(t, "q2 in the admission queue", func() bool { return cms.Stats().Queued == 1 })
+
+	_, err := s3.QueryCtx(context.Background(), caql.MustParse("q3(X, Y) :- b2(X, Y)"))
+	if !errors.Is(err, bridge.ErrOverloaded) {
+		t.Fatalf("saturated CMS returned %v, want bridge.ErrOverloaded", err)
+	}
+	if !strings.Contains(err.Error(), "in flight") {
+		t.Fatalf("shed error should describe the load: %v", err)
+	}
+
+	close(blocking.release)
+	if err := <-errs; err != nil {
+		t.Fatalf("admitted query failed: %v", err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("queued query failed: %v", err)
+	}
+	st := cms.Stats()
+	if st.Shed != 1 || st.Queued != 1 || st.Admitted != 2 || st.Completed != 2 {
+		t.Fatalf("admission accounting wrong: %+v", st)
+	}
+	if !st.DispatchConserved() {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+// TestEndCancelsInflightPrefetches is the Session.End regression test: End
+// must cancel the session context so a prefetch parked in a remote call
+// aborts promptly, instead of End blocking on it indefinitely.
+func TestEndCancelsInflightPrefetches(t *testing.T) {
+	e, _ := fixtureEngine(t, 5, 40)
+	costs := remotedb.DefaultCosts()
+	blocking := newBlockingClient(remotedb.NewInProcClient(e, costs))
+	blocking.blockCancelable = true // demand queries pass; prefetches (session ctx) park
+	cms := New(blocking, Options{Features: AllFeatures(), Costs: costs, ThinkTimeMS: 1000})
+	s := cms.BeginSession(advice.MustParse(example1Advice)).(*Session)
+
+	drainQ(t, s, `d1(Y) :- b1("a", Y)`)
+	drainQ(t, s, `d2(X, 3) :- b2(X, Z) & b3(Z, "a", 3)`) // enqueues the d3 prefetch
+	<-blocking.entered                                   // the prefetch is parked in its remote call
+
+	done := make(chan struct{})
+	go func() {
+		s.End()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("End did not return: session cancellation never reached the parked prefetch")
+	}
+	st := cms.Stats()
+	if st.Prefetches != 0 {
+		t.Fatalf("aborted prefetch was counted as issued: %+v", st)
+	}
+	if st.PanicsRecovered != 0 {
+		t.Fatalf("prefetch abort recovered a panic: %+v", st)
+	}
+}
+
+// TestQueryPanicIsolated checks panic isolation on the query path: a client
+// panic fails that one query with a descriptive error, is counted, and the
+// session keeps serving.
+func TestQueryPanicIsolated(t *testing.T) {
+	e, _ := fixtureEngine(t, 6, 20)
+	costs := remotedb.DefaultCosts()
+	cms := New(&panicOnceClient{Client: remotedb.NewInProcClient(e, costs)}, Options{Costs: costs})
+	s := cms.BeginSession(nil).(*Session)
+	defer s.End()
+
+	_, err := s.Query(caql.MustParse("q(X, Y) :- b2(X, Y)"))
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking query returned %v, want a panic-describing error", err)
+	}
+	if _, err := s.Query(caql.MustParse("q2(X, Y) :- b2(X, Y)")); err != nil {
+		t.Fatalf("session did not survive the panic: %v", err)
+	}
+	st := cms.Stats()
+	if st.PanicsRecovered != 1 || st.Failed != 1 || st.Completed != 1 {
+		t.Fatalf("panic accounting wrong: %+v", st)
+	}
+	if !st.DispatchConserved() {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+// panicOnceClient panics on the first Exec and behaves normally after.
+type panicOnceClient struct {
+	remotedb.Client
+	panicked bool
+}
+
+func (p *panicOnceClient) Exec(sql string) (*remotedb.Result, error) {
+	if !p.panicked {
+		p.panicked = true
+		panic("injected: exec blew up")
+	}
+	return p.Client.Exec(sql)
+}

@@ -1,8 +1,10 @@
 package cache
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/advice"
 	"repro/internal/bridge"
@@ -73,6 +75,17 @@ type Options struct {
 	// PrefetchWorkers bounds the asynchronous prefetch pool shared by every
 	// session of this CMS. Default 4.
 	PrefetchWorkers int
+	// QueryTimeout is the default per-query deadline applied when the caller's
+	// context carries none (0: no default deadline). A query that exceeds it
+	// fails with bridge.ErrDeadlineExceeded.
+	QueryTimeout time.Duration
+	// MaxInflight bounds concurrently executing queries across all sessions
+	// (admission control). Excess queries wait in a bounded queue; when that
+	// is also full they are shed with bridge.ErrOverloaded (0: unbounded).
+	MaxInflight int
+	// MaxQueue bounds the admission wait queue (<= 0: 2x MaxInflight).
+	// Ignored unless MaxInflight > 0.
+	MaxQueue int
 }
 
 // CMS is the Cache Management System. It implements bridge.DataSource and is
@@ -83,6 +96,7 @@ type CMS struct {
 	rdi  *RDI
 	mgr  *Manager
 	pf   *prefetchPool
+	adm  *admission // nil when admission control is disabled
 
 	nextSID atomic.Int64
 	stats   bridge.StatsCounters
@@ -103,6 +117,7 @@ func New(client remotedb.Client, opts Options) *CMS {
 		rdi:  NewRDI(client),
 		mgr:  NewManager(opts.CacheBytes),
 		pf:   newPrefetchPool(opts.PrefetchWorkers),
+		adm:  newAdmission(opts.MaxInflight, opts.MaxQueue),
 	}
 }
 
@@ -151,6 +166,7 @@ func (c *CMS) BeginSession(adv *advice.Advice) bridge.Session {
 		adv:     adv,
 		genSeen: make(map[string]int),
 	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	if adv != nil && adv.Path != nil {
 		s.tracker = advice.NewTracker(adv.Path)
 	}
@@ -175,6 +191,15 @@ type Session struct {
 	adv     *advice.Advice
 	tracker *advice.Tracker
 
+	// ctx is the session's lifetime context: End cancels it, which aborts the
+	// session's in-flight prefetches and poisons its outstanding lazy streams.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// callerCtx is the context of the query currently being planned; lazy
+	// streams capture it at creation (session methods are serial, so the
+	// scratch field is safe — see the concurrency note above).
+	callerCtx context.Context
+
 	simNow  float64
 	queries int64
 	ended   bool
@@ -198,15 +223,17 @@ type Session struct {
 // SimNow returns the session's virtual clock (milliseconds).
 func (s *Session) SimNow() float64 { return s.simNow }
 
-// End implements bridge.Session. It waits for the session's in-flight
-// prefetches, publishes its private elements (the data is materialized; a
-// departing session has no clock left to wait on), and withdraws its
-// replacement predictor.
+// End implements bridge.Session. It cancels the session context first — so
+// in-flight prefetch workers abort their remote calls instead of being waited
+// out — then waits for those workers, publishes the private elements that did
+// materialize (a departing session has no clock left to wait on), and
+// withdraws its replacement predictor.
 func (s *Session) End() {
 	if s.ended {
 		return
 	}
 	s.ended = true
+	s.cancel()
 	s.waitPrefetches()
 	s.pmu.Lock()
 	for _, e := range s.private {
@@ -219,11 +246,16 @@ func (s *Session) End() {
 
 // QueryText parses and answers a CAQL query.
 func (s *Session) QueryText(src string) (*bridge.Stream, error) {
+	return s.QueryTextCtx(context.Background(), src)
+}
+
+// QueryTextCtx parses and answers a CAQL query under a context.
+func (s *Session) QueryTextCtx(ctx context.Context, src string) (*bridge.Stream, error) {
 	q, err := caql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.Query(q)
+	return s.QueryCtx(ctx, q)
 }
 
 // advance moves the session clock by d simulated milliseconds and accounts

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bridge"
@@ -22,16 +23,26 @@ import (
 
 // QueryUnion answers a union of conjunctive queries with set semantics.
 func (s *Session) QueryUnion(u *caql.Union) (*bridge.Stream, error) {
+	return s.QueryUnionCtx(context.Background(), u)
+}
+
+// QueryUnionCtx is QueryUnion under the caller's context, which governs every
+// branch subquery.
+func (s *Session) QueryUnionCtx(ctx context.Context, u *caql.Union) (*bridge.Stream, error) {
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
 	var out *relation.Relation
 	for _, q := range u.Queries {
-		stream, err := s.Query(q)
+		stream, err := s.QueryCtx(ctx, q)
 		if err != nil {
 			return nil, err
 		}
-		part := stream.Drain(q.Name())
+		part, err := stream.DrainErr(q.Name())
+		if err != nil {
+			// A canceled branch would silently shrink the union; abort instead.
+			return nil, err
+		}
 		if out == nil {
 			out = relation.New(u.Queries[0].Name(), part.Schema())
 		}
@@ -47,14 +58,23 @@ func (s *Session) QueryUnion(u *caql.Union) (*bridge.Stream, error) {
 // predicate): the inner query goes through the planner, the grouping and
 // aggregation run in the CMS.
 func (s *Session) QueryAgg(a *caql.AggQuery) (*bridge.Stream, error) {
+	return s.QueryAggCtx(context.Background(), a)
+}
+
+// QueryAggCtx is QueryAgg under the caller's context.
+func (s *Session) QueryAggCtx(ctx context.Context, a *caql.AggQuery) (*bridge.Stream, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	stream, err := s.Query(a.Inner)
+	stream, err := s.QueryCtx(ctx, a.Inner)
 	if err != nil {
 		return nil, err
 	}
-	inner := stream.Drain(a.Inner.Name())
+	inner, err := stream.DrainErr(a.Inner.Name())
+	if err != nil {
+		// Aggregating a truncated inner stream would fabricate wrong totals.
+		return nil, err
+	}
 	out := relation.AggregateRel(a.Inner.Name(), inner, a.GroupBy, a.Specs)
 	s.advanceLocal(s.cms.opts.Costs.PerLocalOp * float64(inner.Len()+out.Len()))
 	return bridge.NewEagerStream(out), nil
@@ -65,6 +85,12 @@ func (s *Session) QueryAgg(a *caql.AggQuery) (*bridge.Stream, error) {
 // the semi-naive iteration runs in the CMS, and the closure is memoized per
 // session under the view's canonical form.
 func (s *Session) QueryFixpoint(q *caql.Query) (*bridge.Stream, error) {
+	return s.QueryFixpointCtx(context.Background(), q)
+}
+
+// QueryFixpointCtx is QueryFixpoint under the caller's context; the
+// semi-naive iteration itself checkpoints the context every round.
+func (s *Session) QueryFixpointCtx(ctx context.Context, q *caql.Query) (*bridge.Stream, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,11 +106,15 @@ func (s *Session) QueryFixpoint(q *caql.Query) (*bridge.Stream, error) {
 		return bridge.NewEagerStream(memo), nil
 	}
 
-	stream, err := s.Query(q)
+	stream, err := s.QueryCtx(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	base := relation.DistinctRel(stream.Drain(q.Name()))
+	base, err := stream.DrainErr(q.Name())
+	if err != nil {
+		return nil, err
+	}
+	base = relation.DistinctRel(base)
 
 	// Semi-naive transitive closure: delta ∘ base joined each round.
 	closure := base.Clone()
@@ -95,6 +125,9 @@ func (s *Session) QueryFixpoint(q *caql.Query) (*bridge.Stream, error) {
 	delta := base
 	var ops int
 	for delta.Len() > 0 {
+		if err := bridge.CtxError(ctx); err != nil {
+			return nil, err
+		}
 		next := relation.New(q.Name(), base.Schema())
 		joined := relation.HashJoin(delta.Iter(), base.Iter(), []relation.JoinCond{{Left: 1, Right: 0}})
 		for {

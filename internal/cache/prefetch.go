@@ -97,7 +97,18 @@ func (j prefetchJob) run() {
 		delete(s.inflight, j.canon)
 		s.pmu.Unlock()
 	}()
-	ext, sim, err := c.rdi.Fetch(j.q)
+	// Panic isolation: a panicking prefetch (a speculative fetch by
+	// definition) must not take down its worker, let alone the process. The
+	// recover is registered after the bookkeeping defers so those still run.
+	defer func() {
+		if r := recover(); r != nil {
+			c.stats.PanicsRecovered.Add(1)
+		}
+	}()
+	if s.ctx.Err() != nil {
+		return // session ended while the job sat in the queue
+	}
+	ext, sim, err := c.rdi.FetchCtx(s.ctx, j.q)
 	if err != nil {
 		return // prefetching is best-effort; failed fetches are not counted
 	}

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -24,11 +26,102 @@ import (
 
 // Query implements bridge.Session.
 func (s *Session) Query(q *caql.Query) (*bridge.Stream, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
+	return s.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx implements bridge.Session. It is the single dispatch point for a
+// query: admission control, the default per-query deadline, panic isolation,
+// and outcome classification all live here, so the conservation invariant
+// (Queries = Completed + Canceled + DeadlineExceeded + Shed + Failed) holds
+// by construction — every counted query flows through exactly one
+// ClassifyOutcome call.
+func (s *Session) QueryCtx(ctx context.Context, q *caql.Query) (stream *bridge.Stream, err error) {
+	if verr := q.Validate(); verr != nil {
+		return nil, verr // malformed, never dispatched: not a counted query
 	}
 	c := s.cms
 	c.stats.Queries.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			// Panic isolation: a panic while planning or executing one query
+			// fails that query on that session; the CMS and every other
+			// session keep running.
+			c.stats.PanicsRecovered.Add(1)
+			stream = nil
+			err = fmt.Errorf("cache: query %s panicked: %v", q.Name(), r)
+		}
+		err = liftCtxErr(err)
+		c.stats.ClassifyOutcome(err)
+	}()
+	if err = bridge.CtxError(ctx); err != nil {
+		return nil, err
+	}
+	if serr := s.ctx.Err(); serr != nil {
+		return nil, fmt.Errorf("%w: session ended: %w", bridge.ErrCanceled, serr)
+	}
+	if c.adm != nil {
+		var release func()
+		if release, err = c.adm.acquire(ctx, &c.stats); err != nil {
+			return nil, err
+		}
+		defer release()
+	} else {
+		c.stats.Admitted.Add(1)
+	}
+	// Default deadline: applied only when the caller brought none. The
+	// derived context dies when this call returns, so it governs eager work
+	// only; lazy streams watch the caller's context (see streamCheck).
+	qctx := ctx
+	if c.opts.QueryTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			qctx, cancel = context.WithTimeout(ctx, c.opts.QueryTimeout)
+			defer cancel()
+		}
+	}
+	s.callerCtx = ctx
+	return s.dispatch(qctx, q)
+}
+
+// liftCtxErr maps raw context errors surfacing from deep layers (socket
+// reads, retry loops) into the bridge's typed vocabulary, so callers match
+// one error family no matter where the cancellation bit.
+func liftCtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, bridge.ErrCanceled), errors.Is(err, bridge.ErrDeadlineExceeded):
+		return err
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", bridge.ErrDeadlineExceeded, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", bridge.ErrCanceled, err)
+	default:
+		return err
+	}
+}
+
+// streamCheck is the cancellation checkpoint lazy streams poll between tuple
+// batches. It watches the caller's context and the session's lifetime
+// context — deliberately NOT the derived per-query deadline context, which is
+// canceled when QueryCtx returns while a lazy stream is consumed after.
+func (s *Session) streamCheck() func() error {
+	caller, sctx := s.callerCtx, s.ctx
+	return func() error {
+		if err := bridge.CtxError(caller); err != nil {
+			return err
+		}
+		if err := sctx.Err(); err != nil {
+			return fmt.Errorf("%w: session ended: %w", bridge.ErrCanceled, err)
+		}
+		return nil
+	}
+}
+
+// dispatch is the admitted query path: think-time accounting, prefetch
+// bookkeeping, and the three planning steps.
+func (s *Session) dispatch(ctx context.Context, q *caql.Query) (*bridge.Stream, error) {
+	c := s.cms
 	if s.queries > 0 {
 		// IE think time between queries: the session clock advances but it
 		// is not response time; prefetches issued earlier overlap with it.
@@ -50,7 +143,7 @@ func (s *Session) Query(q *caql.Query) (*bridge.Stream, error) {
 		s.tracker.Observe(name)
 	}
 
-	stream, err := s.answer(q, vs)
+	stream, err := s.answer(ctx, q, vs)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +156,10 @@ func (s *Session) Query(q *caql.Query) (*bridge.Stream, error) {
 }
 
 // answer runs the three planning steps for one query.
-func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, error) {
+func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, error) {
+	if err := bridge.CtxError(ctx); err != nil {
+		return nil, err
+	}
 	c := s.cms
 	f := c.opts.Features
 	// Degraded mode (remote unavailable): cache-derived answers still work
@@ -94,6 +190,12 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 		var bestE *Element
 		var bestD *subsume.Derivation
 		for _, e := range c.mgr.CandidatesForSession(q, s.id) {
+			// Subsumption matching over a large candidate set is the one CPU
+			// loop on the planning path: checkpoint it so a canceled query
+			// stops burning cycles.
+			if err := bridge.CtxError(ctx); err != nil {
+				return nil, err
+			}
 			d, ok := subsume.DeriveFull(e.Def, q)
 			if !ok {
 				continue
@@ -120,7 +222,7 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 	// for sessions without usable advice).
 	if f.Generalization && !degraded && (s.predictsReuse(q.Name()) || s.repeatedInstance(q)) {
 		if gq := s.generalizationOf(q, vs); gq != nil {
-			ext, sim, err := c.rdi.Fetch(gq)
+			ext, sim, err := c.rdi.FetchCtx(ctx, gq)
 			if err == nil {
 				s.advance(sim)
 				e := s.cacheResult(gq, ext, vs)
@@ -128,22 +230,26 @@ func (s *Session) answer(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, er
 					c.stats.Generalizations.Add(1)
 					return s.serveFromElement(e, d, q, vs)
 				}
+			} else if cerr := bridge.CtxError(ctx); cerr != nil {
+				// The caller is gone: abort instead of falling through to
+				// another doomed remote attempt.
+				return nil, cerr
 			}
-			// On any failure fall through to the normal paths.
+			// On any other failure fall through to the normal paths.
 		}
 	}
 
 	// Step 2c/3: decomposition — cover what we can from the cache, fetch the
 	// residue remotely, join locally (in parallel when enabled).
 	if f.Subsumption {
-		stream, handled, err := s.answerDecomposed(q, vs)
+		stream, handled, err := s.answerDecomposed(ctx, q, vs)
 		if handled || err != nil {
 			return stream, err
 		}
 	}
 
 	// Fallback: the whole query goes to the remote DBMS.
-	ext, sim, err := c.rdi.Fetch(q)
+	ext, sim, err := c.rdi.FetchCtx(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +285,13 @@ func (s *Session) serveFromElement(e *Element, d *subsume.Derivation, q *caql.Qu
 		per := c.opts.Costs.PerLocalOp
 		src := chargeIter(e.Iter(), func(n int) { s.advanceLocal(per * float64(n)) })
 		c.stats.LazyAnswers.Add(1)
-		return bridge.NewStream(schema, d.ApplyLazy(src), true), nil
+		// Cooperative cancellation: the generator polls the caller/session
+		// contexts every DefaultGuardEvery tuples. A tripped guard ends the
+		// stream AND records a typed error on it — consumers that check
+		// Stream.Err (or use DrainErr) can never mistake cancellation for a
+		// complete, merely short, result.
+		it := relation.NewGuardIterator(d.ApplyLazy(src), relation.DefaultGuardEvery, s.streamCheck())
+		return bridge.NewStream(schema, it, true), nil
 	}
 
 	it, ops := s.derivedIter(e, d, vs)
@@ -331,7 +443,7 @@ func (s *Session) cacheResult(def *caql.Query, ext *relation.Relation, vs *advic
 // greedy disjoint candidate covers become local pieces, the residue is
 // shipped to the remote DBMS as one conjunctive subquery, and the final join
 // runs locally. handled is false when no cache element covers anything.
-func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, bool, error) {
+func (s *Session) answerDecomposed(ctx context.Context, q *caql.Query, vs *advice.ViewSpec) (*bridge.Stream, bool, error) {
 	c := s.cms
 	needed := neededVars(q)
 
@@ -343,6 +455,9 @@ func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.
 	cmpCovered := make([]bool, len(q.Cmps))
 	var picks []pick
 	for _, e := range c.mgr.CandidatesForSession(q, s.id) {
+		if err := bridge.CtxError(ctx); err != nil {
+			return nil, true, err
+		}
 		if !e.Materialized() && s.readyRemainder(e) > 0 {
 			continue
 		}
@@ -467,7 +582,7 @@ func (s *Session) answerDecomposed(q *caql.Query, vs *advice.ViewSpec) (*bridge.
 		}
 		rAtoms = append(rAtoms, shippedCmps...)
 		rq = caql.NewQuery(logic.A("__r", head...), rAtoms)
-		ext, sim, err := c.rdi.Fetch(rq)
+		ext, sim, err := c.rdi.FetchCtx(ctx, rq)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -41,7 +43,12 @@ func (r *RDI) Available() bool {
 }
 
 // noteRemote records the outcome of a remote call for availability tracking.
+// Caller cancellation and expired deadlines say nothing about remote health,
+// so they leave the verdict unchanged.
 func (r *RDI) noteRemote(err error) {
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return
+	}
 	transientDown := err != nil && (remotedb.IsUnavailable(err) || remotedb.IsTransient(err))
 	r.mu.Lock()
 	r.down = transientDown
@@ -74,11 +81,18 @@ func (r *RDI) RelationSchema(name string, arity int) (*relation.Schema, error) {
 // translate, execute, reassemble. It returns the result extension and the
 // simulated time of the request.
 func (r *RDI) Fetch(q *caql.Query) (*relation.Relation, float64, error) {
+	return r.FetchCtx(context.Background(), q)
+}
+
+// FetchCtx is Fetch under a context: cancellation and deadlines propagate
+// into the remote call (retry/backoff loops, dial, and socket reads when the
+// client supports remotedb.ContextClient; a pre-flight check otherwise).
+func (r *RDI) FetchCtx(ctx context.Context, q *caql.Query) (*relation.Relation, float64, error) {
 	tr, err := remotedb.TranslateCAQL(q, r)
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err := r.client.Exec(tr.SQL)
+	res, err := remotedb.ExecContext(ctx, r.client, tr.SQL)
 	r.noteRemote(err)
 	if err != nil {
 		return nil, 0, fmt.Errorf("cache: remote execution of %q: %w", tr.SQL, err)

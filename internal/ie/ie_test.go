@@ -1,6 +1,7 @@
 package ie
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -60,12 +61,20 @@ func (s *mapSession) Query(q *caql.Query) (*bridge.Stream, error) {
 	return bridge.NewStream(schema, it, true), nil
 }
 
+func (s *mapSession) QueryCtx(ctx context.Context, q *caql.Query) (*bridge.Stream, error) {
+	return s.Query(q)
+}
+
 func (s *mapSession) QueryText(src string) (*bridge.Stream, error) {
 	q, err := caql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	return s.Query(q)
+}
+
+func (s *mapSession) QueryTextCtx(ctx context.Context, src string) (*bridge.Stream, error) {
+	return s.QueryText(src)
 }
 
 func (s *mapSession) End() {}

@@ -1,0 +1,61 @@
+package relation
+
+// GuardIterator adds cooperative cancellation checkpoints to a generator: a
+// check function runs before the first tuple and then every Every tuples, and
+// a non-nil result stops the stream. Because Iterator's Next carries no error,
+// the guard records the verdict for Err() — consumers that drain a guarded
+// stream must check Err afterwards, so a cancellation is never mistaken for a
+// silently truncated (but apparently complete) result.
+//
+// The checkpoint interval bounds how many tuples a canceled generator can
+// still emit: after cancellation at most Every-1 further tuples are produced.
+type GuardIterator struct {
+	src   Iterator
+	every int
+	check func() error
+
+	n   int
+	err error
+}
+
+// DefaultGuardEvery is the checkpoint interval used when NewGuardIterator is
+// given a non-positive one. It trades per-tuple overhead (one function call
+// and a context poll) against cancellation latency.
+const DefaultGuardEvery = 64
+
+// NewGuardIterator wraps src with a cancellation checkpoint every `every`
+// tuples (<= 0: DefaultGuardEvery). check is polled at each checkpoint; the
+// first non-nil error ends the stream and is reported by Err.
+func NewGuardIterator(src Iterator, every int, check func() error) *GuardIterator {
+	if every <= 0 {
+		every = DefaultGuardEvery
+	}
+	return &GuardIterator{src: src, every: every, check: check}
+}
+
+// Next implements Iterator with checkpointing.
+func (g *GuardIterator) Next() (Tuple, bool) {
+	if g.err != nil {
+		return nil, false
+	}
+	if g.n%g.every == 0 {
+		if err := g.check(); err != nil {
+			g.err = err
+			return nil, false
+		}
+	}
+	g.n++
+	return g.src.Next()
+}
+
+// Err returns the checkpoint error that stopped the stream, or nil if the
+// stream ended naturally (or has not stopped yet).
+func (g *GuardIterator) Err() error { return g.err }
+
+// SizeHint passes through the source's hint so Drain still preallocates.
+func (g *GuardIterator) SizeHint() int {
+	if h, ok := g.src.(SizeHinter); ok {
+		return h.SizeHint()
+	}
+	return 0
+}

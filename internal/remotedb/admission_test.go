@@ -1,0 +1,136 @@
+package remotedb
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerShedsOverMaxInflight saturates a MaxInflight=1 server with a
+// slow (injected-delay) request and checks that a second request is shed
+// immediately with the typed overload wire code, leaving both connections
+// usable.
+func TestServerShedsOverMaxInflight(t *testing.T) {
+	e := newTestEngine(t)
+	srv := NewServerWithOptions(e, ServerOptions{
+		MaxInflight: 1,
+		// Every request stalls 300ms inside the admission scope, modeling
+		// slow server work that holds its in-flight slot.
+		Faults: &ListenerFaults{Seed: 1, DelayRate: 1, Delay: 300 * time.Millisecond},
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c1, err := DialTCP(addr, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := DialTCP(addr, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c1.Exec("SELECT * FROM emp"); err != nil {
+			t.Errorf("slow request failed: %v", err)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // c1 is mid-delay, holding the slot
+	_, err = c2.Exec("SELECT * FROM emp")
+	if !IsOverloaded(err) {
+		t.Fatalf("saturated server returned %v, want ErrOverloaded", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("shed requests must be transient (retryable after backoff)")
+	}
+	wg.Wait()
+	if st := srv.ServerStats(); st.Shed != 1 {
+		t.Fatalf("server shed count = %d, want 1", st.Shed)
+	}
+	// A shed response leaves the gob stream intact: the same connection
+	// works once load clears.
+	if _, err := c2.Exec("SELECT * FROM emp"); err != nil {
+		t.Fatalf("connection unusable after shed: %v", err)
+	}
+}
+
+// TestServerRequestTimeout checks that a request still executing at the
+// server's deadline is abandoned and answered with the typed deadline wire
+// code, quickly.
+func TestServerRequestTimeout(t *testing.T) {
+	e := newTestEngine(t)
+	srv := NewServerWithOptions(e, ServerOptions{
+		RequestTimeout: 50 * time.Millisecond,
+		Faults:         &ListenerFaults{Seed: 1, DelayRate: 1, Delay: 2 * time.Second},
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialTCP(addr, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Exec("SELECT * FROM emp")
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("timed-out request returned %v, want ErrDeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadline response took %v, want ~50ms", d)
+	}
+	if st := srv.ServerStats(); st.Timeouts != 1 {
+		t.Fatalf("server timeout count = %d, want 1", st.Timeouts)
+	}
+}
+
+// TestTCPExecCtxCancel checks that a caller deadline interrupts a blocked
+// socket read (the server is stalling), surfaces the context error as the
+// transport cause, and that redial restores service afterwards.
+func TestTCPExecCtxCancel(t *testing.T) {
+	e := newTestEngine(t)
+	srv := NewServerWithOptions(e, ServerOptions{
+		Faults: &ListenerFaults{Seed: 1, DelayRate: 1, Delay: 300 * time.Millisecond},
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialTCPOpts(addr, TCPOptions{Costs: DefaultCosts(), Redial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.ExecCtx(ctx, "SELECT * FROM emp")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled round trip returned %v, want context.DeadlineExceeded cause", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancellation took %v, want ~50ms", d)
+	}
+	// The interrupted exchange desynced the stream; the next call redials.
+	if _, err := c.Exec("SELECT * FROM emp"); err != nil {
+		t.Fatalf("redial after cancellation failed: %v", err)
+	}
+	if c.Redials() < 2 {
+		t.Fatalf("redials = %d, want the post-cancel call to have redialed", c.Redials())
+	}
+}

@@ -1,6 +1,7 @@
 package remotedb
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/relation"
@@ -32,6 +33,34 @@ type Client interface {
 	Close() error
 }
 
+// ContextClient is implemented by clients whose requests honor a caller
+// context: cancellation or deadline expiry aborts the request (dial, write,
+// read, backoff sleeps) instead of letting it run to completion. All the
+// package's clients implement it; ExecContext is the uniform entry point that
+// degrades gracefully for clients that do not.
+type ContextClient interface {
+	Client
+	// ExecCtx is Exec bounded by ctx: a done context aborts the request with
+	// a transient TransportError wrapping ctx.Err().
+	ExecCtx(ctx context.Context, sql string) (*Result, error)
+}
+
+// ExecContext issues sql through c, honoring ctx when the client supports it.
+// For a plain Client the context is checked before dispatch only (the request
+// itself cannot be interrupted).
+func ExecContext(ctx context.Context, c Client, sql string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cc, ok := c.(ContextClient); ok {
+		return cc.ExecCtx(ctx, sql)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &TransportError{Op: "exec", Err: err}
+	}
+	return c.Exec(sql)
+}
+
 // InProcClient is a Client bound directly to an Engine in the same process,
 // charging the virtual cost model for every request. It is the default
 // transport for deterministic experiments.
@@ -53,6 +82,21 @@ func (c *InProcClient) Engine() *Engine { return c.engine }
 
 // Costs returns the client's cost model.
 func (c *InProcClient) Costs() Costs { return c.costs }
+
+// ExecCtx implements ContextClient. The in-process engine is synchronous and
+// CPU-bound, so the context is checked before dispatch and after completion
+// (a request canceled mid-execution returns the cancellation, not the
+// now-unwanted result, matching the remote transports' semantics).
+func (c *InProcClient) ExecCtx(ctx context.Context, sql string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &TransportError{Op: "exec", Err: err}
+	}
+	res, err := c.Exec(sql)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, &TransportError{Op: "exec", Err: cerr}
+	}
+	return res, err
+}
 
 // Exec implements Client.
 func (c *InProcClient) Exec(sql string) (*Result, error) {

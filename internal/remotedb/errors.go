@@ -37,6 +37,12 @@ var ErrDeadlineExceeded = errors.New("remotedb: request deadline exceeded")
 // client fails fast instead of reading from a corrupt stream.
 var ErrBrokenConn = errors.New("remotedb: connection broken")
 
+// ErrOverloaded reports that the server's admission controller shed the
+// request (distinct wire code, not a failure: the server is healthy but
+// saturated). It is transient — backing off and retrying is the right client
+// response, and ResilientClient does exactly that.
+var ErrOverloaded = errors.New("remotedb: server overloaded, request shed")
+
 // TransportError wraps an I/O-level failure of one request. It is retryable:
 // the request may not have produced a semantic answer at all.
 type TransportError struct {
@@ -94,8 +100,13 @@ func IsTransient(err error) bool {
 		errors.Is(err, net.ErrClosed) ||
 		errors.Is(err, ErrDeadlineExceeded) ||
 		errors.Is(err, ErrBrokenConn) ||
+		errors.Is(err, ErrOverloaded) ||
 		errors.Is(err, ErrRemoteUnavailable)
 }
+
+// IsOverloaded reports whether err is a server shed response, so callers can
+// distinguish overload (back off, retry later) from failure.
+func IsOverloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
 
 // IsUnavailable reports whether err means the remote DBMS is unavailable
 // (the typed fail-fast condition the CMS degrades on).

@@ -1,6 +1,7 @@
 package remotedb
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -48,6 +49,9 @@ type FaultConfig struct {
 	LatencyRate float64
 	// Latency is the added delay for latency faults.
 	Latency time.Duration
+	// PanicRate makes the request panic instead of returning — the shape the
+	// CMS's per-query/per-worker panic isolation must contain.
+	PanicRate float64
 	// Sleep is the delay implementation (tests and fast experiments stub it
 	// out). Nil means time.Sleep.
 	Sleep func(time.Duration)
@@ -59,6 +63,7 @@ type FaultCounts struct {
 	Drops     int64 // injected dropped connections
 	Hangs     int64 // injected hangs
 	Latencies int64 // injected latency spikes
+	Panics    int64 // injected panics
 	Refusals  int64 // requests refused while SetDown(true)
 }
 
@@ -111,6 +116,10 @@ func (f *FaultClient) maybeFault(op string) error {
 	case roll < f.cfg.ErrorRate+f.cfg.DropRate+f.cfg.HangRate+f.cfg.LatencyRate:
 		f.counts.Latencies++
 		delay = f.cfg.Latency
+	case roll < f.cfg.ErrorRate+f.cfg.DropRate+f.cfg.HangRate+f.cfg.LatencyRate+f.cfg.PanicRate:
+		f.counts.Panics++
+		f.mu.Unlock()
+		panic("injected fault: panic in " + op)
 	}
 	f.mu.Unlock()
 
@@ -161,6 +170,14 @@ func (f *FaultClient) Exec(sql string) (*Result, error) {
 		return nil, err
 	}
 	return f.inner.Exec(sql)
+}
+
+// ExecCtx implements ContextClient, so cancellation survives the wrapper.
+func (f *FaultClient) ExecCtx(ctx context.Context, sql string) (*Result, error) {
+	if err := f.maybeFault("exec"); err != nil {
+		return nil, err
+	}
+	return ExecContext(ctx, f.inner, sql)
 }
 
 // RelationSchema implements Client.

@@ -1,6 +1,7 @@
 package remotedb
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -79,6 +80,10 @@ type Resilience struct {
 	Sleep func(time.Duration)
 	// Now is the clock (tests stub it). Nil means time.Now.
 	Now func() time.Time
+
+	// stubbedSleep records that Sleep was caller-supplied, so ctx-aware
+	// backoff keeps calling the stub instead of a real timer.
+	stubbedSleep bool
 }
 
 func (r Resilience) withDefaults() Resilience {
@@ -102,6 +107,8 @@ func (r Resilience) withDefaults() Resilience {
 	}
 	if r.Sleep == nil {
 		r.Sleep = time.Sleep
+	} else {
+		r.stubbedSleep = true
 	}
 	if r.Now == nil {
 		r.Now = time.Now
@@ -231,47 +238,106 @@ func (r *ResilientClient) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * jitter)
 }
 
-// attempt runs one call under the per-attempt deadline. A timed-out call is
-// abandoned: its goroutine completes (or errors) in the background into a
-// buffered channel.
-func (r *ResilientClient) attempt(op string, call func() (any, error)) (any, error) {
-	if r.cfg.Deadline <= 0 {
+// attempt runs one call under the per-attempt deadline and the caller's
+// context. A timed-out or canceled call is abandoned: its goroutine completes
+// (or errors) in the background into a buffered channel.
+func (r *ResilientClient) attempt(ctx context.Context, op string, call func() (any, error)) (any, error) {
+	if r.cfg.Deadline <= 0 && ctx.Done() == nil {
 		return call()
 	}
 	type outcome struct {
-		v   any
-		err error
+		v        any
+		err      error
+		panicked any
 	}
 	ch := make(chan outcome, 1)
 	go func() {
+		// A panicking inner call must not kill the process from this helper
+		// goroutine: capture it and re-raise in the caller, preserving panic
+		// semantics across the async boundary so per-query isolation layers
+		// above can recover it. An abandoned attempt's panic is discarded
+		// with the rest of its outcome.
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{panicked: p}
+			}
+		}()
 		v, err := call()
-		ch <- outcome{v, err}
+		ch <- outcome{v: v, err: err}
 	}()
-	timer := time.NewTimer(r.cfg.Deadline)
-	defer timer.Stop()
+	var timerC <-chan time.Time
+	if r.cfg.Deadline > 0 {
+		timer := time.NewTimer(r.cfg.Deadline)
+		defer timer.Stop()
+		timerC = timer.C
+	}
 	select {
 	case out := <-ch:
+		if out.panicked != nil {
+			panic(out.panicked)
+		}
 		return out.v, out.err
-	case <-timer.C:
+	case <-timerC:
 		r.mu.Lock()
 		r.stats.DeadlinesExceeded++
 		r.mu.Unlock()
 		return nil, &TransportError{Op: op, Err: ErrDeadlineExceeded}
+	case <-ctx.Done():
+		return nil, &TransportError{Op: op, Err: ctx.Err()}
 	}
 }
 
-// do runs one request through breaker, deadline, and retry policy.
+// sleepCtx waits the backoff delay, aborted early when ctx is done. A custom
+// Sleep stub (tests, fast experiments) is honored as-is.
+func (r *ResilientClient) sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		r.cfg.Sleep(d)
+		return nil
+	}
+	if r.cfg.stubbedSleep {
+		r.cfg.Sleep(d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do runs one request through breaker, deadline, and retry policy without a
+// caller context.
 func (r *ResilientClient) do(op string, call func() (any, error)) (any, error) {
+	return r.doCtx(context.Background(), op, call)
+}
+
+// doCtx runs one request through breaker, context, deadline, and retry
+// policy. A canceled or expired context stops the retry loop immediately —
+// cancellation is the caller's verdict, not a remote failure, so it does not
+// move the breaker.
+func (r *ResilientClient) doCtx(ctx context.Context, op string, call func() (any, error)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &TransportError{Op: op, Err: err}
+	}
 	probe, err := r.admit()
 	if err != nil {
 		return nil, err
 	}
 	var lastErr error
 	for i := 0; ; i++ {
-		v, err := r.attempt(op, call)
+		v, err := r.attempt(ctx, op, call)
 		if err == nil {
 			r.settle(probe, true)
 			return v, nil
+		}
+		if ctx.Err() != nil {
+			// Canceled mid-attempt: neither a success nor a remote failure.
+			// Release the probe slot without moving the breaker state.
+			r.settleCanceled(probe)
+			return nil, &TransportError{Op: op, Err: ctx.Err()}
 		}
 		if !IsTransient(err) {
 			// Semantic error: the remote is up and answered. Not a failure
@@ -287,15 +353,35 @@ func (r *ResilientClient) do(op string, call func() (any, error)) (any, error) {
 		r.mu.Lock()
 		r.stats.Retries++
 		r.mu.Unlock()
-		r.cfg.Sleep(r.backoff(i))
+		if err := r.sleepCtx(ctx, r.backoff(i)); err != nil {
+			r.settleCanceled(probe)
+			return nil, &TransportError{Op: op, Err: err}
+		}
 	}
 	r.settle(probe, false)
 	return nil, &UnavailableError{Reason: "retries exhausted", Cause: lastErr}
 }
 
+// settleCanceled releases a half-open probe slot after a caller-canceled
+// request without recording a breaker verdict.
+func (r *ResilientClient) settleCanceled(probe bool) {
+	if !probe {
+		return
+	}
+	r.mu.Lock()
+	r.probing = false
+	r.mu.Unlock()
+}
+
 // Exec implements Client.
 func (r *ResilientClient) Exec(sql string) (*Result, error) {
-	v, err := r.do("exec", func() (any, error) { return r.inner.Exec(sql) })
+	return r.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx implements ContextClient: the context bounds every attempt, the
+// backoff sleeps between them, and flows through to a ctx-aware inner client.
+func (r *ResilientClient) ExecCtx(ctx context.Context, sql string) (*Result, error) {
+	v, err := r.doCtx(ctx, "exec", func() (any, error) { return ExecContext(ctx, r.inner, sql) })
 	if err != nil {
 		return nil, err
 	}

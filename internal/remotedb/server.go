@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,19 +26,43 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	// inflight is the admission semaphore (nil: unbounded).
+	inflight chan struct{}
+	shed     atomic.Int64
+	timeouts atomic.Int64
+
 	faultMu  sync.Mutex
 	faultRng *rand.Rand
 }
 
-// ServerOptions configures connection handling and fault injection.
+// ServerOptions configures connection handling, admission control, and fault
+// injection.
 type ServerOptions struct {
 	// IdleTimeout drops a connection whose peer sends no request for this
 	// long, so dead peers don't pin handler goroutines forever (0: never).
 	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response; a peer that stops reading
+	// breaks its connection instead of pinning a handler (0: never).
+	WriteTimeout time.Duration
+	// MaxInflight bounds concurrently executing requests across all
+	// connections; excess requests are shed immediately with a distinct wire
+	// code (overloaded), which clients surface as ErrOverloaded (0: no bound).
+	MaxInflight int
+	// RequestTimeout bounds one request's engine execution; a request still
+	// running at the deadline is abandoned (it finishes in the background;
+	// its result is discarded) and answered with a deadline wire code
+	// (0: no bound).
+	RequestTimeout time.Duration
 	// Faults, when non-nil, makes the listener flaky for fault-tolerance
 	// experiments: requests are delayed or their connection dropped from a
 	// deterministically seeded stream.
 	Faults *ListenerFaults
+}
+
+// ServerStats are cumulative admission/deadline counters.
+type ServerStats struct {
+	Shed     int64 // requests rejected by the MaxInflight admission limit
+	Timeouts int64 // requests abandoned at RequestTimeout
 }
 
 // ListenerFaults parameterizes server-side fault injection, the counterpart
@@ -65,10 +90,18 @@ func NewServer(engine *Engine) *Server {
 // NewServerWithOptions wraps the engine in a protocol server.
 func NewServerWithOptions(engine *Engine, opts ServerOptions) *Server {
 	s := &Server{engine: engine, opts: opts, conns: make(map[net.Conn]bool)}
+	if opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
 	if opts.Faults != nil {
 		s.faultRng = rand.New(rand.NewSource(opts.Faults.Seed))
 	}
 	return s
+}
+
+// ServerStats returns the cumulative admission/deadline counters.
+func (s *Server) ServerStats() ServerStats {
+	return ServerStats{Shed: s.shed.Load(), Timeouts: s.timeouts.Load()}
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts accepting
@@ -147,12 +180,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		if !s.rollFault() {
+		resp, keep := s.dispatch(&req)
+		if !keep {
 			return // injected dropped connection
 		}
-		resp := s.handle(&req)
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
+		}
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
 		}
 		s.mu.Lock()
 		draining := s.closed
@@ -166,6 +205,58 @@ func (s *Server) serveConn(conn net.Conn) {
 func isTimeout(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// dispatch runs one request through admission control, fault injection, and
+// the request deadline. keep=false means an injected fault dropped the
+// connection. Fault delays run inside the admission scope — they model slow
+// server work, so they hold an in-flight slot and can push the server into
+// shedding, which is exactly what overload tests need.
+func (s *Server) dispatch(req *wireRequest) (resp wireResponse, keep bool) {
+	release := func() {}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			release = func() { <-s.inflight }
+		default:
+			s.shed.Add(1)
+			return wireResponse{Code: wireCodeOverloaded, Err: ErrOverloaded.Error()}, true
+		}
+	}
+	if s.opts.RequestTimeout <= 0 {
+		defer release()
+		if !s.rollFault() {
+			return wireResponse{}, false // injected dropped connection
+		}
+		return s.handle(req), true
+	}
+	// Deadline-bounded execution: fault delays and the engine call both run
+	// under the request clock (an injected delay models slow server work).
+	// Work still running at the deadline is abandoned — it completes in the
+	// background and releases its slot then, so abandoned work keeps counting
+	// against MaxInflight while it burns CPU.
+	type outcome struct {
+		resp wireResponse
+		keep bool
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release()
+		if !s.rollFault() {
+			ch <- outcome{wireResponse{}, false} // injected dropped connection
+			return
+		}
+		ch <- outcome{s.handle(req), true}
+	}()
+	timer := time.NewTimer(s.opts.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.resp, o.keep
+	case <-timer.C:
+		s.timeouts.Add(1)
+		return wireResponse{Code: wireCodeDeadline, Err: ErrDeadlineExceeded.Error()}, true
+	}
 }
 
 func (s *Server) handle(req *wireRequest) wireResponse {

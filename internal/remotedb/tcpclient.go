@@ -1,6 +1,7 @@
 package remotedb
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"net"
@@ -66,18 +67,20 @@ func DialTCPOpts(addr string, opts TCPOptions) (*TCPClient, error) {
 	c := &TCPClient{addr: addr, opts: opts, costs: opts.Costs}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.redialLocked(); err != nil {
+	if err := c.redialLocked(context.Background()); err != nil {
 		return nil, &TransportError{Op: "dial", Err: err}
 	}
 	return c, nil
 }
 
-// redialLocked (re)establishes the connection. Caller holds c.mu.
-func (c *TCPClient) redialLocked() error {
+// redialLocked (re)establishes the connection, honoring ctx during the dial.
+// Caller holds c.mu.
+func (c *TCPClient) redialLocked(ctx context.Context) error {
 	if c.conn != nil {
 		c.conn.Close()
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		c.conn, c.enc, c.dec = nil, nil, nil
 		c.broken = true
@@ -116,33 +119,90 @@ func (c *TCPClient) breakLocked() {
 }
 
 func (c *TCPClient) roundTrip(req *wireRequest) (*wireResponse, error) {
+	return c.roundTripCtx(context.Background(), req)
+}
+
+// roundTripCtx performs one request/response exchange. The effective I/O
+// deadline is the tighter of RequestTimeout and ctx's deadline; a canceled
+// context is reported as the transport cause so callers see the typed
+// cancellation. A round trip interrupted mid-exchange leaves the gob stream
+// desynchronized, so the connection is broken either way.
+func (c *TCPClient) roundTripCtx(ctx context.Context, req *wireRequest) (*wireResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, errors.New("remotedb: client closed")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, &TransportError{Op: req.Op, Err: err}
+	}
 	if c.broken || c.conn == nil {
 		if !c.opts.Redial {
 			return nil, &TransportError{Op: req.Op, Err: ErrBrokenConn}
 		}
-		if err := c.redialLocked(); err != nil {
+		if err := c.redialLocked(ctx); err != nil {
 			return nil, &TransportError{Op: req.Op, Err: err}
 		}
 	}
+	deadline := time.Time{}
 	if c.opts.RequestTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
+		deadline = time.Now().Add(c.opts.RequestTimeout)
+	}
+	ctxOwnsDeadline := false
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+		ctxOwnsDeadline = true
+	}
+	// A cancelable (but deadline-free) context still needs the blocking read
+	// unblocked: a watcher goroutine slams the deadline shut on cancellation.
+	var stopWatch chan struct{}
+	if ctx.Done() != nil {
+		stopWatch = make(chan struct{})
+		conn := c.conn
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Now())
+			case <-stopWatch:
+			}
+		}()
+		defer close(stopWatch)
+	}
+	if !deadline.IsZero() {
+		c.conn.SetDeadline(deadline)
+	}
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		// The conn deadline was the ctx's own deadline, so an I/O timeout IS
+		// the ctx expiring — the socket timer can just fire a hair before the
+		// ctx timer flips Err() non-nil.
+		if ctxOwnsDeadline && isTimeout(err) {
+			return context.DeadlineExceeded
+		}
+		return err
 	}
 	if err := c.enc.Encode(req); err != nil {
 		c.breakLocked()
-		return nil, &TransportError{Op: req.Op, Err: err}
+		return nil, &TransportError{Op: req.Op, Err: ctxErr(err)}
 	}
 	var resp wireResponse
 	if err := c.dec.Decode(&resp); err != nil {
 		c.breakLocked()
-		return nil, &TransportError{Op: req.Op, Err: err}
+		return nil, &TransportError{Op: req.Op, Err: ctxErr(err)}
 	}
-	if c.opts.RequestTimeout > 0 {
+	if !deadline.IsZero() {
 		c.conn.SetDeadline(time.Time{})
+	}
+	switch resp.Code {
+	case wireCodeOverloaded:
+		// Admission shed: the server is healthy but saturated. The stream is
+		// intact; the typed sentinel tells clients to back off, not degrade.
+		return nil, &TransportError{Op: req.Op, Err: ErrOverloaded}
+	case wireCodeDeadline:
+		// The server abandoned the request at its own deadline.
+		return nil, &TransportError{Op: req.Op, Err: ErrDeadlineExceeded}
 	}
 	if resp.Err != "" {
 		// Semantic error reported by the server; the stream is intact.
@@ -153,7 +213,12 @@ func (c *TCPClient) roundTrip(req *wireRequest) (*wireResponse, error) {
 
 // Exec implements Client.
 func (c *TCPClient) Exec(sql string) (*Result, error) {
-	resp, err := c.roundTrip(&wireRequest{Op: "exec", SQL: sql})
+	return c.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx implements ContextClient.
+func (c *TCPClient) ExecCtx(ctx context.Context, sql string) (*Result, error) {
+	resp, err := c.roundTripCtx(ctx, &wireRequest{Op: "exec", SQL: sql})
 	if err != nil {
 		return nil, err
 	}

@@ -111,9 +111,19 @@ type wireRequest struct {
 	Name string
 }
 
+// Wire error codes: Err carries the human-readable message, Code the machine
+// classification, so clients can distinguish overload shedding and server
+// deadlines from semantic failures without string matching.
+const (
+	wireCodeNone       = 0 // no error, or a semantic error (Err set)
+	wireCodeOverloaded = 1 // request shed by the server's admission limit
+	wireCodeDeadline   = 2 // request abandoned at the server's deadline
+)
+
 // wireResponse is one protocol response.
 type wireResponse struct {
 	Err    string
+	Code   int // wireCode* classification of Err
 	Rel    *wireRelation
 	Ops    int64
 	Attrs  []wireAttr
