@@ -1,16 +1,18 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E13, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E14, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
 //
-//	braid-bench            # run every experiment
-//	braid-bench E2 E5      # run selected experiments
-//	braid-bench -list      # list experiments
+//	braid-bench                  # run every experiment
+//	braid-bench E2 E5            # run selected experiments
+//	braid-bench -list            # list experiments
+//	braid-bench -json BENCH_PR5.json   # run E14 and emit machine-readable metrics
 //	braid-bench -cpuprofile cpu.out -memprofile mem.out E12
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,12 +41,14 @@ var registry = []struct {
 	{"E11", "fault tolerance under an unreliable remote", experiments.E11FaultTolerance},
 	{"E12", "concurrent multi-session scaling", experiments.E12ConcurrentScaling},
 	{"E13", "admission control under overload", experiments.E13AdmissionControl},
+	{"E14", "stream transport: first-tuple latency and pooled throughput", experiments.E14StreamTransport},
 }
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	jsonOut := flag.String("json", "", "run E14 and write its machine-readable metrics (QPS, p50/p99, first-tuple latency, allocs) to this file")
 	flag.Parse()
 
 	if *list {
@@ -73,9 +77,36 @@ func main() {
 		want[strings.ToUpper(a)] = true
 	}
 	ran := 0
+
+	// -json runs E14 exactly once, printing its table and persisting the raw
+	// measurement; the registry loop below then skips it.
+	if *jsonOut != "" {
+		data, err := experiments.RunE14Bench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: E14: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.E14Render(data).String())
+		buf, err := json.MarshalIndent(data, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: -json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "braid-bench: wrote %s\n", *jsonOut)
+		ran++
+	}
+
 	for _, e := range registry {
 		if len(want) > 0 && !want[e.id] {
 			continue
+		}
+		if e.id == "E14" && *jsonOut != "" {
+			continue // already ran above
 		}
 		fmt.Println(e.run().String())
 		ran++

@@ -36,6 +36,9 @@ func main() {
 	remote := flag.String("remote", "", "braid-server address (instead of -load)")
 	strategy := flag.String("strategy", "interpreted", "inference strategy: interpreted | conjunction | compiled")
 	comparator := flag.String("comparator", "braid", "data layer: braid | loose | exact | singlerel")
+	poolSize := flag.Int("pool-size", 1, "remote connection pool size (with -remote)")
+	frameTuples := flag.Int("frame-tuples", 0, "preferred tuples per response frame on the streamed protocol (0: server default)")
+	proto := flag.Int("proto", 0, "max wire protocol version: 1 legacy monolithic, 2 framed streaming (0: highest supported)")
 	flag.Parse()
 
 	if *kbPath == "" {
@@ -60,6 +63,15 @@ func main() {
 	}
 	if *remote != "" {
 		opts = append(opts, braid.WithRemote(*remote))
+		if *poolSize > 0 {
+			opts = append(opts, braid.WithPool(*poolSize))
+		}
+		if *frameTuples > 0 {
+			opts = append(opts, braid.WithFrameTuples(*frameTuples))
+		}
+		if *proto > 0 {
+			opts = append(opts, braid.WithProto(*proto))
+		}
 	} else {
 		db = braid.NewDB()
 		if *load != "" {

@@ -40,6 +40,9 @@ func main() {
 	flakyDelayRate := flag.Float64("flaky-delay-rate", 0, "fault injection: per-request probability of a delay")
 	flakyDelay := flag.Duration("flaky-delay", 100*time.Millisecond, "fault injection: delay duration")
 	flakySeed := flag.Int64("flaky-seed", 1, "fault injection: deterministic seed")
+	proto := flag.Int("proto", 0, "max wire protocol version to negotiate: 1 legacy monolithic, 2 framed streaming (0: highest supported)")
+	frameTuples := flag.Int("frame-tuples", 0, "default tuples per response frame on streamed (v2) connections (0: built-in default)")
+	connStreams := flag.Int("conn-streams", 0, "concurrently executing requests per framed connection (0: 1, session-serial)")
 	flag.Parse()
 
 	engine := remotedb.NewEngine()
@@ -83,6 +86,9 @@ func main() {
 		WriteTimeout:   *writeTimeout,
 		RequestTimeout: *queryTimeout,
 		MaxInflight:    *maxInflight,
+		MaxProto:       *proto,
+		FrameTuples:    *frameTuples,
+		ConnStreams:    *connStreams,
 	}
 	if *maxInflight > 0 || *queryTimeout > 0 {
 		fmt.Printf("braid-server: admission control (max-inflight %d, query-timeout %v)\n",
@@ -118,5 +124,8 @@ func main() {
 	}
 	if st := srv.ServerStats(); st.Shed > 0 || st.Timeouts > 0 {
 		fmt.Printf("admission: shed %d requests, timed out %d\n", st.Shed, st.Timeouts)
+	}
+	if st := srv.ServerStats(); st.FramesSent > 0 {
+		fmt.Printf("streaming: %d frames sent, %d streams canceled\n", st.FramesSent, st.StreamsCanceled)
 	}
 }

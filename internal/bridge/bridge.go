@@ -113,6 +113,14 @@ type SourceStats struct {
 	Retries        int64 // remote request retry attempts
 	BreakerOpens   int64 // circuit-breaker open transitions
 
+	// Streamed-transport counters (populated when the remote client speaks
+	// the framed v2 wire protocol; zero on the monolithic transport).
+	FramesSent      int64   // protocol frames written to the remote DBMS
+	FramesRecv      int64   // protocol frames received from the remote DBMS
+	RemoteStreams   int64   // streamed exec results opened
+	StreamsCanceled int64   // remote streams torn down mid-flight
+	FirstTupleMS    float64 // mean wall-clock ms from request to first frame
+
 	// Dispatch-outcome counters (admission control and cancellation). Every
 	// issued query resolves to exactly one outcome, so the conservation
 	// invariant Queries = Completed + Canceled + DeadlineExceeded + Shed +

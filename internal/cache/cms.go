@@ -140,6 +140,13 @@ func (c *CMS) Stats() bridge.SourceStats {
 	st.RemoteRequests = remote.Requests
 	st.RemoteTuples = remote.TuplesReturned
 	st.RemoteSimMS = remote.SimMS
+	st.FramesSent = remote.FramesSent
+	st.FramesRecv = remote.FramesRecv
+	st.RemoteStreams = remote.Streams
+	st.StreamsCanceled = remote.StreamsCanceled
+	if remote.Streams > 0 {
+		st.FirstTupleMS = float64(remote.FirstTupleNS) / float64(remote.Streams) / 1e6
+	}
 	st.Evictions = c.mgr.Evictions()
 	if rs, ok := c.rdi.Resilience(); ok {
 		st.Retries = rs.Retries

@@ -248,7 +248,15 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 		}
 	}
 
-	// Fallback: the whole query goes to the remote DBMS.
+	// Fallback: the whole query goes to the remote DBMS. When the transport
+	// can stream and the result will not be cached (a cached result must be
+	// materialized anyway), the answer is handed to the IE as a lazy remote
+	// stream: the first tuple is available after one wire frame instead of
+	// after the whole transfer, and an abandoned consumer cancels the remote
+	// producer mid-flight.
+	if f.Lazy && c.rdi.StreamCapable() && !s.shouldCache(vs) {
+		return s.answerRemoteStream(q)
+	}
 	ext, sim, err := c.rdi.FetchCtx(ctx, q)
 	if err != nil {
 		return nil, err
@@ -258,6 +266,55 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 		s.cacheResult(q, ext, vs)
 	}
 	return bridge.NewEagerStream(ext), nil
+}
+
+// answerRemoteStream serves a remote-only query lazily over the streamed
+// transport. The stream is established under the session's *caller* context —
+// not the per-query deadline context, which dies when QueryCtx returns while
+// the stream is still being consumed (same rule as streamCheck). The fixed
+// round-trip cost is charged at establishment; each shipped tuple is charged
+// as the consumer pulls it on the session thread, mirroring how cache-local
+// lazy answers charge per tuple produced.
+func (s *Session) answerRemoteStream(q *caql.Query) (*bridge.Stream, error) {
+	c := s.cms
+	fs, err := c.rdi.FetchStreamCtx(s.callerCtx, q)
+	if err != nil {
+		return nil, err
+	}
+	s.advance(c.opts.Costs.PerRequest)
+	per := c.opts.Costs.PerTuple
+	src := chargeIter(fs, func(n int) { s.advance(per * float64(n)) })
+	guard := relation.NewGuardIterator(src, relation.DefaultGuardEvery, s.streamCheck())
+	c.stats.LazyAnswers.Add(1)
+	return bridge.NewStream(fs.Schema(), &remoteStreamIter{guard: guard, fs: fs}, true), nil
+}
+
+// remoteStreamIter splices cooperative cancellation (the guard, polling the
+// caller/session contexts) with the remote stream's own termination status:
+// whichever side stops the stream, the consumer sees a typed error from
+// bridge.Stream.Err, and a guard trip tears down the remote producer so the
+// server stops shipping frames nobody reads.
+type remoteStreamIter struct {
+	guard *relation.GuardIterator
+	fs    *FetchStream
+}
+
+// Next implements relation.Iterator.
+func (r *remoteStreamIter) Next() (relation.Tuple, bool) {
+	t, ok := r.guard.Next()
+	if !ok && r.guard.Err() != nil {
+		r.fs.Close()
+	}
+	return t, ok
+}
+
+// Err implements the bridge's error convention, preferring the guard's typed
+// verdict and lifting transport-level context errors into the bridge family.
+func (r *remoteStreamIter) Err() error {
+	if err := r.guard.Err(); err != nil {
+		return err
+	}
+	return liftCtxErr(r.fs.Err())
 }
 
 // serveFromElement answers q from a cached element through a derivation,

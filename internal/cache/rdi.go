@@ -87,7 +87,22 @@ func (r *RDI) Fetch(q *caql.Query) (*relation.Relation, float64, error) {
 // FetchCtx is Fetch under a context: cancellation and deadlines propagate
 // into the remote call (retry/backoff loops, dial, and socket reads when the
 // client supports remotedb.ContextClient; a pre-flight check otherwise).
+// On a stream-capable client the result is drained frame-by-frame through the
+// bulk append path, so peak memory during transfer is one frame plus the
+// growing result instead of two whole wire relations.
 func (r *RDI) FetchCtx(ctx context.Context, q *caql.Query) (*relation.Relation, float64, error) {
+	if r.StreamCapable() {
+		fs, err := r.FetchStreamCtx(ctx, q)
+		if err != nil {
+			return nil, 0, err
+		}
+		out, err := remotedb.DrainStream(q.Name(), fs)
+		r.noteRemote(err)
+		if err != nil {
+			return nil, 0, fmt.Errorf("cache: remote execution of %q: %w", fs.sql, err)
+		}
+		return out, fs.SimMS(), nil
+	}
 	tr, err := remotedb.TranslateCAQL(q, r)
 	if err != nil {
 		return nil, 0, err
@@ -107,6 +122,100 @@ func (r *RDI) FetchCtx(ctx context.Context, q *caql.Query) (*relation.Relation, 
 	}
 	return out, res.SimMS, nil
 }
+
+// StreamCapable reports whether the remote client can deliver exec results
+// incrementally (remotedb.StreamClient, i.e. the pooled v2 transport).
+func (r *RDI) StreamCapable() bool {
+	_, ok := r.client.(remotedb.StreamClient)
+	return ok
+}
+
+// FetchStreamCtx evaluates a CAQL conjunctive query remotely and returns the
+// result as a lazily reassembled tuple stream: translation and the header
+// round trip happen eagerly (so establishment errors surface here), while
+// tuple frames are decoded and reassembled into CAQL head rows only as the
+// consumer pulls. The first result tuple is therefore available after one
+// frame, and a consumer that stops early (LIMIT-style access, cancellation)
+// tears down the remote producer via Close instead of paying for the full
+// transfer.
+func (r *RDI) FetchStreamCtx(ctx context.Context, q *caql.Query) (*FetchStream, error) {
+	tr, err := remotedb.TranslateCAQL(q, r)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := q.OutputSchema(r)
+	if err != nil {
+		return nil, err
+	}
+	st, err := remotedb.ExecStreamContext(ctx, r.client, tr.SQL)
+	r.noteRemote(err)
+	if err != nil {
+		return nil, fmt.Errorf("cache: remote execution of %q: %w", tr.SQL, err)
+	}
+	return &FetchStream{rdi: r, inner: st, tr: tr, schema: schema, name: q.Name(), sql: tr.SQL}, nil
+}
+
+// FetchStream is a remote CAQL result delivered incrementally: the wire
+// stream's SQL rows are reassembled into head rows tuple-at-a-time. It
+// implements remotedb.TupleStream, so remotedb.DrainStream materializes it
+// and bridge.NewStream surfaces its terminal error.
+type FetchStream struct {
+	rdi    *RDI
+	inner  remotedb.TupleStream
+	tr     *remotedb.Translation
+	schema *relation.Schema
+	name   string
+	sql    string
+
+	done     bool
+	localErr error // reassembly failure (schema drift mid-stream)
+}
+
+// Next implements relation.Iterator.
+func (f *FetchStream) Next() (relation.Tuple, bool) {
+	if f.localErr != nil {
+		return nil, false
+	}
+	row, ok := f.inner.Next()
+	if !ok {
+		if !f.done {
+			f.done = true
+			f.rdi.noteRemote(f.inner.Err())
+		}
+		return nil, false
+	}
+	t, err := f.tr.ReassembleTuple(row)
+	if err != nil {
+		f.localErr = err
+		f.inner.Close()
+		return nil, false
+	}
+	return t, true
+}
+
+// Schema implements remotedb.TupleStream with the CAQL output schema (not the
+// SQL wire schema).
+func (f *FetchStream) Schema() *relation.Schema { return f.schema }
+
+// Name implements remotedb.TupleStream with the CAQL query name.
+func (f *FetchStream) Name() string { return f.name }
+
+// Err implements remotedb.TupleStream.
+func (f *FetchStream) Err() error {
+	if f.localErr != nil {
+		return f.localErr
+	}
+	return f.inner.Err()
+}
+
+// Close implements remotedb.TupleStream, canceling the remote producer.
+func (f *FetchStream) Close() error { return f.inner.Close() }
+
+// Ops implements remotedb.TupleStream.
+func (f *FetchStream) Ops() int64 { return f.inner.Ops() }
+
+// SimMS implements remotedb.TupleStream.
+func (f *FetchStream) SimMS() float64 { return f.inner.SimMS() }
 
 // Stats returns the client's cumulative transfer statistics.
 func (r *RDI) Stats() remotedb.Stats { return r.client.Stats() }

@@ -225,8 +225,15 @@ func Run(cfg Config) (Result, error) {
 			res.Stats.Queries, res.Stats.Completed, res.Stats.Canceled,
 			res.Stats.DeadlineExceeded, res.Stats.Shed, res.Stats.Failed)
 	}
-	if res.Faults.Panics > 0 && res.Stats.PanicsRecovered == 0 {
-		return res, fmt.Errorf("chaos: %d panics injected but none recovered by the CMS", res.Faults.Panics)
+	// A panic injected on an attempt the ResilientClient had already
+	// abandoned (caller canceled or attempt deadline fired) is discarded with
+	// the attempt's outcome and never reaches the CMS recovery layer, so only
+	// demand a recovery when more panics were injected than there were
+	// abandonment events that could have swallowed them.
+	abandonable := res.Stats.Canceled + res.Stats.DeadlineExceeded + res.Resilience.DeadlinesExceeded
+	if res.Faults.Panics > abandonable && res.Stats.PanicsRecovered == 0 {
+		return res, fmt.Errorf("chaos: %d panics injected (at most %d abandonable) but none recovered by the CMS",
+			res.Faults.Panics, abandonable)
 	}
 	// Shard-lock health: a canceled or panicked query must never leave a
 	// cache shard locked. A fresh session probing every relation would hang

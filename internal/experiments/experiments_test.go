@@ -250,6 +250,49 @@ func TestE12Shape(t *testing.T) {
 	}
 }
 
+// TestE14Shape runs the stream-transport experiment at a reduced scale and
+// checks the directional claims: streaming beats the monolithic transport on
+// first-tuple latency, and pooled throughput grows with the pool against the
+// session-serial 1ms-per-request remote. The full-scale acceptance ratios
+// (5x / 3x) are asserted by braid-bench runs, not here — a loaded CI host
+// gets a conservative floor instead.
+func TestE14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP measurement in short mode")
+	}
+	d, err := RunE14(20000, 3, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.FirstTuple) != 4 || len(d.Throughput) != 3 {
+		t.Fatalf("unexpected shape: %+v", d)
+	}
+	if d.FirstTuple[0].Transport != "v1-monolithic" {
+		t.Fatalf("row 0 should be v1, got %+v", d.FirstTuple[0])
+	}
+	for _, f := range d.FirstTuple {
+		if f.Tuples != 20000 {
+			t.Errorf("%s/%d returned %d tuples, want 20000", f.Transport, f.FrameTuples, f.Tuples)
+		}
+	}
+	if raceEnabled {
+		t.Logf("race detector on: skipping ratio floors (speedup %.2fx, scaling %.2fx)",
+			d.FirstTupleSpeedup, d.PoolScalingQPS)
+	} else {
+		if !(d.FirstTupleSpeedup > 1.5) {
+			t.Errorf("streaming first-tuple speedup %.2fx, want > 1.5x", d.FirstTupleSpeedup)
+		}
+		if !(d.PoolScalingQPS > 1.5) {
+			t.Errorf("pool 1->8 QPS scaling %.2fx, want > 1.5x", d.PoolScalingQPS)
+		}
+	}
+	for _, p := range d.Throughput {
+		if p.Queries != int64(p.Sessions*10) {
+			t.Errorf("pool %d completed %d queries, want %d", p.PoolSize, p.Queries, p.Sessions*10)
+		}
+	}
+}
+
 func TestE11Shape(t *testing.T) {
 	tab := E11FaultTolerance()
 	if len(tab.Rows) != 5 {

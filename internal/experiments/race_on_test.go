@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this test binary.
+// Performance-ratio assertions are skipped under it: the instrumented runtime
+// serializes goroutines and inflates latencies far past any useful floor.
+const raceEnabled = true

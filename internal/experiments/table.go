@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction's evaluation suite E1–E10
+// Package experiments implements the reproduction's evaluation suite E1–E14
 // (see DESIGN.md Section 5): one experiment per directional claim of the
 // paper, each producing a table in the style a systems paper would report.
 // The suite is shared by the repository's testing.B benchmarks

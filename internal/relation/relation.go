@@ -63,6 +63,37 @@ func (r *Relation) MustAppend(t Tuple) {
 // AppendValues constructs a tuple from the given values and appends it.
 func (r *Relation) AppendValues(vs ...Value) error { return r.Append(Tuple(vs)) }
 
+// Grow preallocates capacity for n additional tuples. Bulk loaders (wire
+// decoding, stream materialization) call it once per batch so the tuple slice
+// is not regrown tuple-by-tuple.
+func (r *Relation) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(r.tuples) - len(r.tuples); free < n {
+		grown := make([]Tuple, len(r.tuples), len(r.tuples)+n)
+		copy(grown, r.tuples)
+		r.tuples = grown
+	}
+}
+
+// AppendAll bulk-appends tuples, validating each arity against the schema but
+// growing the underlying slice at most once. This is the hot decode path for
+// wire frames: per-tuple Append costs a bounds recheck and amortized regrowth
+// per call, which AppendAll pays once per batch.
+func (r *Relation) AppendAll(tuples []Tuple) error {
+	arity := r.schema.Arity()
+	for _, t := range tuples {
+		if len(t) != arity {
+			return fmt.Errorf("relation %s: tuple arity %d does not match schema arity %d",
+				r.Name, len(t), arity)
+		}
+	}
+	r.Grow(len(tuples))
+	r.tuples = append(r.tuples, tuples...)
+	return nil
+}
+
 // Clone returns a deep-enough copy (tuples are shared; the slice is not).
 func (r *Relation) Clone() *Relation {
 	return &Relation{Name: r.Name, schema: r.schema, tuples: append([]Tuple(nil), r.tuples...)}

@@ -48,7 +48,9 @@ func (c Costs) RequestCost(tuples, ops int64) float64 {
 }
 
 // Stats accumulates transfer statistics for a client connection. All fields
-// are cumulative since the connection opened.
+// are cumulative since the connection opened. The frame/stream counters are
+// populated by the v2 framed transport (PoolClient) and stay zero on the
+// monolithic v1 path.
 type Stats struct {
 	// Requests is the number of DML requests issued.
 	Requests int64
@@ -58,6 +60,21 @@ type Stats struct {
 	ServerOps int64
 	// SimMS is the accumulated simulated time in milliseconds.
 	SimMS float64
+
+	// FramesSent is the number of protocol frames written (requests, cancels).
+	FramesSent int64
+	// FramesRecv is the number of protocol frames received (headers, batches,
+	// ends).
+	FramesRecv int64
+	// Streams is the number of streamed exec results opened.
+	Streams int64
+	// StreamsCanceled is how many streams were torn down mid-flight by caller
+	// cancellation or Close (only that stream dies; the connection survives).
+	StreamsCanceled int64
+	// FirstTupleNS is the cumulative wall-clock time from issuing a streamed
+	// exec to its first payload frame, over Streams streams; divide for the
+	// mean first-tuple latency.
+	FirstTupleNS int64
 }
 
 // Add accumulates o into s.
@@ -66,4 +83,9 @@ func (s *Stats) Add(o Stats) {
 	s.TuplesReturned += o.TuplesReturned
 	s.ServerOps += o.ServerOps
 	s.SimMS += o.SimMS
+	s.FramesSent += o.FramesSent
+	s.FramesRecv += o.FramesRecv
+	s.Streams += o.Streams
+	s.StreamsCanceled += o.StreamsCanceled
+	s.FirstTupleNS += o.FirstTupleNS
 }

@@ -1,0 +1,150 @@
+package remotedb
+
+import (
+	"repro/internal/relation"
+)
+
+// This file is the engine half of streamed (wire v2) execution: a SELECT
+// whose evaluation is a per-tuple pipeline — one table, per-tuple WHERE
+// conditions, plain projection — does not need to materialize its result
+// before the first tuple can ship. ExecuteSQLStream recognizes such
+// statements and returns a pull-based ScanStream over an immutable snapshot
+// of the table, so the framed server can emit the first response frame after
+// frameTuples tuples of work instead of after the whole scan. Everything
+// else (joins, aggregation, DISTINCT, ORDER BY) falls back to the
+// materializing Execute path and is framed post hoc.
+
+// ScanStream is an incrementally produced SELECT result. It is single
+// consumer and must not be shared between goroutines.
+type ScanStream struct {
+	name   string
+	schema *relation.Schema
+	rows   []relation.Tuple // immutable snapshot of the base extension
+	conds  []relation.Cond
+	proj   []int // projection column positions; nil = identity (no copy)
+	limit  int   // max tuples to emit; -1 = unbounded
+
+	pos     int
+	emitted int
+	ops     int64
+}
+
+// Schema is the result schema (after projection).
+func (s *ScanStream) Schema() *relation.Schema { return s.schema }
+
+// Name is the result relation name.
+func (s *ScanStream) Name() string { return s.name }
+
+// Ops is the number of tuple operations performed so far; it reaches the
+// cost-model total once the scan is exhausted.
+func (s *ScanStream) Ops() int64 { return s.ops }
+
+// Next produces the next result tuple.
+func (s *ScanStream) Next() (relation.Tuple, bool) {
+	for s.pos < len(s.rows) {
+		if s.limit >= 0 && s.emitted >= s.limit {
+			return nil, false
+		}
+		t := s.rows[s.pos]
+		s.pos++
+		s.ops++
+		if !relation.EvalAll(s.conds, t) {
+			continue
+		}
+		s.emitted++
+		s.ops++ // emit counts one op, matching the materialized projection cost
+		if s.proj == nil {
+			return t, true
+		}
+		out := make(relation.Tuple, len(s.proj))
+		for i, c := range s.proj {
+			out[i] = t[c]
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// ExecuteSQLStream returns a ScanStream when src parses to a streamable
+// statement, and ok=false otherwise — including on parse and resolution
+// errors, so the caller falls back to Execute and reports the error through
+// the ordinary path. The snapshot is taken under the engine lock; the
+// relation representation is append-only, so the captured prefix stays
+// consistent while concurrent inserts land.
+func (e *Engine) ExecuteSQLStream(src string) (*ScanStream, bool) {
+	st, err := ParseSQL(src)
+	if err != nil || st.Select == nil {
+		return nil, false
+	}
+	sel := st.Select
+	if len(sel.From) != 1 || sel.Distinct ||
+		len(sel.GroupBy) > 0 || len(sel.OrderBy) > 0 {
+		return nil, false
+	}
+	for _, it := range sel.Items {
+		if it.IsAgg {
+			return nil, false
+		}
+	}
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	base, ok := e.tables[sel.From[0].Table]
+	if !ok {
+		return nil, false
+	}
+	sch := base.Schema()
+	alias := sel.From[0].Alias
+
+	resolve := func(c ColRef) (int, bool) {
+		if c.Qualifier != "" && c.Qualifier != alias {
+			return 0, false
+		}
+		i := sch.ColIndex(c.Column)
+		return i, i >= 0
+	}
+
+	var conds []relation.Cond
+	for _, c := range sel.Where {
+		lc, ok := resolve(c.Left)
+		if !ok {
+			return nil, false
+		}
+		if c.RightIsCol {
+			rc, ok := resolve(c.RightCol)
+			if !ok {
+				return nil, false
+			}
+			conds = append(conds, relation.ColCol(lc, c.Op, rc))
+		} else {
+			conds = append(conds, relation.ColConst(lc, c.Op, c.RightVal))
+		}
+	}
+
+	var proj []int
+	var attrs []relation.Attr
+	if len(sel.Items) == 1 && sel.Items[0].Star {
+		attrs = sch.Attrs() // identity: ship base tuples without copying
+	} else {
+		for _, it := range sel.Items {
+			if it.Star {
+				return nil, false
+			}
+			p, ok := resolve(it.Col)
+			if !ok {
+				return nil, false
+			}
+			proj = append(proj, p)
+			attrs = append(attrs, sch.Attr(p))
+		}
+	}
+
+	return &ScanStream{
+		name:   "result",
+		schema: relation.NewSchema(attrs...),
+		rows:   base.Tuples(),
+		conds:  conds,
+		proj:   proj,
+		limit:  sel.Limit,
+	}, true
+}

@@ -43,6 +43,35 @@ var ErrBrokenConn = errors.New("remotedb: connection broken")
 // response, and ResilientClient does exactly that.
 var ErrOverloaded = errors.New("remotedb: server overloaded, request shed")
 
+// ErrProtocol is the sentinel for wire-protocol violations on the framed (v2)
+// transport: a corrupted or truncated frame, an unknown frame kind, a frame
+// for the wrong direction. A protocol error always desynchronizes the gob
+// stream, so the connection is torn down. Match with errors.Is.
+var ErrProtocol = errors.New("remotedb: wire protocol violation")
+
+// ErrStreamClosed reports a read from a tuple stream that was explicitly
+// closed by its consumer.
+var ErrStreamClosed = errors.New("remotedb: stream closed by consumer")
+
+// ProtocolError wraps the cause of one wire-protocol violation. It matches
+// ErrProtocol under errors.Is and is transient for retry purposes (the
+// request can be replayed on a fresh connection).
+type ProtocolError struct {
+	Op  string // "read frame", "write frame", "hello"
+	Err error
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("%v (%s): %v", ErrProtocol, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *ProtocolError) Unwrap() error { return e.Err }
+
+// Is matches ErrProtocol so callers can classify without the concrete type.
+func (e *ProtocolError) Is(target error) bool { return target == ErrProtocol }
+
 // TransportError wraps an I/O-level failure of one request. It is retryable:
 // the request may not have produced a semantic answer at all.
 type TransportError struct {
@@ -101,6 +130,7 @@ func IsTransient(err error) bool {
 		errors.Is(err, ErrDeadlineExceeded) ||
 		errors.Is(err, ErrBrokenConn) ||
 		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrProtocol) ||
 		errors.Is(err, ErrRemoteUnavailable)
 }
 

@@ -125,8 +125,11 @@ func (f *FaultClient) maybeFault(op string) error {
 
 	if err != nil {
 		if _, isDrop := errorIsDrop(err); isDrop {
-			if tc, ok := f.inner.(*TCPClient); ok {
-				tc.breakConn()
+			switch c := f.inner.(type) {
+			case *TCPClient:
+				c.breakConn()
+			case *PoolClient:
+				c.breakConn()
 			}
 		}
 		return err
@@ -178,6 +181,15 @@ func (f *FaultClient) ExecCtx(ctx context.Context, sql string) (*Result, error) 
 		return nil, err
 	}
 	return ExecContext(ctx, f.inner, sql)
+}
+
+// ExecStream implements StreamClient: establishment is faulted exactly like a
+// monolithic exec; once established, the stream is the inner client's.
+func (f *FaultClient) ExecStream(ctx context.Context, sql string) (TupleStream, error) {
+	if err := f.maybeFault("exec"); err != nil {
+		return nil, err
+	}
+	return ExecStreamContext(ctx, f.inner, sql)
 }
 
 // RelationSchema implements Client.

@@ -1,0 +1,837 @@
+package remotedb
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// PoolClient is the wire-v2 transport: a pool of TCP connections, each
+// carrying any number of in-flight requests as tagged frames, with responses
+// streamed back as tuple batches. It subsumes TCPClient (which remains as the
+// v1 legacy transport) and adds:
+//
+//   - streaming: ExecStream returns after the result header frame; tuples
+//     arrive in frames of the negotiated size, so first-tuple latency is one
+//     frame, not one relation, and client memory is bounded by the frame
+//     window rather than the result.
+//   - multiplexing: request-ID-tagged frames let many requests share one
+//     connection; responses interleave at frame granularity.
+//   - a pool: requests are dispatched to the least-loaded connection, so K
+//     concurrent sessions spread over N sockets instead of convoying behind
+//     one (the v1 client serializes a connection per round trip).
+//   - mid-stream cancellation: canceling one stream sends a cancel frame and
+//     tears down only that stream's server-side producer; the connection and
+//     every other stream keep going.
+//
+// Protocol version is negotiated per connection (wire.go "hello"): against a
+// v1 peer every pool connection degrades to serialized round trips, so the
+// pool still provides N-way parallelism with no streaming.
+type PoolClient struct {
+	addr string
+	opts PoolOptions
+
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	conns  []*muxConn
+	closed bool
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// PoolOptions configures a PoolClient.
+type PoolOptions struct {
+	// Size is the number of pooled connections (default 1).
+	Size int
+	// Proto is the highest protocol version to negotiate (default: the
+	// build's maximum). Set 1 to force the legacy monolithic protocol.
+	Proto int
+	// FrameTuples is the preferred response frame size in tuples, sent as a
+	// hint at negotiation (0: server default). The server clamps it.
+	FrameTuples int
+	// StreamWindow is how many undelivered response frames one stream may
+	// buffer client-side before backpressure stalls the connection's reader
+	// (and, through TCP, the server's writer). Default 8.
+	StreamWindow int
+	// Costs is the virtual cost model charged per request.
+	Costs Costs
+	// Redial re-establishes broken connections on the next request instead of
+	// failing fast forever.
+	Redial bool
+	// DialTimeout bounds connection establishment (0: no bound).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one v1 round trip, the v2 handshake, and each
+	// wait for the next frame of a v2 stream (0: no bound).
+	RequestTimeout time.Duration
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Size <= 0 {
+		o.Size = 1
+	}
+	if o.Proto <= 0 {
+		o.Proto = protoMax
+	}
+	if o.StreamWindow <= 0 {
+		o.StreamWindow = 8
+	}
+	return o
+}
+
+// DialPool connects a pool of opts.Size connections to a Server at addr and
+// negotiates the protocol on each. The first connection is dialed eagerly (so
+// an unreachable address fails fast); the rest are dialed on demand.
+func DialPool(addr string, opts PoolOptions) (*PoolClient, error) {
+	opts = opts.withDefaults()
+	p := &PoolClient{addr: addr, opts: opts}
+	p.conns = make([]*muxConn, opts.Size)
+	for i := range p.conns {
+		p.conns[i] = &muxConn{p: p, broken: true}
+	}
+	if err := p.conns[0].ensure(context.Background()); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Proto returns the protocol version negotiated on the first live
+// connection (0 if none is up yet).
+func (p *PoolClient) Proto() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.mu.Lock()
+		proto, broken := c.proto, c.broken
+		c.mu.Unlock()
+		if !broken {
+			return proto
+		}
+	}
+	return 0
+}
+
+// pick returns the live (or redialable) connection with the fewest in-flight
+// requests — the pool's fair dispatch: sessions hashing onto a hot connection
+// migrate to idle ones instead of convoying.
+func (p *PoolClient) pick(ctx context.Context) (*muxConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("remotedb: client closed")
+	}
+	var best *muxConn
+	var bestLoad int64
+	for _, c := range p.conns {
+		l := c.load.Load()
+		if best == nil || l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	p.mu.Unlock()
+	if err := best.ensure(ctx); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+func (p *PoolClient) addStats(f func(*Stats)) {
+	p.statsMu.Lock()
+	f(&p.stats)
+	p.statsMu.Unlock()
+}
+
+// Stats implements Client.
+func (p *PoolClient) Stats() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
+}
+
+// Close implements Client: every connection is torn down; in-flight streams
+// fail with a transport error.
+func (p *PoolClient) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := append([]*muxConn(nil), p.conns...)
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.teardown(&TransportError{Op: "close", Err: net.ErrClosed})
+	}
+	return nil
+}
+
+// breakConn tears down one pooled connection without closing the pool — the
+// fault-injection hook FaultClient uses to model a dropped connection, so the
+// redial machinery is exercised on the pooled transport too.
+func (p *PoolClient) breakConn() {
+	p.mu.Lock()
+	if len(p.conns) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	c := p.conns[int(p.nextID.Add(1))%len(p.conns)]
+	p.mu.Unlock()
+	c.teardown(&TransportError{Op: "exec", Err: ErrBrokenConn})
+}
+
+// Exec implements Client.
+func (p *PoolClient) Exec(sql string) (*Result, error) {
+	return p.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx implements ContextClient by draining the stream into a materialized
+// Result — callers that want incremental delivery use ExecStream.
+func (p *PoolClient) ExecCtx(ctx context.Context, sql string) (*Result, error) {
+	st, err := p.ExecStream(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := DrainStream(st.Name(), st)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: rel, SimMS: st.SimMS()}, nil
+}
+
+// ExecStream implements StreamClient: it returns once the result header (or
+// a terminal error) arrives; tuples then stream in frames. The context
+// governs the whole stream life: cancellation mid-stream sends a cancel frame
+// and surfaces the typed context error from the stream's Err.
+func (p *PoolClient) ExecStream(ctx context.Context, sql string) (TupleStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &TransportError{Op: "exec", Err: err}
+	}
+	conn, err := p.pick(ctx)
+	if err != nil {
+		return nil, &TransportError{Op: "exec", Err: err}
+	}
+	return conn.execStream(ctx, sql)
+}
+
+// roundTrip dispatches one non-exec catalog request.
+func (p *PoolClient) roundTrip(req *wireRequest) (*wireResponse, error) {
+	conn, err := p.pick(context.Background())
+	if err != nil {
+		return nil, &TransportError{Op: req.Op, Err: err}
+	}
+	return conn.request(context.Background(), req)
+}
+
+// RelationSchema implements Client.
+func (p *PoolClient) RelationSchema(name string, arity int) (*relation.Schema, error) {
+	resp, err := p.roundTrip(&wireRequest{Op: "schema", Name: name})
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]relation.Attr, len(resp.Attrs))
+	for i, a := range resp.Attrs {
+		attrs[i] = relation.Attr{Name: a.Name, Kind: relation.Kind(a.Kind)}
+	}
+	sch := relation.NewSchema(attrs...)
+	if arity >= 0 && sch.Arity() != arity {
+		return nil, errArity(name, sch.Arity(), arity)
+	}
+	return sch, nil
+}
+
+// TableStats implements Client.
+func (p *PoolClient) TableStats(name string) (TableStats, error) {
+	resp, err := p.roundTrip(&wireRequest{Op: "stats", Name: name})
+	if err != nil {
+		return TableStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Tables implements Client.
+func (p *PoolClient) Tables() ([]string, error) {
+	resp, err := p.roundTrip(&wireRequest{Op: "tables"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// muxConn is one pooled connection: a shared write path (wmu serializes frame
+// writes), a reader goroutine that demultiplexes response frames to streams
+// by request ID (v2), and fallback serialized round trips (v1 peer).
+type muxConn struct {
+	p *PoolClient
+
+	// load counts in-flight requests for the pool's least-loaded dispatch.
+	load atomic.Int64
+
+	mu      sync.Mutex // connection state + stream registry
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	proto   int
+	broken  bool
+	streams map[uint64]*muxStream
+
+	wmu sync.Mutex // serializes frame writes (v2)
+	rmu sync.Mutex // serializes round trips (v1 fallback)
+}
+
+// ensure makes the connection usable, dialing or redialing as allowed.
+func (c *muxConn) ensure(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.broken && c.conn != nil {
+		return nil
+	}
+	if c.conn != nil && !c.p.opts.Redial {
+		return ErrBrokenConn
+	}
+	return c.dialLocked(ctx)
+}
+
+// dialLocked (re)establishes the connection and negotiates the protocol.
+// Caller holds c.mu.
+func (c *muxConn) dialLocked(ctx context.Context) error {
+	opts := c.p.opts
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	d := net.Dialer{Timeout: opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.p.addr)
+	if err != nil {
+		c.conn, c.enc, c.dec = nil, nil, nil
+		c.broken = true
+		return err
+	}
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	proto := protoV1
+	if opts.Proto >= protoV2 {
+		// Negotiate: a v2 server answers with its accepted version; a v1
+		// server reports hello as an unknown op, which IS the v1 answer.
+		if opts.RequestTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(opts.RequestTimeout))
+		}
+		hello := &wireRequest{Op: "hello", Proto: opts.Proto, FrameTuples: opts.FrameTuples}
+		var resp wireResponse
+		if err := enc.Encode(hello); err == nil {
+			err = dec.Decode(&resp)
+		}
+		if err != nil {
+			conn.Close()
+			c.conn, c.enc, c.dec = nil, nil, nil
+			c.broken = true
+			return &ProtocolError{Op: "hello", Err: err}
+		}
+		conn.SetDeadline(time.Time{})
+		if resp.Err == "" && resp.Proto >= protoV2 {
+			proto = protoV2
+		}
+	}
+	c.conn, c.enc, c.dec = conn, enc, dec
+	c.proto = proto
+	c.broken = false
+	c.streams = make(map[uint64]*muxStream)
+	if proto >= protoV2 {
+		go c.readLoop(conn, dec)
+	}
+	return nil
+}
+
+// teardown breaks the connection and fails every in-flight stream with err.
+func (c *muxConn) teardown(err error) {
+	c.mu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn, c.enc, c.dec = nil, nil, nil
+	c.broken = true
+	streams := c.streams
+	c.streams = nil
+	c.mu.Unlock()
+	for _, st := range streams {
+		st.fail(err)
+	}
+}
+
+// readLoop is the demultiplexer: one goroutine per v2 connection routes
+// response frames to their stream. Delivery blocks when a stream's window is
+// full — that is the client half of end-to-end backpressure (the stalled
+// reader stops draining the socket, TCP fills, the server's writer blocks).
+// A dead stream never blocks the loop: its gone channel drops late frames.
+func (c *muxConn) readLoop(conn net.Conn, dec *gob.Decoder) {
+	for {
+		f, err := readFrame(dec)
+		if err != nil {
+			c.teardown(&TransportError{Op: "read", Err: err})
+			return
+		}
+		c.p.addStats(func(s *Stats) { s.FramesRecv++ })
+		c.mu.Lock()
+		st := c.streams[f.ID]
+		if st != nil && f.Kind == frameEnd {
+			delete(c.streams, f.ID)
+		}
+		c.mu.Unlock()
+		if st == nil {
+			continue // canceled stream's late frames
+		}
+		select {
+		case st.frames <- f:
+		case <-st.gone:
+		}
+	}
+}
+
+// writeFrame writes one frame on the shared encoder; an encode error means
+// the gob stream is desynchronized, so the whole connection is torn down.
+func (c *muxConn) writeFrame(f *wireFrame) error {
+	c.wmu.Lock()
+	c.mu.Lock()
+	conn, enc, broken := c.conn, c.enc, c.broken
+	c.mu.Unlock()
+	if broken || conn == nil {
+		c.wmu.Unlock()
+		return ErrBrokenConn
+	}
+	err := writeFrame(enc, f)
+	c.wmu.Unlock()
+	if err != nil {
+		c.teardown(&TransportError{Op: "write", Err: err})
+		return err
+	}
+	c.p.addStats(func(s *Stats) { s.FramesSent++ })
+	return nil
+}
+
+// execStream starts one streamed exec request (v2), or falls back to a
+// monolithic round trip replayed through the stream surface (v1 peer).
+func (c *muxConn) execStream(ctx context.Context, sql string) (TupleStream, error) {
+	c.mu.Lock()
+	proto := c.proto
+	c.mu.Unlock()
+	if proto < protoV2 {
+		res, err := c.execV1(ctx, sql)
+		if err != nil {
+			return nil, err
+		}
+		return NewMaterializedStream(res), nil
+	}
+
+	id := c.p.nextID.Add(1)
+	st := &muxStream{
+		c:      c,
+		id:     id,
+		ctx:    ctx,
+		frames: make(chan *wireFrame, c.p.opts.StreamWindow),
+		gone:   make(chan struct{}),
+		issued: time.Now(),
+	}
+	c.mu.Lock()
+	if c.broken || c.streams == nil {
+		c.mu.Unlock()
+		return nil, &TransportError{Op: "exec", Err: ErrBrokenConn}
+	}
+	c.streams[id] = st
+	c.mu.Unlock()
+	c.load.Add(1)
+
+	if err := c.writeFrame(&wireFrame{ID: id, Kind: frameReq, Req: &wireRequest{Op: "exec", SQL: sql}}); err != nil {
+		c.unregister(id)
+		c.load.Add(-1)
+		return nil, &TransportError{Op: "exec", Err: err}
+	}
+	c.p.addStats(func(s *Stats) { s.Requests++; s.Streams++ })
+
+	// Wait for the header (or a terminal error) so the caller gets a stream
+	// with a known schema, and so establishment errors are returned as plain
+	// errors that the resilience layer can retry.
+	f, err := st.wait()
+	if err != nil {
+		st.abort(err)
+		return nil, err
+	}
+	switch f.Kind {
+	case frameHeader:
+		attrs := make([]relation.Attr, len(f.Attrs))
+		for i, a := range f.Attrs {
+			attrs[i] = relation.Attr{Name: a.Name, Kind: relation.Kind(a.Kind)}
+		}
+		st.schema = relation.NewSchema(attrs...)
+		st.name = f.Name
+		return st, nil
+	case frameEnd:
+		err := endError(f)
+		if err == nil {
+			err = &ProtocolError{Op: "exec", Err: errors.New("stream ended before its header")}
+		}
+		st.finish(err)
+		return nil, err
+	default:
+		err := &ProtocolError{Op: "exec", Err: fmt.Errorf("unexpected frame kind %d before header", f.Kind)}
+		st.abort(err)
+		return nil, err
+	}
+}
+
+// endError maps a terminal frame to the client-side error surface (nil for a
+// clean end). The classification mirrors the v1 response codes.
+func endError(f *wireFrame) error {
+	switch f.Code {
+	case wireCodeOverloaded:
+		return &TransportError{Op: "exec", Err: ErrOverloaded}
+	case wireCodeDeadline:
+		return &TransportError{Op: "exec", Err: ErrDeadlineExceeded}
+	case wireCodeCanceled:
+		return &TransportError{Op: "exec", Err: context.Canceled}
+	}
+	if f.Err != "" {
+		return errors.New(f.Err) // semantic: the server answered and said no
+	}
+	return nil
+}
+
+// unregister removes a stream from the demux table; late frames for its ID
+// are dropped by the read loop.
+func (c *muxConn) unregister(id uint64) {
+	c.mu.Lock()
+	if c.streams != nil {
+		delete(c.streams, id)
+	}
+	c.mu.Unlock()
+}
+
+// request performs one non-exec catalog round trip.
+func (c *muxConn) request(ctx context.Context, req *wireRequest) (*wireResponse, error) {
+	c.mu.Lock()
+	proto := c.proto
+	c.mu.Unlock()
+	if proto < protoV2 {
+		return c.roundTripV1(ctx, req)
+	}
+	id := c.p.nextID.Add(1)
+	st := &muxStream{
+		c:      c,
+		id:     id,
+		ctx:    ctx,
+		frames: make(chan *wireFrame, 1),
+		gone:   make(chan struct{}),
+		issued: time.Now(),
+	}
+	c.mu.Lock()
+	if c.broken || c.streams == nil {
+		c.mu.Unlock()
+		return nil, &TransportError{Op: req.Op, Err: ErrBrokenConn}
+	}
+	c.streams[id] = st
+	c.mu.Unlock()
+	c.load.Add(1)
+	defer c.load.Add(-1)
+	if err := c.writeFrame(&wireFrame{ID: id, Kind: frameReq, Req: req}); err != nil {
+		c.unregister(id)
+		return nil, &TransportError{Op: req.Op, Err: err}
+	}
+	f, err := st.wait()
+	if err != nil {
+		st.abort(err)
+		return nil, err
+	}
+	if f.Kind != frameEnd {
+		err := &ProtocolError{Op: req.Op, Err: fmt.Errorf("unexpected frame kind %d for %s", f.Kind, req.Op)}
+		st.abort(err)
+		return nil, err
+	}
+	if err := endError(f); err != nil {
+		return nil, err
+	}
+	if f.Err != "" {
+		return nil, errors.New(f.Err)
+	}
+	return &wireResponse{Attrs: f.Attrs, Stats: f.Stats, Tables: f.Tables, Ops: f.Ops}, nil
+}
+
+// execV1 is the monolithic fallback exec against a v1 peer.
+func (c *muxConn) execV1(ctx context.Context, sql string) (*Result, error) {
+	resp, err := c.roundTripV1(ctx, &wireRequest{Op: "exec", SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	rel, err := fromWireRelation(resp.Rel)
+	if err != nil {
+		return nil, err
+	}
+	var tuples int64
+	if rel != nil {
+		tuples = int64(rel.Len())
+	}
+	sim := c.p.opts.Costs.RequestCost(tuples, resp.Ops)
+	c.p.addStats(func(s *Stats) {
+		s.Requests++
+		s.TuplesReturned += tuples
+		s.ServerOps += resp.Ops
+		s.SimMS += sim
+	})
+	return &Result{Rel: rel, SimMS: sim}, nil
+}
+
+// roundTripV1 is one serialized request/response exchange against a v1 peer
+// (the same discipline as TCPClient: one outstanding request per connection).
+func (c *muxConn) roundTripV1(ctx context.Context, req *wireRequest) (*wireResponse, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.mu.Lock()
+	conn, enc, dec, broken := c.conn, c.enc, c.dec, c.broken
+	c.mu.Unlock()
+	if broken || conn == nil {
+		return nil, &TransportError{Op: req.Op, Err: ErrBrokenConn}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &TransportError{Op: req.Op, Err: err}
+	}
+	deadline := time.Time{}
+	if c.p.opts.RequestTimeout > 0 {
+		deadline = time.Now().Add(c.p.opts.RequestTimeout)
+	}
+	ctxOwns := false
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline, ctxOwns = d, true
+	}
+	var stopWatch chan struct{}
+	if ctx.Done() != nil {
+		stopWatch = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Now())
+			case <-stopWatch:
+			}
+		}()
+		defer close(stopWatch)
+	}
+	if !deadline.IsZero() {
+		conn.SetDeadline(deadline)
+	}
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if ctxOwns && isTimeout(err) {
+			return context.DeadlineExceeded
+		}
+		return err
+	}
+	var resp wireResponse
+	err := enc.Encode(req)
+	if err == nil {
+		err = dec.Decode(&resp)
+	}
+	if err != nil {
+		c.teardown(&TransportError{Op: req.Op, Err: ErrBrokenConn})
+		return nil, &TransportError{Op: req.Op, Err: ctxErr(err)}
+	}
+	if !deadline.IsZero() {
+		conn.SetDeadline(time.Time{})
+	}
+	switch resp.Code {
+	case wireCodeOverloaded:
+		return nil, &TransportError{Op: req.Op, Err: ErrOverloaded}
+	case wireCodeDeadline:
+		return nil, &TransportError{Op: req.Op, Err: ErrDeadlineExceeded}
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// muxStream is one in-flight v2 request's client side. Not safe for
+// concurrent use (single consumer), except fail/abort which may race from the
+// read loop and are serialized by deadOnce.
+type muxStream struct {
+	c      *muxConn
+	id     uint64
+	ctx    context.Context
+	frames chan *wireFrame
+	issued time.Time
+
+	gone     chan struct{} // closed once when the stream dies early
+	deadOnce sync.Once
+	goneErr  error
+
+	schema *relation.Schema
+	name   string
+
+	cur []relation.Tuple
+	pos int
+
+	tuples     int64
+	ops        int64
+	sim        float64
+	firstSeen  bool
+	done       bool
+	settled    bool
+	termErr    error
+}
+
+// wait blocks for the next frame, honoring the stream context, the
+// per-frame-wait RequestTimeout, and early death (connection failure).
+func (st *muxStream) wait() (*wireFrame, error) {
+	var timerC <-chan time.Time
+	if rt := st.c.p.opts.RequestTimeout; rt > 0 {
+		timer := time.NewTimer(rt)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case f := <-st.frames:
+		return f, nil
+	case <-st.gone:
+		return nil, st.goneErr
+	case <-timerC:
+		return nil, &TransportError{Op: "exec", Err: ErrDeadlineExceeded}
+	case <-st.ctx.Done():
+		return nil, &TransportError{Op: "exec", Err: st.ctx.Err()}
+	}
+}
+
+// Next implements relation.Iterator.
+func (st *muxStream) Next() (relation.Tuple, bool) {
+	for {
+		if st.pos < len(st.cur) {
+			t := st.cur[st.pos]
+			st.pos++
+			return t, true
+		}
+		if st.done {
+			return nil, false
+		}
+		f, err := st.wait()
+		if err != nil {
+			st.abort(err)
+			return nil, false
+		}
+		switch f.Kind {
+		case frameBatch:
+			st.noteFirst()
+			tuples, derr := fromWireTuples(f.Tuples)
+			if derr != nil {
+				st.abort(&ProtocolError{Op: "exec", Err: derr})
+				return nil, false
+			}
+			st.tuples += int64(len(tuples))
+			st.cur, st.pos = tuples, 0
+		case frameEnd:
+			st.noteFirst()
+			st.ops = f.Ops
+			st.finish(endError(f))
+			return nil, false
+		default:
+			st.abort(&ProtocolError{Op: "exec", Err: fmt.Errorf("unexpected mid-stream frame kind %d", f.Kind)})
+			return nil, false
+		}
+	}
+}
+
+// noteFirst records the first-payload-frame latency once.
+func (st *muxStream) noteFirst() {
+	if st.firstSeen {
+		return
+	}
+	st.firstSeen = true
+	d := time.Since(st.issued).Nanoseconds()
+	st.c.p.addStats(func(s *Stats) { s.FirstTupleNS += d })
+}
+
+// finish settles a naturally terminated stream (clean end or server-reported
+// terminal error).
+func (st *muxStream) finish(err error) {
+	if st.done {
+		return
+	}
+	st.done = true
+	st.termErr = err
+	st.settle()
+}
+
+// abort settles a stream that died early (cancellation, timeout, transport
+// failure): it tears down the server-side producer with a cancel frame and
+// unregisters locally so late frames are dropped.
+func (st *muxStream) abort(err error) {
+	if st.done {
+		return
+	}
+	st.done = true
+	st.termErr = err
+	st.c.unregister(st.id)
+	st.deadOnce.Do(func() {
+		st.goneErr = err
+		close(st.gone)
+	})
+	// Best-effort cancel so the server stops producing for this ID; a broken
+	// connection needs no cancel (the whole conn is gone).
+	st.c.writeFrame(&wireFrame{ID: st.id, Kind: frameCancel})
+	st.c.p.addStats(func(s *Stats) { s.StreamsCanceled++ })
+	st.settle()
+}
+
+// fail is called by the read loop / teardown when the connection dies under
+// the stream; the consumer observes it on its next wait.
+func (st *muxStream) fail(err error) {
+	st.deadOnce.Do(func() {
+		st.goneErr = err
+		close(st.gone)
+	})
+}
+
+// settle charges the virtual cost model once, for what was actually shipped.
+func (st *muxStream) settle() {
+	if st.settled {
+		return
+	}
+	st.settled = true
+	st.c.load.Add(-1)
+	st.sim = st.c.p.opts.Costs.RequestCost(st.tuples, st.ops)
+	st.c.p.addStats(func(s *Stats) {
+		s.TuplesReturned += st.tuples
+		s.ServerOps += st.ops
+		s.SimMS += st.sim
+	})
+}
+
+// Schema implements TupleStream.
+func (st *muxStream) Schema() *relation.Schema { return st.schema }
+
+// Name implements TupleStream.
+func (st *muxStream) Name() string { return st.name }
+
+// Err implements TupleStream.
+func (st *muxStream) Err() error {
+	if st.termErr != nil {
+		return st.termErr
+	}
+	return nil
+}
+
+// Ops implements TupleStream.
+func (st *muxStream) Ops() int64 { return st.ops }
+
+// SimMS implements TupleStream.
+func (st *muxStream) SimMS() float64 { return st.sim }
+
+// Close implements TupleStream: abandoning an unfinished stream cancels it
+// mid-flight (typed ErrStreamClosed); closing a finished stream is a no-op.
+func (st *muxStream) Close() error {
+	if !st.done {
+		st.abort(&TransportError{Op: "exec", Err: ErrStreamClosed})
+	}
+	return nil
+}

@@ -388,6 +388,21 @@ func (r *ResilientClient) ExecCtx(ctx context.Context, sql string) (*Result, err
 	return v.(*Result), nil
 }
 
+// ExecStream implements StreamClient. The resilience policy — breaker,
+// deadline, retries — applies to stream *establishment* only: once the header
+// frame arrived and a TupleStream is handed out, tuples already flowed to the
+// caller, so a mid-stream failure cannot be transparently retried and is
+// surfaced through the stream's Err instead. Establishment failures (refused
+// dial, shed, handshake trouble) are exactly the transient class the retry
+// loop and breaker exist for.
+func (r *ResilientClient) ExecStream(ctx context.Context, sql string) (TupleStream, error) {
+	v, err := r.doCtx(ctx, "exec", func() (any, error) { return ExecStreamContext(ctx, r.inner, sql) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(TupleStream), nil
+}
+
 // RelationSchema implements Client.
 func (r *ResilientClient) RelationSchema(name string, arity int) (*relation.Schema, error) {
 	v, err := r.do("schema", func() (any, error) { return r.inner.RelationSchema(name, arity) })

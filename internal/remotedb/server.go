@@ -31,6 +31,9 @@ type Server struct {
 	shed     atomic.Int64
 	timeouts atomic.Int64
 
+	framesSent      atomic.Int64
+	streamsCanceled atomic.Int64
+
 	faultMu  sync.Mutex
 	faultRng *rand.Rand
 }
@@ -57,12 +60,31 @@ type ServerOptions struct {
 	// experiments: requests are delayed or their connection dropped from a
 	// deterministically seeded stream.
 	Faults *ListenerFaults
+	// MaxProto caps the wire protocol version this server negotiates
+	// (0: the build's maximum). Set 1 to force every connection onto the
+	// legacy monolithic protocol regardless of what clients offer.
+	MaxProto int
+	// FrameTuples is the default response frame size, in tuples, for framed
+	// (v2) connections whose client sent no preference (0: DefaultFrameTuples).
+	FrameTuples int
+	// ConnStreams bounds how many requests of one framed connection execute
+	// concurrently (0: 1). The default of one engine slot per connection
+	// models the paper's session-oriented DBMS: a connection is a session and
+	// its requests are served in order, while the *transfer* of results still
+	// interleaves at frame granularity. Pool clients get parallelism by
+	// opening more connections, not by widening one.
+	ConnStreams int
 }
 
-// ServerStats are cumulative admission/deadline counters.
+// ServerStats are cumulative admission/deadline/streaming counters.
 type ServerStats struct {
 	Shed     int64 // requests rejected by the MaxInflight admission limit
 	Timeouts int64 // requests abandoned at RequestTimeout
+	// FramesSent counts v2 protocol frames written (headers, batches, ends).
+	FramesSent int64
+	// StreamsCanceled counts v2 streams torn down mid-flight by a client
+	// cancel frame or connection-context cancellation.
+	StreamsCanceled int64
 }
 
 // ListenerFaults parameterizes server-side fault injection, the counterpart
@@ -101,7 +123,20 @@ func NewServerWithOptions(engine *Engine, opts ServerOptions) *Server {
 
 // ServerStats returns the cumulative admission/deadline counters.
 func (s *Server) ServerStats() ServerStats {
-	return ServerStats{Shed: s.shed.Load(), Timeouts: s.timeouts.Load()}
+	return ServerStats{
+		Shed:            s.shed.Load(),
+		Timeouts:        s.timeouts.Load(),
+		FramesSent:      s.framesSent.Load(),
+		StreamsCanceled: s.streamsCanceled.Load(),
+	}
+}
+
+// maxProto is the highest protocol version this server will accept.
+func (s *Server) maxProto() int {
+	if s.opts.MaxProto > 0 {
+		return s.opts.MaxProto
+	}
+	return protoMax
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts accepting
@@ -142,20 +177,32 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // rollFault decides the fate of one request on a flaky listener: drop the
 // connection (return false), possibly after a delay.
 func (s *Server) rollFault() (keep bool) {
+	keep, delay := s.rollFault2()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return keep
+}
+
+// rollFault2 is the split form used by the framed path: the drop decision is
+// made synchronously (it closes the connection) while the delay is returned
+// for the caller to serve inside its deadline-bounded execution, so injected
+// delays model slow server work under the request clock on both protocols.
+func (s *Server) rollFault2() (keep bool, delay time.Duration) {
 	f := s.opts.Faults
 	if f == nil {
-		return true
+		return true, 0
 	}
 	s.faultMu.Lock()
 	roll := s.faultRng.Float64()
 	s.faultMu.Unlock()
 	switch {
 	case roll < f.DropRate:
-		return false
+		return false, 0
 	case roll < f.DropRate+f.DelayRate:
-		time.Sleep(f.Delay)
+		return true, f.Delay
 	}
-	return true
+	return true, 0
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -179,6 +226,29 @@ func (s *Server) serveConn(conn net.Conn) {
 				_ = enc.Encode(wireResponse{Err: fmt.Sprintf("protocol: %v", err)})
 			}
 			return
+		}
+		if req.Op == "hello" {
+			// Protocol negotiation rides the v1 exchange, so it works before
+			// either side knows the other's version. Agreeing on v2 flips this
+			// connection into framed mode on the same encoder/decoder pair.
+			proto := protoV1
+			if s.maxProto() >= protoV2 && req.Proto >= protoV2 {
+				proto = protoV2
+			}
+			if s.opts.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			}
+			if err := enc.Encode(wireResponse{Proto: proto}); err != nil {
+				return
+			}
+			if s.opts.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Time{})
+			}
+			if proto >= protoV2 {
+				s.serveFramed(conn, enc, dec, clampFrameTuples(req.FrameTuples, s.opts.FrameTuples))
+				return
+			}
+			continue
 		}
 		resp, keep := s.dispatch(&req)
 		if !keep {

@@ -1,0 +1,356 @@
+package remotedb
+
+import (
+	"context"
+	"encoding/gob"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file is the server half of wire protocol v2 (frame.go): after the
+// hello handshake flips a connection into framed mode, serveFramed reads
+// request/cancel frames, runs each request in its own goroutine gated by a
+// per-connection execution slot, and streams exec results back as
+// header/batch/end frames. The write path is shared (one mutex), so responses
+// of concurrent requests interleave at frame granularity — a large result
+// never monopolizes the connection, and the client sees first tuples after
+// one frame.
+//
+// Backpressure is the transport's: a frame write blocks when the peer's TCP
+// window is full, which happens exactly when the client-side stream buffer is
+// full and its consumer is slow. The server therefore never buffers more than
+// one frame per stream beyond the socket.
+
+// framedConn is the per-connection state of one v2 session.
+type framedConn struct {
+	s    *Server
+	conn net.Conn
+	enc  *gob.Encoder
+
+	wmu         sync.Mutex // serializes frame writes on the shared encoder
+	frameTuples int
+
+	mu      sync.Mutex
+	cancels map[uint64]context.CancelFunc
+	active  int
+
+	wg  sync.WaitGroup
+	sem chan struct{} // per-connection execution slots (ConnStreams)
+}
+
+// serveFramed serves one negotiated v2 connection until the peer goes away or
+// violates the protocol. On return, in-flight streams are canceled and their
+// handlers drained (on server shutdown they are instead allowed to finish, so
+// responses in flight are written before the connection drops).
+func (s *Server) serveFramed(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, frameTuples int) {
+	connStreams := s.opts.ConnStreams
+	if connStreams <= 0 {
+		connStreams = 1
+	}
+	base, cancelAll := context.WithCancel(context.Background())
+	fc := &framedConn{
+		s:           s,
+		conn:        conn,
+		enc:         enc,
+		frameTuples: frameTuples,
+		cancels:     make(map[uint64]context.CancelFunc),
+		sem:         make(chan struct{}, connStreams),
+	}
+	defer func() {
+		cancelAll()
+		fc.wg.Wait()
+	}()
+	for {
+		// The idle timeout only guards a connection with nothing in flight;
+		// while streams are active the read loop must stay blocked on the
+		// socket indefinitely so cancel frames remain deliverable.
+		fc.mu.Lock()
+		idle := fc.active == 0
+		fc.mu.Unlock()
+		if s.opts.IdleTimeout > 0 && idle {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		f, err := readFrame(dec)
+		if err != nil {
+			s.mu.Lock()
+			draining := s.closed
+			s.mu.Unlock()
+			if draining {
+				// Graceful shutdown unblocked the read; let in-flight streams
+				// finish writing before the deferred teardown.
+				fc.wg.Wait()
+			}
+			return
+		}
+		switch f.Kind {
+		case frameReq:
+			ctx, cancel := context.WithCancel(base)
+			fc.mu.Lock()
+			fc.cancels[f.ID] = cancel
+			fc.active++
+			fc.mu.Unlock()
+			fc.wg.Add(1)
+			go fc.handleStream(ctx, f.ID, f.Req)
+		case frameCancel:
+			fc.mu.Lock()
+			if cancel := fc.cancels[f.ID]; cancel != nil {
+				cancel()
+			}
+			fc.mu.Unlock()
+		default:
+			// The client sent a server-direction frame: protocol violation,
+			// the connection cannot be trusted anymore.
+			return
+		}
+	}
+}
+
+// write sends one frame on the shared encoder under the write timeout. A
+// failed write desynchronizes the gob stream, so the connection is closed
+// (which also unblocks the read loop).
+func (fc *framedConn) write(f *wireFrame) error {
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if fc.s.opts.WriteTimeout > 0 {
+		fc.conn.SetWriteDeadline(time.Now().Add(fc.s.opts.WriteTimeout))
+	}
+	err := writeFrame(fc.enc, f)
+	if fc.s.opts.WriteTimeout > 0 {
+		fc.conn.SetWriteDeadline(time.Time{})
+	}
+	if err != nil {
+		fc.conn.Close()
+		return err
+	}
+	fc.s.framesSent.Add(1)
+	// Yield after every frame: a producer that never parks would otherwise
+	// starve co-located consumers (loopback deployments, the bench harness)
+	// until the runtime's coarse preemption tick, turning the first-frame
+	// advantage of streaming into a scheduling artifact.
+	runtime.Gosched()
+	return nil
+}
+
+// writeEnd sends a terminal frame for stream id.
+func (fc *framedConn) writeEnd(id uint64, code int, errMsg string, ops int64) {
+	fc.write(&wireFrame{ID: id, Kind: frameEnd, Code: code, Err: errMsg, Ops: ops})
+}
+
+// handleStream runs one framed request end to end: per-connection execution
+// slot, admission control, fault injection, deadline-bounded engine execution,
+// then streamed (exec) or single-frame (catalog) response.
+func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequest) {
+	s := fc.s
+	defer fc.wg.Done()
+	defer func() {
+		fc.mu.Lock()
+		if cancel := fc.cancels[id]; cancel != nil {
+			cancel()
+			delete(fc.cancels, id)
+		}
+		fc.active--
+		fc.mu.Unlock()
+	}()
+
+	// Per-connection execution slot: by default requests of one session
+	// execute serially, in arrival order. A queued request is still
+	// cancelable while it waits.
+	select {
+	case fc.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.streamsCanceled.Add(1)
+		fc.writeEnd(id, wireCodeCanceled, context.Canceled.Error(), 0)
+		return
+	}
+	release := func() { <-fc.sem }
+
+	// Admission control shares the server-wide semaphore with the v1 path.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			inner := release
+			release = func() { <-s.inflight; inner() }
+		default:
+			release()
+			s.shed.Add(1)
+			fc.writeEnd(id, wireCodeOverloaded, ErrOverloaded.Error(), 0)
+			return
+		}
+	}
+
+	// A drop fault is a wire-level failure: the whole connection dies, as it
+	// would on the v1 path.
+	keep, delay := s.rollFault2()
+	if !keep {
+		release()
+		fc.conn.Close()
+		return
+	}
+
+	// Streamable SELECTs bypass materialization entirely: the engine yields
+	// tuples on demand and frames ship as the scan advances, so the client's
+	// first tuple costs one frame of work, not the whole result.
+	if req.Op == "exec" {
+		if sc, ok := s.engine.ExecuteSQLStream(req.SQL); ok {
+			fc.streamScan(ctx, id, sc, delay, release)
+			return
+		}
+	}
+
+	resp, canceled := s.runBounded(ctx, req, delay, release)
+	if canceled {
+		s.streamsCanceled.Add(1)
+		fc.writeEnd(id, wireCodeCanceled, context.Canceled.Error(), 0)
+		return
+	}
+	if resp.Err != "" || req.Op != "exec" {
+		// Errors and the small catalog ops fit in the terminal frame.
+		fc.write(&wireFrame{
+			ID:     id,
+			Kind:   frameEnd,
+			Code:   resp.Code,
+			Err:    resp.Err,
+			Ops:    resp.Ops,
+			Attrs:  resp.Attrs,
+			Stats:  resp.Stats,
+			Tables: resp.Tables,
+		})
+		return
+	}
+	fc.streamResult(ctx, id, &resp)
+}
+
+// runBounded executes one request under the request deadline and the stream
+// context, honoring an injected fault delay as slow server work. Work still
+// running at the deadline or at cancellation is abandoned — it completes in
+// the background and releases its execution/admission slots then, so
+// abandoned work keeps counting against the limits while it burns CPU (same
+// semantics as the v1 dispatch path).
+func (s *Server) runBounded(ctx context.Context, req *wireRequest, delay time.Duration, release func()) (wireResponse, bool) {
+	ch := make(chan wireResponse, 1)
+	go func() {
+		defer release()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		ch <- s.handle(req)
+	}()
+	var timerC <-chan time.Time
+	if s.opts.RequestTimeout > 0 {
+		timer := time.NewTimer(s.opts.RequestTimeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case resp := <-ch:
+		return resp, false
+	case <-timerC:
+		s.timeouts.Add(1)
+		return wireResponse{Code: wireCodeDeadline, Err: ErrDeadlineExceeded.Error()}, false
+	case <-ctx.Done():
+		return wireResponse{}, true
+	}
+}
+
+// streamScan pipelines a streamable SELECT: tuples are pulled from the
+// engine scan and shipped in frames as they are produced. The request
+// deadline bounds production, checked at frame granularity; an injected
+// delay fault models slow server work before the first tuple, interruptible
+// by the deadline and by cancellation as on the materialized path.
+func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc *ScanStream, delay time.Duration, release func()) {
+	s := fc.s
+	defer release()
+	var timerC <-chan time.Time
+	if s.opts.RequestTimeout > 0 {
+		timer := time.NewTimer(s.opts.RequestTimeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	if delay > 0 {
+		dt := time.NewTimer(delay)
+		select {
+		case <-dt.C:
+		case <-timerC:
+			dt.Stop()
+			s.timeouts.Add(1)
+			fc.writeEnd(id, wireCodeDeadline, ErrDeadlineExceeded.Error(), 0)
+			return
+		case <-ctx.Done():
+			dt.Stop()
+			s.streamsCanceled.Add(1)
+			fc.writeEnd(id, wireCodeCanceled, context.Canceled.Error(), 0)
+			return
+		}
+	}
+	var attrs []wireAttr
+	for _, a := range sc.Schema().Attrs() {
+		attrs = append(attrs, wireAttr{Name: a.Name, Kind: uint8(a.Kind)})
+	}
+	if fc.write(&wireFrame{ID: id, Kind: frameHeader, Name: sc.Name(), Attrs: attrs}) != nil {
+		return
+	}
+	// The batch buffer is reused across frames: writeFrame serializes
+	// synchronously, so the tuples are on the wire before the next fill.
+	batch := make([][]wireValue, 0, fc.frameTuples)
+	for done := false; !done; {
+		batch = batch[:0]
+		for len(batch) < fc.frameTuples {
+			t, ok := sc.Next()
+			if !ok {
+				done = true
+				break
+			}
+			batch = append(batch, toWireTuple(t))
+		}
+		select {
+		case <-ctx.Done():
+			s.streamsCanceled.Add(1)
+			fc.writeEnd(id, wireCodeCanceled, context.Canceled.Error(), 0)
+			return
+		case <-timerC:
+			s.timeouts.Add(1)
+			fc.writeEnd(id, wireCodeDeadline, ErrDeadlineExceeded.Error(), 0)
+			return
+		default:
+		}
+		if len(batch) > 0 {
+			if fc.write(&wireFrame{ID: id, Kind: frameBatch, Tuples: batch}) != nil {
+				return
+			}
+		}
+	}
+	fc.writeEnd(id, wireCodeNone, "", sc.Ops())
+}
+
+// streamResult ships an exec result as header + tuple batches + end,
+// checking for cancellation between batches so a canceled stream stops
+// producing after at most one more frame.
+func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireResponse) {
+	var (
+		name  string
+		attrs []wireAttr
+		rows  [][]wireValue
+	)
+	if resp.Rel != nil {
+		name, attrs, rows = resp.Rel.Name, resp.Rel.Attrs, resp.Rel.Tuples
+	}
+	if fc.write(&wireFrame{ID: id, Kind: frameHeader, Name: name, Attrs: attrs}) != nil {
+		return
+	}
+	for start := 0; start < len(rows); start += fc.frameTuples {
+		if ctx.Err() != nil {
+			fc.s.streamsCanceled.Add(1)
+			fc.writeEnd(id, wireCodeCanceled, context.Canceled.Error(), 0)
+			return
+		}
+		end := min(start+fc.frameTuples, len(rows))
+		if fc.write(&wireFrame{ID: id, Kind: frameBatch, Tuples: rows[start:end]}) != nil {
+			return
+		}
+	}
+	fc.writeEnd(id, wireCodeNone, "", resp.Ops)
+}

@@ -141,6 +141,25 @@ func TranslateCAQL(q *caql.Query, src caql.SchemaSource) (*Translation, error) {
 	return tr, nil
 }
 
+// ReassembleTuple rebuilds one CAQL head row from one SQL result row using
+// the translation's head recipe. It is the per-tuple kernel of Reassemble,
+// exposed so streamed results can be reassembled lazily as frames arrive
+// instead of after full materialization.
+func (tr *Translation) ReassembleTuple(row relation.Tuple) (relation.Tuple, error) {
+	t := make(relation.Tuple, len(tr.HeadIdx))
+	for i, idx := range tr.HeadIdx {
+		if idx < 0 {
+			t[i] = tr.Consts[i]
+		} else {
+			if idx >= len(row) {
+				return nil, fmt.Errorf("remotedb: SQL row too short for reassembly")
+			}
+			t[i] = row[idx]
+		}
+	}
+	return t, nil
+}
+
 // Reassemble rebuilds the CAQL result extension from the SQL result using
 // the translation's head recipe.
 func (tr *Translation) Reassemble(name string, schema *relation.Schema, sqlResult *relation.Relation) (*relation.Relation, error) {
@@ -148,17 +167,11 @@ func (tr *Translation) Reassemble(name string, schema *relation.Schema, sqlResul
 		return nil, fmt.Errorf("remotedb: reassembly schema arity %d != head arity %d", schema.Arity(), len(tr.HeadIdx))
 	}
 	out := relation.New(name, schema)
+	out.Grow(sqlResult.Len())
 	for _, row := range sqlResult.Tuples() {
-		t := make(relation.Tuple, len(tr.HeadIdx))
-		for i, idx := range tr.HeadIdx {
-			if idx < 0 {
-				t[i] = tr.Consts[i]
-			} else {
-				if idx >= len(row) {
-					return nil, fmt.Errorf("remotedb: SQL row too short for reassembly")
-				}
-				t[i] = row[idx]
-			}
+		t, err := tr.ReassembleTuple(row)
+		if err != nil {
+			return nil, err
 		}
 		if err := out.Append(t); err != nil {
 			return nil, err

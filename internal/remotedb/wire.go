@@ -70,13 +70,18 @@ func toWireRelation(r *relation.Relation) *wireRelation {
 		w.Attrs = append(w.Attrs, wireAttr{Name: a.Name, Kind: uint8(a.Kind)})
 	}
 	for _, t := range r.Tuples() {
-		row := make([]wireValue, len(t))
-		for i, v := range t {
-			row[i] = toWireValue(v)
-		}
-		w.Tuples = append(w.Tuples, row)
+		w.Tuples = append(w.Tuples, toWireTuple(t))
 	}
 	return w
+}
+
+// toWireTuple converts one tuple to its wire form.
+func toWireTuple(t relation.Tuple) []wireValue {
+	row := make([]wireValue, len(t))
+	for i, v := range t {
+		row[i] = toWireValue(v)
+	}
+	return row
 }
 
 func fromWireRelation(w *wireRelation) (*relation.Relation, error) {
@@ -88,36 +93,58 @@ func fromWireRelation(w *wireRelation) (*relation.Relation, error) {
 		attrs[i] = relation.Attr{Name: a.Name, Kind: relation.Kind(a.Kind)}
 	}
 	r := relation.New(w.Name, relation.NewSchema(attrs...))
-	for _, row := range w.Tuples {
-		t := make(relation.Tuple, len(row))
-		for i, wv := range row {
-			v, err := fromWireValue(wv)
-			if err != nil {
-				return nil, err
-			}
-			t[i] = v
-		}
-		if err := r.Append(t); err != nil {
-			return nil, err
-		}
+	tuples, err := fromWireTuples(w.Tuples)
+	if err != nil {
+		return nil, err
+	}
+	// Bulk append: one arity validation pass and one slice growth for the
+	// whole payload instead of per-tuple checks on the hot decode path.
+	if err := r.AppendAll(tuples); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
 
 // wireRequest is one protocol request. Op selects the action.
+//
+// Op "hello" is the protocol negotiation handshake introduced with wire v2:
+// a v2 client opens every connection with hello carrying its highest
+// supported version in Proto; a v2 server answers with the version it
+// accepts for this connection (wireResponse.Proto) and, when that is >= 2,
+// both sides switch the connection to framed mode (frame.go). A v1 server
+// answers hello with its usual "unknown op" semantic error, which a v2
+// client treats as a successful negotiation of v1 — so new clients
+// interoperate with old servers, and old clients (which never send hello)
+// keep speaking v1 to new servers.
 type wireRequest struct {
-	Op   string // "exec", "schema", "stats", "tables"
+	Op   string // "exec", "schema", "stats", "tables", "hello"
 	SQL  string
 	Name string
+	// Proto is the client's highest supported protocol version (hello only).
+	Proto int
+	// FrameTuples is the client's preferred response frame size in tuples
+	// (hello only; 0 lets the server choose). The server clamps it.
+	FrameTuples int
 }
 
+// Protocol versions.
+const (
+	protoV1 = 1 // monolithic request/response, one outstanding request per conn
+	protoV2 = 2 // framed: streamed tuple batches, request-ID multiplexing
+
+	// protoMax is the highest version this build speaks.
+	protoMax = protoV2
+)
+
 // Wire error codes: Err carries the human-readable message, Code the machine
-// classification, so clients can distinguish overload shedding and server
-// deadlines from semantic failures without string matching.
+// classification, so clients can distinguish overload shedding, server
+// deadlines, and stream cancellation from semantic failures without string
+// matching.
 const (
 	wireCodeNone       = 0 // no error, or a semantic error (Err set)
 	wireCodeOverloaded = 1 // request shed by the server's admission limit
 	wireCodeDeadline   = 2 // request abandoned at the server's deadline
+	wireCodeCanceled   = 3 // stream stopped by a client cancel frame (v2)
 )
 
 // wireResponse is one protocol response.
@@ -129,4 +156,39 @@ type wireResponse struct {
 	Attrs  []wireAttr
 	Stats  TableStats
 	Tables []string
+	// Proto is the server's accepted protocol version (hello response only).
+	Proto int
+}
+
+// toWireTuples converts a slice of tuples to wire rows (one response frame's
+// payload).
+func toWireTuples(tuples []relation.Tuple) [][]wireValue {
+	rows := make([][]wireValue, len(tuples))
+	for i, t := range tuples {
+		row := make([]wireValue, len(t))
+		for j, v := range t {
+			row[j] = toWireValue(v)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// fromWireTuples decodes wire rows into tuples without schema revalidation
+// (the caller bulk-appends via Relation.AppendAll, which validates arity once
+// per batch).
+func fromWireTuples(rows [][]wireValue) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, len(rows))
+	for i, row := range rows {
+		t := make(relation.Tuple, len(row))
+		for j, wv := range row {
+			v, err := fromWireValue(wv)
+			if err != nil {
+				return nil, err
+			}
+			t[j] = v
+		}
+		out[i] = t
+	}
+	return out, nil
 }
