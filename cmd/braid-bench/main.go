@@ -1,5 +1,5 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E14, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E15, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
@@ -7,7 +7,8 @@
 //	braid-bench                  # run every experiment
 //	braid-bench E2 E5            # run selected experiments
 //	braid-bench -list            # list experiments
-//	braid-bench -json BENCH_PR5.json   # run E14 and emit machine-readable metrics
+//	braid-bench -json BENCH_PR6.json   # run E14+E15, emit machine-readable metrics
+//	braid-bench -json out.json -baseline BENCH_PR6.json  # diff against a committed baseline
 //	braid-bench -cpuprofile cpu.out -memprofile mem.out E12
 package main
 
@@ -42,13 +43,55 @@ var registry = []struct {
 	{"E12", "concurrent multi-session scaling", experiments.E12ConcurrentScaling},
 	{"E13", "admission control under overload", experiments.E13AdmissionControl},
 	{"E14", "stream transport: first-tuple latency and pooled throughput", experiments.E14StreamTransport},
+	{"E15", "mid-stream failure recovery: resumable streams", experiments.E15StreamRecovery},
+}
+
+// benchData is the -json payload: the raw measurements of the two
+// wire-transport experiments (BENCH_PR6.json commits one run as baseline).
+type benchData struct {
+	E14 *experiments.E14Data `json:"e14"`
+	E15 *experiments.E15Data `json:"e15"`
+}
+
+// diffBaseline compares a fresh run against a committed baseline and returns
+// regression messages. Tolerances are deliberately generous — CI machines
+// vary a lot — so only a collapse (not noise) fails:
+//
+//   - E14 speedup/scaling ratios may not drop below 40% of baseline;
+//   - E15 resume-on completion is an INVARIANT (must stay at 100%), and the
+//     resume-off control must remain strictly worse (else E15 proves nothing).
+func diffBaseline(cur, base benchData) []string {
+	var regressions []string
+	ratio := func(name string, cur, base float64) {
+		if base > 0 && cur < 0.4*base {
+			regressions = append(regressions,
+				fmt.Sprintf("%s collapsed: %.2f vs baseline %.2f (floor 40%%)", name, cur, base))
+		}
+	}
+	if cur.E14 != nil && base.E14 != nil {
+		ratio("E14 first-tuple speedup", cur.E14.FirstTupleSpeedup, base.E14.FirstTupleSpeedup)
+		ratio("E14 pool-scaling QPS", cur.E14.PoolScalingQPS, base.E14.PoolScalingQPS)
+	}
+	if cur.E15 != nil && base.E15 != nil {
+		if cur.E15.ResumeCompletionPct < 100 {
+			regressions = append(regressions,
+				fmt.Sprintf("E15 resume-on completion dropped to %.0f%% (must be 100%%)", cur.E15.ResumeCompletionPct))
+		}
+		if cur.E15.NoResumeCompletionPct >= cur.E15.ResumeCompletionPct {
+			regressions = append(regressions,
+				fmt.Sprintf("E15 control arm completed %.0f%% >= resume arm %.0f%% — the kill storm is not biting",
+					cur.E15.NoResumeCompletionPct, cur.E15.ResumeCompletionPct))
+		}
+	}
+	return regressions
 }
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	jsonOut := flag.String("json", "", "run E14 and write its machine-readable metrics (QPS, p50/p99, first-tuple latency, allocs) to this file")
+	jsonOut := flag.String("json", "", "run E14+E15 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates) to this file")
+	baseline := flag.String("baseline", "", "with -json: diff the fresh run against this committed baseline and exit nonzero on a regression")
 	flag.Parse()
 
 	if *list {
@@ -78,15 +121,22 @@ func main() {
 	}
 	ran := 0
 
-	// -json runs E14 exactly once, printing its table and persisting the raw
-	// measurement; the registry loop below then skips it.
+	// -json runs E14 and E15 exactly once, printing their tables and
+	// persisting the raw measurements; the registry loop below skips them.
 	if *jsonOut != "" {
-		data, err := experiments.RunE14Bench()
+		e14, err := experiments.RunE14Bench()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "braid-bench: E14: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println(experiments.E14Render(data).String())
+		fmt.Println(experiments.E14Render(e14).String())
+		e15, err := experiments.RunE15Bench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: E15: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.E15Render(e15).String())
+		data := benchData{E14: e14, E15: e15}
 		buf, err := json.MarshalIndent(data, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "braid-bench: -json: %v\n", err)
@@ -99,13 +149,33 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "braid-bench: wrote %s\n", *jsonOut)
 		ran++
+
+		if *baseline != "" {
+			raw, err := os.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "braid-bench: -baseline: %v\n", err)
+				os.Exit(1)
+			}
+			var base benchData
+			if err := json.Unmarshal(raw, &base); err != nil {
+				fmt.Fprintf(os.Stderr, "braid-bench: -baseline: %v\n", err)
+				os.Exit(1)
+			}
+			if regs := diffBaseline(data, base); len(regs) > 0 {
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "braid-bench: REGRESSION: %s\n", r)
+				}
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "braid-bench: no regression vs %s\n", *baseline)
+		}
 	}
 
 	for _, e := range registry {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		if e.id == "E14" && *jsonOut != "" {
+		if (e.id == "E14" || e.id == "E15") && *jsonOut != "" {
 			continue // already ran above
 		}
 		fmt.Println(e.run().String())

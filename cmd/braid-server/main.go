@@ -40,6 +40,8 @@ func main() {
 	flakyDelayRate := flag.Float64("flaky-delay-rate", 0, "fault injection: per-request probability of a delay")
 	flakyDelay := flag.Duration("flaky-delay", 100*time.Millisecond, "fault injection: delay duration")
 	flakySeed := flag.Int64("flaky-seed", 1, "fault injection: deterministic seed")
+	flakyStreamKill := flag.Float64("flaky-stream-kill", 0, "fault injection: per-stream probability of severing the connection mid-stream (v2 streamed results)")
+	flakyStreamAfter := flag.Int("flaky-stream-after", 2, "fault injection: response frames delivered before a stream kill severs the connection")
 	proto := flag.Int("proto", 0, "max wire protocol version to negotiate: 1 legacy monolithic, 2 framed streaming (0: highest supported)")
 	frameTuples := flag.Int("frame-tuples", 0, "default tuples per response frame on streamed (v2) connections (0: built-in default)")
 	connStreams := flag.Int("conn-streams", 0, "concurrently executing requests per framed connection (0: 1, session-serial)")
@@ -94,15 +96,17 @@ func main() {
 		fmt.Printf("braid-server: admission control (max-inflight %d, query-timeout %v)\n",
 			*maxInflight, *queryTimeout)
 	}
-	if *flakyDrop > 0 || *flakyDelayRate > 0 {
+	if *flakyDrop > 0 || *flakyDelayRate > 0 || *flakyStreamKill > 0 {
 		opts.Faults = &remotedb.ListenerFaults{
-			Seed:      *flakySeed,
-			DropRate:  *flakyDrop,
-			DelayRate: *flakyDelayRate,
-			Delay:     *flakyDelay,
+			Seed:            *flakySeed,
+			DropRate:        *flakyDrop,
+			DelayRate:       *flakyDelayRate,
+			Delay:           *flakyDelay,
+			StreamKillRate:  *flakyStreamKill,
+			StreamKillAfter: *flakyStreamAfter,
 		}
-		fmt.Printf("braid-server: FLAKY mode (drop %.2f, delay %.2f x %v, seed %d)\n",
-			*flakyDrop, *flakyDelayRate, *flakyDelay, *flakySeed)
+		fmt.Printf("braid-server: FLAKY mode (drop %.2f, delay %.2f x %v, stream-kill %.2f after %d frames, seed %d)\n",
+			*flakyDrop, *flakyDelayRate, *flakyDelay, *flakyStreamKill, *flakyStreamAfter, *flakySeed)
 	}
 	srv := remotedb.NewServerWithOptions(engine, opts)
 	bound, err := srv.Listen(*addr)
@@ -127,5 +131,8 @@ func main() {
 	}
 	if st := srv.ServerStats(); st.FramesSent > 0 {
 		fmt.Printf("streaming: %d frames sent, %d streams canceled\n", st.FramesSent, st.StreamsCanceled)
+	}
+	if st := srv.ServerStats(); st.StreamKills > 0 || st.StreamResumes > 0 {
+		fmt.Printf("recovery: %d streams killed by fault injection, %d resumed from tokens\n", st.StreamKills, st.StreamResumes)
 	}
 }

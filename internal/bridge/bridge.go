@@ -112,6 +112,7 @@ type SourceStats struct {
 	RemoteFailures int64 // remote requests that failed after all retries (or failed fast)
 	Retries        int64 // remote request retry attempts
 	BreakerOpens   int64 // circuit-breaker open transitions
+	StreamResumes  int64 // mid-stream failures repaired by resume re-dispatch
 
 	// Streamed-transport counters (populated when the remote client speaks
 	// the framed v2 wire protocol; zero on the monolithic transport).

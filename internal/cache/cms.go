@@ -152,6 +152,7 @@ func (c *CMS) Stats() bridge.SourceStats {
 		st.Retries = rs.Retries
 		st.RemoteFailures = rs.Failures
 		st.BreakerOpens = rs.BreakerOpens
+		st.StreamResumes = rs.StreamResumes
 	}
 	return st
 }

@@ -1,0 +1,364 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/cache"
+	"repro/internal/caql"
+	"repro/internal/remotedb"
+	"repro/internal/workload"
+)
+
+// StormConfig parameterizes a mid-stream connection-kill storm: a real TCP
+// server whose listener severs streamed-result connections after a few frames,
+// hammered by concurrent consumers whose only defence is the resumable-stream
+// machinery. It is the stream-level counterpart of Config, which injects
+// request-level faults into an in-process client.
+type StormConfig struct {
+	// Workers is the number of concurrent raw-stream consumers.
+	Workers int
+	// StreamsPerWorker is how many streamed statements each worker drains.
+	StreamsPerWorker int
+	// Seed seeds every deterministic stream (statement choice, listener
+	// faults, retry jitter).
+	Seed int64
+	// KillRate is the per-stream probability of the listener severing the
+	// connection mid-stream.
+	KillRate float64
+	// KillAfter is the number of response frames delivered before the kill
+	// (>= 2 guarantees at least one payload frame per life, so delivery
+	// always makes progress and the storm terminates even at KillRate 1).
+	KillAfter int
+	// FrameTuples is the response frame size; small values maximize the
+	// number of kill points per stream.
+	FrameTuples int
+	// Rows sizes the scanned table: more rows, more frames, more kills.
+	Rows int
+	// DisableResume turns the repair machinery off — the control arm: under
+	// a storm the raw failure rate must then become visible to consumers.
+	DisableResume bool
+	// Sessions and QueriesPerSession size the CMS leg, which replays CAQL
+	// queries through a pooled remote client against the same hostile
+	// listener and asserts the dispatch-conservation invariant.
+	Sessions          int
+	QueriesPerSession int
+	// PoolSize (0: 2) and MaxRetries (0: 50) scale the client stack with the
+	// storm: every kill fails every stream multiplexed on the connection, so
+	// more workers per connection means longer runs of zero-progress lives —
+	// a bigger storm needs more connections and a higher no-progress bound.
+	PoolSize   int
+	MaxRetries int
+}
+
+// DefaultStormConfig is a storm in which roughly every stream dies at least
+// once, sized to finish in well under a second for the per-PR smoke test.
+func DefaultStormConfig() StormConfig {
+	return StormConfig{
+		Workers:           6,
+		StreamsPerWorker:  8,
+		Seed:              1,
+		KillRate:          0.9,
+		KillAfter:         2,
+		FrameTuples:       4,
+		Rows:              160,
+		Sessions:          4,
+		QueriesPerSession: 24,
+	}
+}
+
+// StormResult summarizes one storm run.
+type StormResult struct {
+	Elapsed time.Duration
+	// Streams / Completed / Failed account every raw-leg stream: attempted =
+	// completed (drained to a nil terminal error) + failed.
+	Streams   int64
+	Completed int64
+	Failed    int64
+	// Mismatched counts completed streams whose delivery was not
+	// byte-identical to the uninterrupted in-memory delivery — any nonzero
+	// value is an exactly-once violation regardless of configuration.
+	Mismatched int64
+	// Resumes is the number of mid-stream repairs the client performed.
+	Resumes int64
+	// ServerKills / ServerResumes are the listener's own counters.
+	ServerKills   int64
+	ServerResumes int64
+	// CMSStats is the CMS leg's dispatch accounting.
+	CMSStats bridge.SourceStats
+	// Errors samples raw-leg stream failures (capped) for diagnosis.
+	Errors []string
+}
+
+// stormStatements returns the raw-leg statement set with its expected
+// deliveries, computed from a private fault-free engine scan. Every statement
+// is single-table and therefore streamable (carries a resume token).
+func stormStatements(e *remotedb.Engine) (stmts []string, want map[string]string, err error) {
+	stmts = []string{
+		"SELECT v FROM big",
+		"SELECT v FROM big WHERE k < 120",
+		"SELECT k, v FROM big WHERE k >= 40",
+		"SELECT * FROM big WHERE k < 150",
+	}
+	want = make(map[string]string, len(stmts))
+	for _, s := range stmts {
+		sc, ok := e.ExecuteSQLStream(s)
+		if !ok {
+			return nil, nil, fmt.Errorf("storm statement %q is not streamable", s)
+		}
+		var sb strings.Builder
+		for tup, ok := sc.Next(); ok; tup, ok = sc.Next() {
+			for i, v := range tup {
+				if i > 0 {
+					sb.WriteByte('|')
+				}
+				sb.WriteString(v.String())
+			}
+			sb.WriteByte('\n')
+		}
+		want[s] = sb.String()
+	}
+	return stmts, want, nil
+}
+
+// stormEngine builds the raw-leg table: big(k INT, v TEXT), rows in insertion
+// order so the uninterrupted delivery is deterministic.
+func stormEngine(rows int) (*remotedb.Engine, error) {
+	e := remotedb.NewEngine()
+	if _, _, err := e.ExecuteSQL("CREATE TABLE big (k INT, v TEXT)"); err != nil {
+		return nil, err
+	}
+	const batch = 200
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO big VALUES ")
+		for i := lo; i < hi; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d,'v%d')", i, i)
+		}
+		if _, _, err := e.ExecuteSQL(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// RunStorm executes one connection-kill storm and checks its invariants:
+//
+//   - exactly-once: every COMPLETED stream's delivery is byte-identical to
+//     the uninterrupted delivery — no duplicates, no gaps, order preserved —
+//     however many times its connections died (holds with resume on OR off);
+//   - availability: with resume on and KillAfter >= 2, every stream
+//     completes (the repair machinery hides every kill);
+//   - conservation: the CMS leg's dispatch accounting balances and the CMS
+//     still answers a fresh session afterwards.
+//
+// Goroutine accounting is left to the caller (before/after snapshots).
+func RunStorm(cfg StormConfig) (StormResult, error) {
+	var res StormResult
+	e, err := stormEngine(cfg.Rows)
+	if err != nil {
+		return res, err
+	}
+	stmts, want, err := stormStatements(e)
+	if err != nil {
+		return res, err
+	}
+
+	srv := remotedb.NewServerWithOptions(e, remotedb.ServerOptions{
+		FrameTuples: cfg.FrameTuples,
+		Faults: &remotedb.ListenerFaults{
+			Seed:            cfg.Seed,
+			StreamKillRate:  cfg.KillRate,
+			StreamKillAfter: cfg.KillAfter,
+		},
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+
+	// ---- Leg 1: raw streams, byte-identical delivery under kills ----
+	started := time.Now()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	rc, err := stormClient(addr, cfg, 0)
+	if err != nil {
+		return res, err
+	}
+	for wkr := 0; wkr < cfg.Workers; wkr++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(wid)*104729))
+			for n := 0; n < cfg.StreamsPerWorker; n++ {
+				stmt := stmts[rng.Intn(len(stmts))]
+				var sb strings.Builder
+				st, err := rc.ExecStream(context.Background(), stmt)
+				if err == nil {
+					for tup, ok := st.Next(); ok; tup, ok = st.Next() {
+						for i, v := range tup {
+							if i > 0 {
+								sb.WriteByte('|')
+							}
+							sb.WriteString(v.String())
+						}
+						sb.WriteByte('\n')
+					}
+					err = st.Err()
+				}
+				mu.Lock()
+				res.Streams++
+				switch {
+				case err != nil:
+					res.Failed++
+					if len(res.Errors) < 8 {
+						res.Errors = append(res.Errors, err.Error())
+					}
+				case sb.String() != want[stmt]:
+					res.Completed++
+					res.Mismatched++
+				default:
+					res.Completed++
+				}
+				mu.Unlock()
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	res.Resumes = rc.ResilienceStats().StreamResumes
+	rc.Close()
+
+	// ---- Leg 2: the CMS over the same hostile wire must keep its books ----
+	if cfg.Sessions > 0 {
+		w := workload.Chain(53, 400, 24)
+		wsrv := remotedb.NewServerWithOptions(w.Engine(), remotedb.ServerOptions{
+			FrameTuples: cfg.FrameTuples,
+			Faults: &remotedb.ListenerFaults{
+				Seed:            cfg.Seed + 1,
+				StreamKillRate:  cfg.KillRate,
+				StreamKillAfter: cfg.KillAfter,
+			},
+		})
+		waddr, err := wsrv.Listen("127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		defer wsrv.Close()
+		wrc, err := stormClient(waddr, cfg, 7)
+		if err != nil {
+			return res, err
+		}
+		// Zero Features: no caching at all, so EVERY query crosses the hostile
+		// wire — maximum stream-kill exposure for the dispatch accounting.
+		cms := cache.New(wrc, cache.Options{Costs: remotedb.DefaultCosts()})
+		queries := []*caql.Query{
+			caql.MustParse(`d1(Y) :- b1("c1", Y)`),
+			caql.MustParse(`q2(X, Y) :- b2(X, Y) & Y != 3`),
+			caql.MustParse(`q3(X, Z) :- b3(X, "c2", Z)`),
+		}
+		var cwg sync.WaitGroup
+		for sid := 0; sid < cfg.Sessions; sid++ {
+			cwg.Add(1)
+			go func(sid int) {
+				defer cwg.Done()
+				s := cms.BeginSession(nil)
+				defer s.End()
+				for n := 0; n < cfg.QueriesPerSession; n++ {
+					stream, err := s.QueryCtx(context.Background(), queries[n%len(queries)])
+					if err != nil {
+						continue // accounted as Failed; conservation checks the books
+					}
+					stream.Drain("out")
+				}
+			}(sid)
+		}
+		cwg.Wait()
+		res.CMSStats = cms.Stats()
+		wrc.Close()
+
+		if !res.CMSStats.DispatchConserved() {
+			return res, fmt.Errorf("storm: CMS dispatch accounting violated: Queries=%d != Completed=%d + Canceled=%d + DeadlineExceeded=%d + Shed=%d + Failed=%d",
+				res.CMSStats.Queries, res.CMSStats.Completed, res.CMSStats.Canceled,
+				res.CMSStats.DeadlineExceeded, res.CMSStats.Shed, res.CMSStats.Failed)
+		}
+	}
+	res.Elapsed = time.Since(started)
+	ss := srv.ServerStats()
+	res.ServerKills = ss.StreamKills
+	res.ServerResumes = ss.StreamResumes
+
+	// Exactly-once holds unconditionally: resume machinery may fail a stream,
+	// never corrupt one.
+	if res.Mismatched > 0 {
+		return res, fmt.Errorf("storm: %d completed streams were not byte-identical to the uninterrupted delivery", res.Mismatched)
+	}
+	if !cfg.DisableResume {
+		if res.Failed > 0 {
+			return res, fmt.Errorf("storm: %d/%d streams failed despite resume being enabled, e.g. %s",
+				res.Failed, res.Streams, strings.Join(res.Errors, "; "))
+		}
+		if cfg.KillRate > 0 && res.Resumes == 0 {
+			return res, fmt.Errorf("storm: kill rate %.2f produced zero resumes — the storm did not bite", cfg.KillRate)
+		}
+	}
+	return res, nil
+}
+
+// stormClient is the storm's standard client stack: a health-managed pool of
+// two connections under the full resilience policy. MaxRetries bounds
+// consecutive ZERO-progress lives, not total kills: a severed connection can
+// discard frames the client had not drained yet, so individual lives may
+// strand nothing — the bound only needs to exceed any plausible run of them.
+func stormClient(addr string, cfg StormConfig, seedOff int64) (*remotedb.ResilientClient, error) {
+	poolSize := cfg.PoolSize
+	if poolSize == 0 {
+		poolSize = 2
+	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 50
+	}
+	p, err := remotedb.DialPool(addr, remotedb.PoolOptions{
+		Size:           poolSize,
+		FrameTuples:    cfg.FrameTuples,
+		Redial:         true,
+		Costs:          remotedb.DefaultCosts(),
+		HealthInterval: 10 * time.Millisecond,
+		HealthSeed:     cfg.Seed + seedOff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// BreakerFailures -1: the breaker exists for a REMOTE that is down, and
+	// under a deliberate kill-everything storm it would (correctly, for its
+	// own policy) open and fast-fail the very resumes under test. The storm
+	// measures the repair machinery, so the breaker sits this one out; the
+	// request-level chaos harness (chaos.go) keeps it engaged.
+	// Real (but tiny) backoff: a no-op Sleep fires every retry inside the
+	// same kill window — fifty instant attempts against a connection that is
+	// mid-teardown prove nothing. Microsecond-scale spacing lets redials
+	// land between kills while keeping the whole storm sub-second.
+	return remotedb.NewResilientClient(p, remotedb.Resilience{
+		JitterSeed:          cfg.Seed + seedOff,
+		MaxRetries:          maxRetries,
+		BreakerFailures:     -1,
+		BaseBackoff:         200 * time.Microsecond,
+		MaxBackoff:          2 * time.Millisecond,
+		DisableStreamResume: cfg.DisableResume,
+	}), nil
+}

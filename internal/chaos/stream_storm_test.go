@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"flag"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// -chaos.long scales the storm up for the scheduled nightly soak (several
+// minutes of kill storms); the default sizing is the per-PR smoke test.
+var chaosLong = flag.Bool("chaos.long", false, "run the extended nightly stream-kill soak")
+
+func stormLeakCheck(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before+3 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before+3 {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak after storm: before=%d now=%d\n%s", before, now, buf[:n])
+	}
+}
+
+// TestStreamKillStorm: concurrent consumers against a listener that severs
+// almost every streamed result mid-flight. With resume on, every stream must
+// complete, every completed delivery must be byte-identical to the
+// uninterrupted one, the CMS dispatch books must balance, and no goroutines
+// may leak.
+func TestStreamKillStorm(t *testing.T) {
+	if *chaosShort {
+		t.Skip("-chaos.short")
+	}
+	before := runtime.NumGoroutine()
+	cfg := DefaultStormConfig()
+	if *chaosLong {
+		cfg.Workers = 12
+		cfg.StreamsPerWorker = 120
+		cfg.Rows = 400
+		cfg.Sessions = 8
+		cfg.QueriesPerSession = 150
+		cfg.KillRate = 1.0
+		// 6× the workers per client means 6× the collateral stream deaths
+		// per connection kill: spread the load over more connections and
+		// give the no-progress bound the same headroom.
+		cfg.PoolSize = 6
+		cfg.MaxRetries = 400
+	}
+	res, err := RunStorm(cfg)
+	if err != nil {
+		t.Fatalf("storm invariants violated: %v\n%+v", err, res)
+	}
+	if res.ServerKills == 0 {
+		t.Fatalf("storm never killed a stream: %+v", res)
+	}
+	if res.Completed != res.Streams {
+		t.Fatalf("resume on, yet only %d/%d streams completed", res.Completed, res.Streams)
+	}
+	t.Logf("storm: %d streams, %d client resumes, %d server kills in %v",
+		res.Streams, res.Resumes, res.ServerKills, res.Elapsed)
+	stormLeakCheck(t, before)
+}
+
+// TestStreamKillStormDeterministic: same config, same seed — same outcome
+// counts. The storm is a reproducer, not a flake generator.
+func TestStreamKillStormDeterministic(t *testing.T) {
+	if *chaosShort {
+		t.Skip("-chaos.short")
+	}
+	cfg := DefaultStormConfig()
+	cfg.Sessions = 0 // raw leg only: the CMS leg's timing is not part of the claim
+	a, err := RunStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Streams != b.Streams || a.Completed != b.Completed || a.Failed != b.Failed || a.Mismatched != b.Mismatched {
+		t.Fatalf("same seed, different outcome books:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestStreamKillStormResumeOffDegrades is the control arm: with the repair
+// machinery disabled the same storm must surface failures to consumers — if
+// it does not, the storm proves nothing about resume.
+func TestStreamKillStormResumeOffDegrades(t *testing.T) {
+	if *chaosShort {
+		t.Skip("-chaos.short")
+	}
+	before := runtime.NumGoroutine()
+	cfg := DefaultStormConfig()
+	cfg.DisableResume = true
+	cfg.KillRate = 1.0
+	cfg.Sessions = 0
+	res, err := RunStorm(cfg)
+	if err != nil {
+		t.Fatalf("exactly-once must hold even with resume off: %v\n%+v", err, res)
+	}
+	if res.Failed == 0 {
+		t.Fatalf("kill-everything storm with resume off completed all %d streams — storm not biting", res.Streams)
+	}
+	if res.Resumes != 0 {
+		t.Fatalf("resume disabled but client reported %d resumes", res.Resumes)
+	}
+	stormLeakCheck(t, before)
+}

@@ -75,6 +75,16 @@ type Stats struct {
 	// exec to its first payload frame, over Streams streams; divide for the
 	// mean first-tuple latency.
 	FirstTupleNS int64
+
+	// HealthProbes is the number of liveness pings issued by the pool's
+	// active health loop (PoolOptions.HealthInterval).
+	HealthProbes int64
+	// ProbeFailures is how many probes found a dead connection, evicting it
+	// before any request had to discover the death.
+	ProbeFailures int64
+	// Reconnects is the number of background re-dial attempts for broken
+	// connections (successful or not; failures re-quarantine).
+	Reconnects int64
 }
 
 // Add accumulates o into s.
@@ -88,4 +98,7 @@ func (s *Stats) Add(o Stats) {
 	s.Streams += o.Streams
 	s.StreamsCanceled += o.StreamsCanceled
 	s.FirstTupleNS += o.FirstTupleNS
+	s.HealthProbes += o.HealthProbes
+	s.ProbeFailures += o.ProbeFailures
+	s.Reconnects += o.Reconnects
 }

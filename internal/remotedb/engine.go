@@ -17,13 +17,19 @@ type Engine struct {
 	mu      sync.RWMutex
 	tables  map[string]*relation.Relation
 	indexes map[string][]*relation.Index
+	// versions tracks each table's extension version for stream resume
+	// tokens: appends leave it unchanged (the relation representation is
+	// append-only, so a captured snapshot prefix stays valid), while
+	// wholesale replacement bumps it, invalidating outstanding tokens.
+	versions map[string]uint64
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
 	return &Engine{
-		tables:  make(map[string]*relation.Relation),
-		indexes: make(map[string][]*relation.Index),
+		tables:   make(map[string]*relation.Relation),
+		indexes:  make(map[string][]*relation.Index),
+		versions: make(map[string]uint64),
 	}
 }
 
@@ -35,6 +41,7 @@ func (e *Engine) CreateTable(name string, schema *relation.Schema) error {
 		return fmt.Errorf("remotedb: table %s already exists", name)
 	}
 	e.tables[name] = relation.New(name, schema)
+	e.versions[name]++
 	return nil
 }
 
@@ -45,6 +52,7 @@ func (e *Engine) LoadTable(r *relation.Relation) {
 	defer e.mu.Unlock()
 	e.tables[r.Name] = r
 	delete(e.indexes, r.Name)
+	e.versions[r.Name]++
 }
 
 // Insert appends rows to a table, validating kinds (ints coerce to float

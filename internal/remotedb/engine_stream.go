@@ -13,6 +13,12 @@ import (
 // frameTuples tuples of work instead of after the whole scan. Everything
 // else (joins, aggregation, DISTINCT, ORDER BY) falls back to the
 // materializing Execute path and is framed post hoc.
+//
+// Because a ScanStream's emission order is a deterministic function of its
+// snapshot (rows in base order, filtered by the same conditions), it is the
+// *resumable* execution path: ResumeSQLStream rebuilds the same scan, pins
+// it to the original snapshot length, and fast-forwards past the tuples a
+// broken connection already delivered (resume.go).
 
 // ScanStream is an incrementally produced SELECT result. It is single
 // consumer and must not be shared between goroutines.
@@ -23,6 +29,14 @@ type ScanStream struct {
 	conds  []relation.Cond
 	proj   []int // projection column positions; nil = identity (no copy)
 	limit  int   // max tuples to emit; -1 = unbounded
+
+	// token pins the snapshot for mid-stream resume (resume.go).
+	token ResumeToken
+	// skip is how many matching tuples to fast-forward past before emitting
+	// (a resumed stream's already-delivered prefix). Skipped tuples count
+	// against limit and ops exactly as if they had been emitted, so a
+	// resumed delivery is the tail of the uninterrupted one.
+	skip int64
 
 	pos     int
 	emitted int
@@ -39,6 +53,10 @@ func (s *ScanStream) Name() string { return s.name }
 // cost-model total once the scan is exhausted.
 func (s *ScanStream) Ops() int64 { return s.ops }
 
+// ResumeToken identifies the snapshot this scan reads, for the header frame
+// of a resumable stream.
+func (s *ScanStream) ResumeToken() ResumeToken { return s.token }
+
 // Next produces the next result tuple.
 func (s *ScanStream) Next() (relation.Tuple, bool) {
 	for s.pos < len(s.rows) {
@@ -53,6 +71,12 @@ func (s *ScanStream) Next() (relation.Tuple, bool) {
 		}
 		s.emitted++
 		s.ops++ // emit counts one op, matching the materialized projection cost
+		if s.skip > 0 {
+			// Fast-forward a resumed scan: the tuple was already delivered by
+			// the broken stream, so it is accounted but not re-emitted.
+			s.skip--
+			continue
+		}
 		if s.proj == nil {
 			return t, true
 		}
@@ -72,6 +96,31 @@ func (s *ScanStream) Next() (relation.Tuple, bool) {
 // relation representation is append-only, so the captured prefix stays
 // consistent while concurrent inserts land.
 func (e *Engine) ExecuteSQLStream(src string) (*ScanStream, bool) {
+	return e.buildScanStream(src, nil)
+}
+
+// ResumeSQLStream rebuilds the scan pinned by a resume token and
+// fast-forwards past skip already-delivered tuples. It returns
+// resumed=false — and the caller falls back to a fresh ExecuteSQLStream —
+// when the token does not belong to src, the table is gone or was replaced
+// (version mismatch), or the pinned snapshot exceeds the current extension
+// (impossible under append-only; defends against forged tokens).
+func (e *Engine) ResumeSQLStream(src string, tok ResumeToken, skip int64) (*ScanStream, bool) {
+	if skip < 0 || tok.StmtHash != StatementHash(src) {
+		return nil, false
+	}
+	sc, ok := e.buildScanStream(src, &tok)
+	if !ok {
+		return nil, false
+	}
+	sc.skip = skip
+	return sc, true
+}
+
+// buildScanStream compiles src into a pull-based scan. With a non-nil pin,
+// the scan is bound to the pinned snapshot (same table, same version, first
+// SnapLen rows) and ok=false reports the snapshot is gone.
+func (e *Engine) buildScanStream(src string, pin *ResumeToken) (*ScanStream, bool) {
 	st, err := ParseSQL(src)
 	if err != nil || st.Select == nil {
 		return nil, false
@@ -89,9 +138,19 @@ func (e *Engine) ExecuteSQLStream(src string) (*ScanStream, bool) {
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	base, ok := e.tables[sel.From[0].Table]
+	table := sel.From[0].Table
+	base, ok := e.tables[table]
 	if !ok {
 		return nil, false
+	}
+	rows := base.Tuples()
+	version := e.versions[table]
+	if pin != nil {
+		if pin.Table != table || pin.Version != version ||
+			pin.SnapLen < 0 || pin.SnapLen > int64(len(rows)) {
+			return nil, false
+		}
+		rows = rows[:pin.SnapLen]
 	}
 	sch := base.Schema()
 	alias := sel.From[0].Alias
@@ -142,9 +201,15 @@ func (e *Engine) ExecuteSQLStream(src string) (*ScanStream, bool) {
 	return &ScanStream{
 		name:   "result",
 		schema: relation.NewSchema(attrs...),
-		rows:   base.Tuples(),
+		rows:   rows,
 		conds:  conds,
 		proj:   proj,
 		limit:  sel.Limit,
+		token: ResumeToken{
+			StmtHash: StatementHash(src),
+			Table:    table,
+			Version:  version,
+			SnapLen:  int64(len(rows)),
+		},
 	}, true
 }

@@ -55,6 +55,26 @@ type FaultConfig struct {
 	// Sleep is the delay implementation (tests and fast experiments stub it
 	// out). Nil means time.Sleep.
 	Sleep func(time.Duration)
+
+	// The Stream* rates are a second, per-STREAM fault dimension, rolled once
+	// per successfully established stream (the establishment rates above
+	// already cover pre-header failure). They model the transfer dying after
+	// tuples were delivered — the case resumable streams exist for.
+
+	// StreamKillRate kills the stream after StreamKillAfter tuples: the
+	// underlying pooled connection is torn down (so redial/health machinery
+	// is exercised) and the stream fails with a transport error.
+	StreamKillRate float64
+	// StreamStallRate stalls delivery once, for HangFor, after
+	// StreamKillAfter tuples, then continues normally — the shape a per-frame
+	// wait deadline must catch.
+	StreamStallRate float64
+	// StreamCorruptRate fails the stream with a protocol error after
+	// StreamKillAfter tuples, as a corrupted frame would.
+	StreamCorruptRate float64
+	// StreamKillAfter is the number of tuples delivered before a stream fault
+	// fires (0: before the first tuple).
+	StreamKillAfter int
 }
 
 // FaultCounts tallies injected faults by kind.
@@ -65,6 +85,10 @@ type FaultCounts struct {
 	Latencies int64 // injected latency spikes
 	Panics    int64 // injected panics
 	Refusals  int64 // requests refused while SetDown(true)
+
+	StreamKills    int64 // established streams killed mid-transfer
+	StreamStalls   int64 // established streams stalled mid-transfer
+	StreamCorrupts int64 // established streams failed with a protocol error
 }
 
 // NewFaultClient wraps inner with the configured fault stream.
@@ -141,8 +165,9 @@ func (f *FaultClient) maybeFault(op string) error {
 }
 
 var (
-	errInjected     = &injectedFault{kind: "error"}
-	errInjectedDrop = &injectedFault{kind: "dropped connection"}
+	errInjected        = &injectedFault{kind: "error"}
+	errInjectedDrop    = &injectedFault{kind: "dropped connection"}
+	errInjectedCorrupt = &injectedFault{kind: "corrupted stream"}
 )
 
 // injectedFault marks an artificial fault (distinguishable in logs).
@@ -184,13 +209,151 @@ func (f *FaultClient) ExecCtx(ctx context.Context, sql string) (*Result, error) 
 }
 
 // ExecStream implements StreamClient: establishment is faulted exactly like a
-// monolithic exec; once established, the stream is the inner client's.
+// monolithic exec; an established stream then rolls once against the
+// per-stream fault dimension (kill/stall/corrupt after N tuples).
 func (f *FaultClient) ExecStream(ctx context.Context, sql string) (TupleStream, error) {
 	if err := f.maybeFault("exec"); err != nil {
 		return nil, err
 	}
-	return ExecStreamContext(ctx, f.inner, sql)
+	st, err := ExecStreamContext(ctx, f.inner, sql)
+	if err != nil {
+		return nil, err
+	}
+	return f.maybeFaultStream(st), nil
 }
+
+// ExecStreamResume implements ResumableClient by passing resume state through
+// to the inner client. The re-issue is faulted like any request — including
+// the stream dimension, so a resumed stream can be killed again, exercising
+// repeated-recovery paths.
+func (f *FaultClient) ExecStreamResume(ctx context.Context, sql, token string, skip int64) (TupleStream, error) {
+	if err := f.maybeFault("exec"); err != nil {
+		return nil, err
+	}
+	st, err := ExecStreamResumeContext(ctx, f.inner, sql, token, skip)
+	if err != nil {
+		return nil, err
+	}
+	return f.maybeFaultStream(st), nil
+}
+
+// Stream fault kinds.
+const (
+	streamFaultKill uint8 = iota + 1
+	streamFaultStall
+	streamFaultCorrupt
+)
+
+// maybeFaultStream rolls the per-stream fault die once for an established
+// stream and, on a hit, wraps it in the armed fault.
+func (f *FaultClient) maybeFaultStream(st TupleStream) TupleStream {
+	cfg := f.cfg
+	if cfg.StreamKillRate+cfg.StreamStallRate+cfg.StreamCorruptRate <= 0 {
+		return st
+	}
+	f.mu.Lock()
+	roll := f.rng.Float64()
+	var kind uint8
+	switch {
+	case roll < cfg.StreamKillRate:
+		kind = streamFaultKill
+		f.counts.StreamKills++
+	case roll < cfg.StreamKillRate+cfg.StreamStallRate:
+		kind = streamFaultStall
+		f.counts.StreamStalls++
+	case roll < cfg.StreamKillRate+cfg.StreamStallRate+cfg.StreamCorruptRate:
+		kind = streamFaultCorrupt
+		f.counts.StreamCorrupts++
+	default:
+		f.mu.Unlock()
+		return st
+	}
+	f.mu.Unlock()
+	return &faultStream{inner: st, f: f, kind: kind, after: cfg.StreamKillAfter}
+}
+
+// faultStream is one established stream with an armed mid-transfer fault: it
+// delivers `after` tuples faithfully, fires once, and then either fails
+// terminally (kill, corrupt) or continues (stall).
+type faultStream struct {
+	inner TupleStream
+	f     *FaultClient
+	kind  uint8
+	after int
+
+	seen  int
+	fired bool
+	err   error
+}
+
+// Next implements relation.Iterator.
+func (fs *faultStream) Next() (relation.Tuple, bool) {
+	if fs.err != nil {
+		return nil, false
+	}
+	if !fs.fired && fs.seen >= fs.after {
+		fs.fired = true
+		switch fs.kind {
+		case streamFaultKill:
+			// A killed stream is a killed CONNECTION: tear one down in the
+			// pooled inner client (exercising quarantine + redial) and fail
+			// this stream with the transport error its consumer would see.
+			fs.inner.Close()
+			switch c := fs.f.inner.(type) {
+			case *TCPClient:
+				c.breakConn()
+			case *PoolClient:
+				c.breakConn()
+			}
+			fs.err = &TransportError{Op: "exec", Err: errInjectedDrop}
+			return nil, false
+		case streamFaultCorrupt:
+			fs.inner.Close()
+			fs.err = &ProtocolError{Op: "exec", Err: errInjectedCorrupt}
+			return nil, false
+		case streamFaultStall:
+			fs.f.sleep(fs.f.cfg.HangFor)
+		}
+	}
+	t, ok := fs.inner.Next()
+	if ok {
+		fs.seen++
+	}
+	return t, ok
+}
+
+// Err implements TupleStream: the injected terminal error wins; otherwise the
+// inner stream's verdict stands.
+func (fs *faultStream) Err() error {
+	if fs.err != nil {
+		return fs.err
+	}
+	return fs.inner.Err()
+}
+
+// ResumeState implements ResumeReporter by forwarding, so resume tokens
+// survive the fault wrapper and ResilientStream can repair injected kills.
+func (fs *faultStream) ResumeState() (string, bool) {
+	if rr, ok := fs.inner.(ResumeReporter); ok {
+		return rr.ResumeState()
+	}
+	return "", false
+}
+
+// Schema implements TupleStream.
+func (fs *faultStream) Schema() *relation.Schema { return fs.inner.Schema() }
+
+// Name implements TupleStream.
+func (fs *faultStream) Name() string { return fs.inner.Name() }
+
+// Ops implements TupleStream.
+func (fs *faultStream) Ops() int64 { return fs.inner.Ops() }
+
+// SimMS implements TupleStream.
+func (fs *faultStream) SimMS() float64 { return fs.inner.SimMS() }
+
+// Close implements TupleStream.
+func (fs *faultStream) Close() error { return fs.inner.Close() }
 
 // RelationSchema implements Client.
 func (f *FaultClient) RelationSchema(name string, arity int) (*relation.Schema, error) {

@@ -48,6 +48,14 @@ type wireFrame struct {
 	Attrs  []wireAttr    // frameHeader; frameEnd for the "schema" op
 	Tuples [][]wireValue // frameBatch
 
+	// Resume, on a header frame, is the encoded resume token (resume.go) when
+	// this stream is resumable — empty for the materializing execution path.
+	// Resumed reports that the server honored the token of a re-issued request
+	// by skipping already-delivered tuples itself; false on a resume request
+	// means full restart, and the client must skip its delivered prefix.
+	Resume  string // frameHeader
+	Resumed bool   // frameHeader
+
 	Ops    int64      // frameEnd: server-side tuple operations
 	Err    string     // frameEnd: semantic or classified error
 	Code   int        // frameEnd: wireCode* classification of Err

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,11 @@ type PoolClient struct {
 	conns  []*muxConn
 	closed bool
 
+	// done stops the background health loop; wg waits for it on Close so the
+	// pool provably leaks no goroutines (asserted in pool_test.go).
+	done     chan struct{}
+	healthWg sync.WaitGroup
+
 	statsMu sync.Mutex
 	stats   Stats
 }
@@ -72,6 +78,17 @@ type PoolOptions struct {
 	// RequestTimeout bounds one v1 round trip, the v2 handshake, and each
 	// wait for the next frame of a v2 stream (0: no bound).
 	RequestTimeout time.Duration
+	// HealthInterval enables active health management (0: disabled, death is
+	// discovered lazily per request). Every interval a background loop probes
+	// each live connection with a lightweight ping — any answer, even a
+	// semantic error from an old server, proves liveness — evicts connections
+	// whose probe fails at the transport level, and (when Redial is set)
+	// re-dials broken connections in the background. Re-dial attempts honor
+	// the same jittered per-connection backoff that quarantines flapping
+	// connections from pick, so a dead server is probed, not hammered.
+	HealthInterval time.Duration
+	// HealthSeed seeds the quarantine backoff jitter stream.
+	HealthSeed int64
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -92,15 +109,71 @@ func (o PoolOptions) withDefaults() PoolOptions {
 // an unreachable address fails fast); the rest are dialed on demand.
 func DialPool(addr string, opts PoolOptions) (*PoolClient, error) {
 	opts = opts.withDefaults()
-	p := &PoolClient{addr: addr, opts: opts}
+	p := &PoolClient{addr: addr, opts: opts, done: make(chan struct{})}
 	p.conns = make([]*muxConn, opts.Size)
 	for i := range p.conns {
-		p.conns[i] = &muxConn{p: p, broken: true}
+		p.conns[i] = &muxConn{p: p, broken: true, jitter: rand.New(rand.NewSource(opts.HealthSeed + int64(i)))}
 	}
 	if err := p.conns[0].ensure(context.Background()); err != nil {
 		return nil, err
 	}
+	if opts.HealthInterval > 0 {
+		p.healthWg.Add(1)
+		go p.healthLoop()
+	}
 	return p, nil
+}
+
+// healthLoop is the pool's active health manager: it periodically probes live
+// connections and re-dials broken ones, so `pick` finds connections already
+// known good instead of rediscovering death one failed request at a time.
+func (p *PoolClient) healthLoop() {
+	defer p.healthWg.Done()
+	ticker := time.NewTicker(p.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+			p.healthPass()
+		}
+	}
+}
+
+// healthPass runs one round of probes and background reconnections.
+func (p *PoolClient) healthPass() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	conns := append([]*muxConn(nil), p.conns...)
+	p.mu.Unlock()
+	now := time.Now()
+	for _, c := range conns {
+		c.mu.Lock()
+		broken := c.broken || c.conn == nil
+		c.mu.Unlock()
+		if broken {
+			// Background reconnection, throttled by the connection's failure
+			// backoff: a request arriving later finds the socket warm instead
+			// of paying the dial.
+			if !p.opts.Redial || c.quarantined(now) {
+				continue
+			}
+			p.addStats(func(s *Stats) { s.Reconnects++ })
+			c.ensure(context.Background()) // a failed dial re-quarantines (dialLocked)
+			continue
+		}
+		p.addStats(func(s *Stats) { s.HealthProbes++ })
+		if err := c.probe(); err != nil {
+			// The connection is dead but nothing was in flight to notice:
+			// evict it now so pick never dispatches onto it.
+			p.addStats(func(s *Stats) { s.ProbeFailures++ })
+			c.teardown(&TransportError{Op: "ping", Err: err})
+		}
+	}
 }
 
 // Proto returns the protocol version negotiated on the first live
@@ -121,22 +194,36 @@ func (p *PoolClient) Proto() int {
 
 // pick returns the live (or redialable) connection with the fewest in-flight
 // requests — the pool's fair dispatch: sessions hashing onto a hot connection
-// migrate to idle ones instead of convoying.
+// migrate to idle ones instead of convoying. Connections in failure
+// quarantine (recent consecutive transport failures, muxConn.noteFailure) are
+// passed over so a flapping connection doesn't eat a request per flap; when
+// every connection is quarantined the least-loaded one is used anyway, since
+// failing the request outright would be strictly worse than trying.
 func (p *PoolClient) pick(ctx context.Context) (*muxConn, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, errors.New("remotedb: client closed")
 	}
-	var best *muxConn
-	var bestLoad int64
+	now := time.Now()
+	var best, bestAny *muxConn
+	var bestLoad, bestAnyLoad int64
 	for _, c := range p.conns {
 		l := c.load.Load()
+		if bestAny == nil || l < bestAnyLoad {
+			bestAny, bestAnyLoad = c, l
+		}
+		if c.quarantined(now) {
+			continue
+		}
 		if best == nil || l < bestLoad {
 			best, bestLoad = c, l
 		}
 	}
 	p.mu.Unlock()
+	if best == nil {
+		best = bestAny
+	}
 	if err := best.ensure(ctx); err != nil {
 		return nil, err
 	}
@@ -167,6 +254,8 @@ func (p *PoolClient) Close() error {
 	p.closed = true
 	conns := append([]*muxConn(nil), p.conns...)
 	p.mu.Unlock()
+	close(p.done)
+	p.healthWg.Wait()
 	for _, c := range conns {
 		c.teardown(&TransportError{Op: "close", Err: net.ErrClosed})
 	}
@@ -211,6 +300,15 @@ func (p *PoolClient) ExecCtx(ctx context.Context, sql string) (*Result, error) {
 // governs the whole stream life: cancellation mid-stream sends a cancel frame
 // and surfaces the typed context error from the stream's Err.
 func (p *PoolClient) ExecStream(ctx context.Context, sql string) (TupleStream, error) {
+	return p.ExecStreamResume(ctx, sql, "", 0)
+}
+
+// ExecStreamResume implements ResumableClient: it re-issues sql carrying the
+// resume token of a stream that died after delivering skip tuples. The pool's
+// pick naturally lands the re-issue on a different (healthy) connection,
+// because the one that died is quarantined. An empty token is a plain
+// ExecStream.
+func (p *PoolClient) ExecStreamResume(ctx context.Context, sql, token string, skip int64) (TupleStream, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &TransportError{Op: "exec", Err: err}
 	}
@@ -218,7 +316,7 @@ func (p *PoolClient) ExecStream(ctx context.Context, sql string) (TupleStream, e
 	if err != nil {
 		return nil, &TransportError{Op: "exec", Err: err}
 	}
-	return conn.execStream(ctx, sql)
+	return conn.execStream(ctx, sql, token, skip)
 }
 
 // roundTrip dispatches one non-exec catalog request.
@@ -282,8 +380,83 @@ type muxConn struct {
 	broken  bool
 	streams map[uint64]*muxStream
 
+	// Failure accounting for health management: consecutive transport
+	// failures back the connection off (jittered exponential quarantine, so
+	// pick and the background re-dialer avoid a flapping connection), reset
+	// only by a COMPLETED request or probe — a successful dial is not
+	// evidence of health, or a connection that dials fine and dies mid-request
+	// would never stop flapping.
+	healthMu  sync.Mutex
+	failures  int
+	quarUntil time.Time // quarantined until this instant
+	jitter    *rand.Rand
+
 	wmu sync.Mutex // serializes frame writes (v2)
 	rmu sync.Mutex // serializes round trips (v1 fallback)
+}
+
+// Quarantine backoff bounds: the first failure backs a connection off ~10ms,
+// each consecutive failure doubles it, capped at 2s — long enough that a dead
+// server isn't hammered, short enough that recovery is noticed fast.
+const (
+	quarBase = 10 * time.Millisecond
+	quarMax  = 2 * time.Second
+)
+
+// noteFailure records one transport-level failure: the connection enters (or
+// extends) quarantine with jittered exponential backoff.
+func (c *muxConn) noteFailure() {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	d := quarBase << uint(min(c.failures, 20))
+	if d <= 0 || d > quarMax {
+		d = quarMax
+	}
+	c.failures++
+	frac := 1.0
+	if c.jitter != nil {
+		frac = 0.5 + 0.5*c.jitter.Float64() // [0.5, 1.0)
+	}
+	c.quarUntil = time.Now().Add(time.Duration(float64(d) * frac))
+}
+
+// noteSuccess records a completed request or probe, clearing quarantine.
+func (c *muxConn) noteSuccess() {
+	c.healthMu.Lock()
+	c.failures = 0
+	c.quarUntil = time.Time{}
+	c.healthMu.Unlock()
+}
+
+// quarantined reports whether the connection is inside its failure backoff.
+func (c *muxConn) quarantined(now time.Time) bool {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	return now.Before(c.quarUntil)
+}
+
+// probe checks liveness with a "ping" round trip. ANY answer — including a
+// semantic error from a server predating the ping op — proves the connection
+// alive; only a transport/protocol failure condemns it. The probe is bounded
+// by RequestTimeout when set, else by the health interval, so a wedged
+// connection cannot stall the health loop forever.
+func (c *muxConn) probe() error {
+	timeout := c.p.opts.RequestTimeout
+	if timeout <= 0 {
+		timeout = c.p.opts.HealthInterval
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	_, err := c.request(ctx, &wireRequest{Op: "ping"})
+	if err == nil || !IsTransient(err) {
+		c.noteSuccess()
+		return nil
+	}
+	return err
 }
 
 // ensure makes the connection usable, dialing or redialing as allowed.
@@ -311,6 +484,7 @@ func (c *muxConn) dialLocked(ctx context.Context) error {
 	if err != nil {
 		c.conn, c.enc, c.dec = nil, nil, nil
 		c.broken = true
+		c.noteFailure()
 		return err
 	}
 	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
@@ -330,6 +504,7 @@ func (c *muxConn) dialLocked(ctx context.Context) error {
 			conn.Close()
 			c.conn, c.enc, c.dec = nil, nil, nil
 			c.broken = true
+			c.noteFailure()
 			return &ProtocolError{Op: "hello", Err: err}
 		}
 		conn.SetDeadline(time.Time{})
@@ -348,7 +523,10 @@ func (c *muxConn) dialLocked(ctx context.Context) error {
 }
 
 // teardown breaks the connection and fails every in-flight stream with err.
+// A torn-down connection enters failure quarantine so pick steers around it
+// until it proves itself with a completed request.
 func (c *muxConn) teardown(err error) {
+	c.noteFailure()
 	c.mu.Lock()
 	if c.conn != nil {
 		c.conn.Close()
@@ -414,8 +592,10 @@ func (c *muxConn) writeFrame(f *wireFrame) error {
 }
 
 // execStream starts one streamed exec request (v2), or falls back to a
-// monolithic round trip replayed through the stream surface (v1 peer).
-func (c *muxConn) execStream(ctx context.Context, sql string) (TupleStream, error) {
+// monolithic round trip replayed through the stream surface (v1 peer — which
+// ignores resume state, so a resuming caller sees no ResumeReporter and
+// skips client-side).
+func (c *muxConn) execStream(ctx context.Context, sql, resume string, skip int64) (TupleStream, error) {
 	c.mu.Lock()
 	proto := c.proto
 	c.mu.Unlock()
@@ -445,7 +625,7 @@ func (c *muxConn) execStream(ctx context.Context, sql string) (TupleStream, erro
 	c.mu.Unlock()
 	c.load.Add(1)
 
-	if err := c.writeFrame(&wireFrame{ID: id, Kind: frameReq, Req: &wireRequest{Op: "exec", SQL: sql}}); err != nil {
+	if err := c.writeFrame(&wireFrame{ID: id, Kind: frameReq, Req: &wireRequest{Op: "exec", SQL: sql, Resume: resume, Skip: skip}}); err != nil {
 		c.unregister(id)
 		c.load.Add(-1)
 		return nil, &TransportError{Op: "exec", Err: err}
@@ -468,6 +648,7 @@ func (c *muxConn) execStream(ctx context.Context, sql string) (TupleStream, erro
 		}
 		st.schema = relation.NewSchema(attrs...)
 		st.name = f.Name
+		st.resume, st.resumed = f.Resume, f.Resumed
 		return st, nil
 	case frameEnd:
 		err := endError(f)
@@ -550,6 +731,7 @@ func (c *muxConn) request(ctx context.Context, req *wireRequest) (*wireResponse,
 		st.abort(err)
 		return nil, err
 	}
+	c.noteSuccess()
 	if err := endError(f); err != nil {
 		return nil, err
 	}
@@ -641,6 +823,7 @@ func (c *muxConn) roundTripV1(ctx context.Context, req *wireRequest) (*wireRespo
 	if !deadline.IsZero() {
 		conn.SetDeadline(time.Time{})
 	}
+	c.noteSuccess()
 	switch resp.Code {
 	case wireCodeOverloaded:
 		return nil, &TransportError{Op: req.Op, Err: ErrOverloaded}
@@ -669,6 +852,11 @@ type muxStream struct {
 
 	schema *relation.Schema
 	name   string
+
+	// resume is the header's resume token ("" for non-resumable results);
+	// resumed reports that the server honored a re-issued token server-side.
+	resume  string
+	resumed bool
 
 	cur []relation.Tuple
 	pos int
@@ -751,14 +939,21 @@ func (st *muxStream) noteFirst() {
 	st.c.p.addStats(func(s *Stats) { s.FirstTupleNS += d })
 }
 
+// ResumeState implements ResumeReporter.
+func (st *muxStream) ResumeState() (token string, resumed bool) {
+	return st.resume, st.resumed
+}
+
 // finish settles a naturally terminated stream (clean end or server-reported
-// terminal error).
+// terminal error). Either way the server answered, which is proof the
+// connection works: clear its failure quarantine.
 func (st *muxStream) finish(err error) {
 	if st.done {
 		return
 	}
 	st.done = true
 	st.termErr = err
+	st.c.noteSuccess()
 	st.settle()
 }
 

@@ -80,6 +80,12 @@ type Resilience struct {
 	Sleep func(time.Duration)
 	// Now is the clock (tests stub it). Nil means time.Now.
 	Now func() time.Time
+	// DisableStreamResume turns off transparent mid-stream recovery: streams
+	// surface mid-stream transport failures to the consumer, as before resume
+	// tokens existed. The zero value (resume ON) is the production posture;
+	// the switch exists for E15's control arm and for consumers that prefer
+	// to restart whole statements themselves.
+	DisableStreamResume bool
 
 	// stubbedSleep records that Sleep was caller-supplied, so ctx-aware
 	// backoff keeps calling the stub instead of a real timer.
@@ -123,6 +129,7 @@ type ResilienceStats struct {
 	BreakerOpens      int64        // closed/half-open -> open transitions
 	DeadlinesExceeded int64        // attempts abandoned at the deadline
 	FastFails         int64        // requests rejected instantly by an open breaker
+	StreamResumes     int64        // mid-stream failures repaired by resume re-dispatch
 	State             BreakerState // breaker state at sampling time
 }
 
@@ -389,18 +396,31 @@ func (r *ResilientClient) ExecCtx(ctx context.Context, sql string) (*Result, err
 }
 
 // ExecStream implements StreamClient. The resilience policy — breaker,
-// deadline, retries — applies to stream *establishment* only: once the header
-// frame arrived and a TupleStream is handed out, tuples already flowed to the
-// caller, so a mid-stream failure cannot be transparently retried and is
-// surfaced through the stream's Err instead. Establishment failures (refused
-// dial, shed, handshake trouble) are exactly the transient class the retry
-// loop and breaker exist for.
+// deadline, retries — applies to stream establishment as before
+// (establishment failures are exactly the transient class the retry loop and
+// breaker exist for), and now extends PAST it: a stream whose header carried
+// a resume token is wrapped in a ResilientStream, which repairs mid-stream
+// transport failures by re-dispatching with the token — through this same
+// client, so the breaker and backoff govern re-dispatches too. Tokenless
+// streams (materialized results, v1 peers) keep the old surface-the-error
+// behavior, as does cfg.DisableStreamResume.
 func (r *ResilientClient) ExecStream(ctx context.Context, sql string) (TupleStream, error) {
 	v, err := r.doCtx(ctx, "exec", func() (any, error) { return ExecStreamContext(ctx, r.inner, sql) })
 	if err != nil {
 		return nil, err
 	}
-	return v.(TupleStream), nil
+	st := v.(TupleStream)
+	if r.cfg.DisableStreamResume {
+		return st, nil
+	}
+	return newResilientStream(r, ctx, sql, st), nil
+}
+
+// noteStreamResume counts one repaired mid-stream failure.
+func (r *ResilientClient) noteStreamResume() {
+	r.mu.Lock()
+	r.stats.StreamResumes++
+	r.mu.Unlock()
 }
 
 // RelationSchema implements Client.

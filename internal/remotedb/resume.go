@@ -1,0 +1,138 @@
+package remotedb
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Mid-stream failure recovery (wire v2): when a connection dies after frame N
+// of a stream, the tuples already delivered are gone from the server's point
+// of view — re-issuing the statement replays the whole result, and a naive
+// client either drops the partial prefix (lost work) or concatenates two
+// overlapping prefixes (duplicates). A resume token makes the re-issue safe:
+//
+//   - the server attaches a token to the header frame of every *resumable*
+//     stream (the pull-based scan path of engine_stream.go, whose emission
+//     order is a deterministic function of an append-only snapshot);
+//   - the token pins the statement (hash), the scanned table, the table's
+//     version (bumped only when the extension is replaced wholesale), and the
+//     snapshot length (appends after the snapshot must not leak into a
+//     resumed delivery);
+//   - a client that lost the connection after delivering K tuples re-issues
+//     the statement with the token and Skip=K; the server rebuilds the same
+//     scan, bounds it to the pinned snapshot, skips the first K emitted
+//     tuples, and the concatenation of the two deliveries is byte-identical
+//     to an uninterrupted run (resume_test.go proves this by property test);
+//   - when the pinned snapshot is gone (table replaced: version mismatch, or
+//     truncated below the pinned length), the server serves a fresh stream
+//     instead and says so (header Resumed=false), leaving the client to skip
+//     already-delivered tuples itself — full restart + client-side skip.
+//
+// The token is opaque to the client: it round-trips the header's string
+// verbatim. The codec below therefore defends the *server* against tokens
+// that were truncated, corrupted, or forged in transit: a version tag, a
+// field checksum, and strict field validation make ParseResumeToken reject
+// malformed input with a typed error instead of resuming the wrong scan
+// (fuzzed in resume_test.go).
+
+// ResumeToken identifies a resumable point of one streamed scan.
+type ResumeToken struct {
+	// StmtHash is the FNV-1a hash of the statement text; a resume request
+	// whose SQL does not hash to it is rejected (the token belongs to a
+	// different statement).
+	StmtHash uint64
+	// Table is the scanned base table.
+	Table string
+	// Version is the table's extension version at snapshot time. Appends do
+	// not change it (the snapshot prefix stays valid under the append-only
+	// representation); wholesale replacement does.
+	Version uint64
+	// SnapLen is the snapshot length in base tuples: the resumed scan must
+	// not read past it, or tuples appended after the original snapshot would
+	// appear in the resumed half but not in an uninterrupted delivery.
+	SnapLen int64
+}
+
+// resumeTokenPrefix tags the codec version; unknown tags are rejected.
+const resumeTokenPrefix = "brt1"
+
+// ErrResumeToken is the sentinel for malformed or mismatched resume tokens.
+// Match with errors.Is. A bad token is NOT a request failure: the server
+// falls back to a fresh stream, exactly as if no token had been sent.
+var ErrResumeToken = errors.New("remotedb: bad resume token")
+
+// StatementHash hashes a statement's text (FNV-1a) for resume-token identity.
+func StatementHash(sql string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sql); i++ {
+		h ^= uint64(sql[i])
+		h *= prime64
+	}
+	return h
+}
+
+// checksum guards the encoded fields against corruption in transit. It is an
+// integrity check, not authentication: FNV-1a over the payload.
+func (t ResumeToken) checksum() uint64 {
+	return StatementHash(fmt.Sprintf("%x|%s|%x|%x", t.StmtHash, t.Table, t.Version, t.SnapLen))
+}
+
+// Encode renders the token as the opaque string carried on header frames.
+// Table names are SQL identifiers (no separator characters), but the codec
+// does not rely on that: Parse splits from the fixed-position ends so a
+// hostile table name cannot shift fields.
+func (t ResumeToken) Encode() string {
+	return fmt.Sprintf("%s:%x:%s:%x:%x:%x",
+		resumeTokenPrefix, t.StmtHash, t.Table, t.Version, t.SnapLen, t.checksum())
+}
+
+// ParseResumeToken decodes and validates an encoded token. Every failure is a
+// typed error matching ErrResumeToken; the function never panics on arbitrary
+// input (fuzzed).
+func ParseResumeToken(s string) (ResumeToken, error) {
+	var t ResumeToken
+	if len(s) > 4096 {
+		return t, fmt.Errorf("%w: oversized (%d bytes)", ErrResumeToken, len(s))
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) < 6 {
+		return t, fmt.Errorf("%w: %d fields, want 6", ErrResumeToken, len(parts))
+	}
+	if parts[0] != resumeTokenPrefix {
+		return t, fmt.Errorf("%w: unknown version tag %q", ErrResumeToken, parts[0])
+	}
+	// The table name is the only free-form field; rejoin any interior colons
+	// so the numeric fields always parse from the fixed positions.
+	n := len(parts)
+	table := strings.Join(parts[2:n-3], ":")
+	stmtHash, err := strconv.ParseUint(parts[1], 16, 64)
+	if err != nil {
+		return t, fmt.Errorf("%w: statement hash: %v", ErrResumeToken, err)
+	}
+	version, err := strconv.ParseUint(parts[n-3], 16, 64)
+	if err != nil {
+		return t, fmt.Errorf("%w: version: %v", ErrResumeToken, err)
+	}
+	snapLen, err := strconv.ParseUint(parts[n-2], 16, 63)
+	if err != nil {
+		return t, fmt.Errorf("%w: snapshot length: %v", ErrResumeToken, err)
+	}
+	sum, err := strconv.ParseUint(parts[n-1], 16, 64)
+	if err != nil {
+		return t, fmt.Errorf("%w: checksum: %v", ErrResumeToken, err)
+	}
+	t = ResumeToken{StmtHash: stmtHash, Table: table, Version: version, SnapLen: int64(snapLen)}
+	if t.checksum() != sum {
+		return ResumeToken{}, fmt.Errorf("%w: checksum mismatch", ErrResumeToken)
+	}
+	if t.Table == "" {
+		return ResumeToken{}, fmt.Errorf("%w: empty table", ErrResumeToken)
+	}
+	return t, nil
+}

@@ -33,6 +33,8 @@ type Server struct {
 
 	framesSent      atomic.Int64
 	streamsCanceled atomic.Int64
+	streamKills     atomic.Int64
+	streamResumes   atomic.Int64
 
 	faultMu  sync.Mutex
 	faultRng *rand.Rand
@@ -85,6 +87,12 @@ type ServerStats struct {
 	// StreamsCanceled counts v2 streams torn down mid-flight by a client
 	// cancel frame or connection-context cancellation.
 	StreamsCanceled int64
+	// StreamKills counts connections killed mid-stream by injected stream
+	// faults (ListenerFaults.StreamKillRate).
+	StreamKills int64
+	// StreamResumes counts re-issued streamed requests the server honored by
+	// skipping already-delivered tuples server-side (header Resumed=true).
+	StreamResumes int64
 }
 
 // ListenerFaults parameterizes server-side fault injection, the counterpart
@@ -102,6 +110,16 @@ type ListenerFaults struct {
 	DelayRate float64
 	// Delay is the stall duration for delay faults.
 	Delay time.Duration
+	// StreamKillRate is the per-stream probability (v2 streamed results only)
+	// of killing the CONNECTION mid-stream, after StreamKillAfter response
+	// frames — the fault resumable streams exist to survive. Unlike DropRate,
+	// which drops before any response, a stream kill leaves the client holding
+	// a delivered prefix.
+	StreamKillRate float64
+	// StreamKillAfter is the number of response frames (header included) to
+	// deliver before a stream-kill fault severs the connection (<=0: 1, so the
+	// client always holds at least the header).
+	StreamKillAfter int
 }
 
 // NewServer wraps the engine in a protocol server with default options.
@@ -128,6 +146,8 @@ func (s *Server) ServerStats() ServerStats {
 		Timeouts:        s.timeouts.Load(),
 		FramesSent:      s.framesSent.Load(),
 		StreamsCanceled: s.streamsCanceled.Load(),
+		StreamKills:     s.streamKills.Load(),
+		StreamResumes:   s.streamResumes.Load(),
 	}
 }
 
@@ -355,6 +375,11 @@ func (s *Server) handle(req *wireRequest) wireResponse {
 		return wireResponse{Stats: st}
 	case "tables":
 		return wireResponse{Tables: s.engine.Tables()}
+	case "ping":
+		// Liveness probe: succeed without touching the engine. Old servers
+		// answer with their unknown-op error, which probes also accept as
+		// proof of life (wire.go).
+		return wireResponse{}
 	default:
 		return wireResponse{Err: fmt.Sprintf("remotedb: unknown op %q", req.Op)}
 	}

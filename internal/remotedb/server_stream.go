@@ -191,12 +191,37 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 		return
 	}
 
+	// A stream-kill fault severs the connection after a budget of response
+	// frames — the mid-transfer death that resume tokens exist to survive.
+	// Rolled once per exec request so kill probability is per-stream, not
+	// per-frame.
+	var killer *streamKiller
+	if req.Op == "exec" {
+		if kill, after := s.rollStreamFault(); kill {
+			killer = &streamKiller{fc: fc, remaining: after}
+		}
+	}
+
 	// Streamable SELECTs bypass materialization entirely: the engine yields
 	// tuples on demand and frames ship as the scan advances, so the client's
 	// first tuple costs one frame of work, not the whole result.
 	if req.Op == "exec" {
+		if req.Resume != "" {
+			// Re-issued request carrying a resume token: serve the remainder
+			// of the pinned snapshot when it still exists. Any failure —
+			// malformed token, statement mismatch, table replaced — falls
+			// through to a fresh stream whose header says Resumed=false, and
+			// the client skips its delivered prefix itself.
+			if tok, err := ParseResumeToken(req.Resume); err == nil {
+				if sc, ok := s.engine.ResumeSQLStream(req.SQL, tok, req.Skip); ok {
+					s.streamResumes.Add(1)
+					fc.streamScan(ctx, id, sc, delay, release, true, killer)
+					return
+				}
+			}
+		}
 		if sc, ok := s.engine.ExecuteSQLStream(req.SQL); ok {
-			fc.streamScan(ctx, id, sc, delay, release)
+			fc.streamScan(ctx, id, sc, delay, release, false, killer)
 			return
 		}
 	}
@@ -221,7 +246,62 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 		})
 		return
 	}
-	fc.streamResult(ctx, id, &resp)
+	fc.streamResult(ctx, id, &resp, killer)
+}
+
+// rollStreamFault decides whether one stream's connection dies mid-transfer
+// and after how many response frames (ListenerFaults.StreamKillRate/After).
+func (s *Server) rollStreamFault() (kill bool, after int) {
+	f := s.opts.Faults
+	if f == nil || f.StreamKillRate <= 0 {
+		return false, 0
+	}
+	s.faultMu.Lock()
+	roll := s.faultRng.Float64()
+	s.faultMu.Unlock()
+	if roll >= f.StreamKillRate {
+		return false, 0
+	}
+	after = f.StreamKillAfter
+	if after <= 0 {
+		after = 1
+	}
+	return true, after
+}
+
+// streamKiller is an armed stream-kill fault: after remaining more response
+// frames have been written for its stream, it severs the whole connection —
+// every multiplexed stream on it dies, exactly like a real connection loss.
+type streamKiller struct {
+	fc        *framedConn
+	remaining int
+}
+
+// afterWrite burns one frame of the kill budget; when it is spent, the
+// connection is severed and true is returned so the caller stops producing.
+// Nil-safe: a nil killer never kills.
+func (k *streamKiller) afterWrite() (killed bool) {
+	if k == nil {
+		return false
+	}
+	k.remaining--
+	if k.remaining > 0 {
+		return false
+	}
+	k.fc.s.streamKills.Add(1)
+	// Sever the write side first (flush + FIN) and leave the fd to the
+	// handler's normal teardown: a bare Close would send an RST whenever
+	// another multiplexed stream's request sat unread in the receive buffer,
+	// and the RST retroactively destroys the frames this fault just promised
+	// the client it delivered. The client still observes exactly a mid-stream
+	// connection death; its next read is EOF and its next write fails.
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := k.fc.conn.(closeWriter); ok {
+		cw.CloseWrite()
+	} else {
+		k.fc.conn.Close()
+	}
+	return true
 }
 
 // runBounded executes one request under the request deadline and the stream
@@ -261,7 +341,7 @@ func (s *Server) runBounded(ctx context.Context, req *wireRequest, delay time.Du
 // deadline bounds production, checked at frame granularity; an injected
 // delay fault models slow server work before the first tuple, interruptible
 // by the deadline and by cancellation as on the materialized path.
-func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc *ScanStream, delay time.Duration, release func()) {
+func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc *ScanStream, delay time.Duration, release func(), resumed bool, killer *streamKiller) {
 	s := fc.s
 	defer release()
 	var timerC <-chan time.Time
@@ -290,7 +370,17 @@ func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc *ScanStream,
 	for _, a := range sc.Schema().Attrs() {
 		attrs = append(attrs, wireAttr{Name: a.Name, Kind: uint8(a.Kind)})
 	}
-	if fc.write(&wireFrame{ID: id, Kind: frameHeader, Name: sc.Name(), Attrs: attrs}) != nil {
+	// The header of a scanned stream carries the resume token pinning this
+	// snapshot; a client that loses the connection mid-transfer re-issues the
+	// statement with it. Resumed acknowledges a honored token (server-side
+	// skip); on a fresh stream it tells a resuming client to skip client-side.
+	if fc.write(&wireFrame{
+		ID: id, Kind: frameHeader, Name: sc.Name(), Attrs: attrs,
+		Resume: sc.ResumeToken().Encode(), Resumed: resumed,
+	}) != nil {
+		return
+	}
+	if killer.afterWrite() {
 		return
 	}
 	// The batch buffer is reused across frames: writeFrame serializes
@@ -321,6 +411,9 @@ func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc *ScanStream,
 			if fc.write(&wireFrame{ID: id, Kind: frameBatch, Tuples: batch}) != nil {
 				return
 			}
+			if killer.afterWrite() {
+				return
+			}
 		}
 	}
 	fc.writeEnd(id, wireCodeNone, "", sc.Ops())
@@ -329,7 +422,7 @@ func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc *ScanStream,
 // streamResult ships an exec result as header + tuple batches + end,
 // checking for cancellation between batches so a canceled stream stops
 // producing after at most one more frame.
-func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireResponse) {
+func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireResponse, killer *streamKiller) {
 	var (
 		name  string
 		attrs []wireAttr
@@ -338,7 +431,14 @@ func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireRes
 	if resp.Rel != nil {
 		name, attrs, rows = resp.Rel.Name, resp.Rel.Attrs, resp.Rel.Tuples
 	}
+	// Materialized results carry no resume token: their tuple order is not
+	// guaranteed deterministic across executions (hash aggregation), so a
+	// skip-based resume could silently corrupt the result. A client resuming
+	// such a stream restarts it and skips client-side.
 	if fc.write(&wireFrame{ID: id, Kind: frameHeader, Name: name, Attrs: attrs}) != nil {
+		return
+	}
+	if killer.afterWrite() {
 		return
 	}
 	for start := 0; start < len(rows); start += fc.frameTuples {
@@ -349,6 +449,9 @@ func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireRes
 		}
 		end := min(start+fc.frameTuples, len(rows))
 		if fc.write(&wireFrame{ID: id, Kind: frameBatch, Tuples: rows[start:end]}) != nil {
+			return
+		}
+		if killer.afterWrite() {
 			return
 		}
 	}

@@ -50,6 +50,35 @@ type StreamClient interface {
 	ExecStream(ctx context.Context, sql string) (TupleStream, error)
 }
 
+// ResumableClient is implemented by stream clients that can re-issue a
+// streamed exec carrying a resume token (PoolClient over wire v2; FaultClient
+// passes through). Skip is the number of result tuples the caller already
+// delivered to its consumer: the server skips them when the pinned snapshot
+// survives, and otherwise serves a fresh stream whose header reports
+// Resumed=false so the caller skips them itself.
+type ResumableClient interface {
+	StreamClient
+	ExecStreamResume(ctx context.Context, sql, token string, skip int64) (TupleStream, error)
+}
+
+// ResumeReporter is implemented by streams whose header carried resume state:
+// the token pinning this stream's snapshot (empty for non-resumable results)
+// and whether the server honored a token by skipping server-side.
+type ResumeReporter interface {
+	ResumeState() (token string, resumed bool)
+}
+
+// ExecStreamResumeContext re-issues sql with a resume token through c when it
+// supports resumption; otherwise it opens a plain stream — which never
+// implements ResumeReporter, so the caller treats it as a full restart and
+// skips its delivered prefix client-side.
+func ExecStreamResumeContext(ctx context.Context, c Client, sql, token string, skip int64) (TupleStream, error) {
+	if rc, ok := c.(ResumableClient); ok && token != "" {
+		return rc.ExecStreamResume(ctx, sql, token, skip)
+	}
+	return ExecStreamContext(ctx, c, sql)
+}
+
 // ExecStreamContext issues sql through c as a stream when the client supports
 // it, and otherwise falls back to a materialized ExecContext whose result is
 // replayed through the same TupleStream surface — so the CMS consumes every

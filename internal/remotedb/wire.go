@@ -116,8 +116,13 @@ func fromWireRelation(w *wireRelation) (*relation.Relation, error) {
 // client treats as a successful negotiation of v1 — so new clients
 // interoperate with old servers, and old clients (which never send hello)
 // keep speaking v1 to new servers.
+// Op "ping" is a liveness probe: the server answers with an empty success
+// response (v1) or an empty frameEnd (v2) without touching the engine. A v1
+// or pre-ping server answers with its "unknown op" semantic error — which is
+// still a response, so probes treat ANY reply as proof of liveness and only
+// transport/protocol failures as death.
 type wireRequest struct {
-	Op   string // "exec", "schema", "stats", "tables", "hello"
+	Op   string // "exec", "schema", "stats", "tables", "hello", "ping"
 	SQL  string
 	Name string
 	// Proto is the client's highest supported protocol version (hello only).
@@ -125,6 +130,15 @@ type wireRequest struct {
 	// FrameTuples is the client's preferred response frame size in tuples
 	// (hello only; 0 lets the server choose). The server clamps it.
 	FrameTuples int
+	// Resume is the encoded resume token of a re-issued streamed request
+	// ("exec" over v2 only): the client saw the original stream die after
+	// delivering Skip tuples and asks the server to serve the remainder of
+	// the same snapshot. A server that cannot honor it (snapshot gone, bad
+	// token) serves a fresh stream and clears the header's Resumed flag.
+	Resume string
+	// Skip is the number of result tuples the client already delivered to its
+	// consumer before the stream died (meaningful with Resume).
+	Skip int64
 }
 
 // Protocol versions.
