@@ -1,5 +1,5 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E15, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E16, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
@@ -7,8 +7,8 @@
 //	braid-bench                  # run every experiment
 //	braid-bench E2 E5            # run selected experiments
 //	braid-bench -list            # list experiments
-//	braid-bench -json BENCH_PR6.json   # run E14+E15, emit machine-readable metrics
-//	braid-bench -json out.json -baseline BENCH_PR6.json  # diff against a committed baseline
+//	braid-bench -json BENCH_PR7.json   # run E14+E15+E16, emit machine-readable metrics
+//	braid-bench -json out.json -baseline BENCH_PR7.json  # diff against a committed baseline
 //	braid-bench -cpuprofile cpu.out -memprofile mem.out E12
 package main
 
@@ -44,13 +44,15 @@ var registry = []struct {
 	{"E13", "admission control under overload", experiments.E13AdmissionControl},
 	{"E14", "stream transport: first-tuple latency and pooled throughput", experiments.E14StreamTransport},
 	{"E15", "mid-stream failure recovery: resumable streams", experiments.E15StreamRecovery},
+	{"E16", "cost-based optimizer: pipelined joins, plan cache", experiments.E16PlannerStreaming},
 }
 
-// benchData is the -json payload: the raw measurements of the two
-// wire-transport experiments (BENCH_PR6.json commits one run as baseline).
+// benchData is the -json payload: the raw measurements of the wire-transport
+// and optimizer experiments (BENCH_PR7.json commits one run as baseline).
 type benchData struct {
 	E14 *experiments.E14Data `json:"e14"`
 	E15 *experiments.E15Data `json:"e15"`
+	E16 *experiments.E16Data `json:"e16,omitempty"`
 }
 
 // diffBaseline compares a fresh run against a committed baseline and returns
@@ -59,7 +61,11 @@ type benchData struct {
 //
 //   - E14 speedup/scaling ratios may not drop below 40% of baseline;
 //   - E15 resume-on completion is an INVARIANT (must stay at 100%), and the
-//     resume-off control must remain strictly worse (else E15 proves nothing).
+//     resume-off control must remain strictly worse (else E15 proves nothing);
+//   - E16 first-tuple and ops ratios may not drop below 40% of baseline, the
+//     pipelined join must stay within 5x of the streaming scan's first tuple
+//     (or within the floored baseline if the baseline already exceeded it),
+//     and the plan-cache hit rate >= 90% is an INVARIANT.
 func diffBaseline(cur, base benchData) []string {
 	var regressions []string
 	ratio := func(name string, cur, base float64) {
@@ -71,6 +77,29 @@ func diffBaseline(cur, base benchData) []string {
 	if cur.E14 != nil && base.E14 != nil {
 		ratio("E14 first-tuple speedup", cur.E14.FirstTupleSpeedup, base.E14.FirstTupleSpeedup)
 		ratio("E14 pool-scaling QPS", cur.E14.PoolScalingQPS, base.E14.PoolScalingQPS)
+	}
+	if cur.E16 != nil && base.E16 != nil {
+		ratio("E16 join first-tuple speedup", cur.E16.JoinFirstTupleSpeedup, base.E16.JoinFirstTupleSpeedup)
+		ratio("E16 LIMIT-join ops cut", cur.E16.LimitJoinOpsCut, base.E16.LimitJoinOpsCut)
+		ratio("E16 LIMIT-join on/off win", cur.E16.LimitJoinOpsWin, base.E16.LimitJoinOpsWin)
+		// JoinVsScanFirstTuple is a "smaller is better" bound: the pipelined
+		// join's first tuple must stay within 5x of the streaming scan (the
+		// acceptance criterion), with the usual noise allowance relative to
+		// the committed baseline.
+		bound := 5.0
+		if base.E16.JoinVsScanFirstTuple/0.4 > bound {
+			bound = base.E16.JoinVsScanFirstTuple / 0.4
+		}
+		if cur.E16.JoinVsScanFirstTuple > bound {
+			regressions = append(regressions,
+				fmt.Sprintf("E16 join first tuple is %.1fx the streaming scan (bound %.1fx, baseline %.1fx)",
+					cur.E16.JoinVsScanFirstTuple, bound, base.E16.JoinVsScanFirstTuple))
+		}
+		if cur.E16.PlanCacheHitRate < 0.9 {
+			regressions = append(regressions,
+				fmt.Sprintf("E16 plan-cache hit rate dropped to %.1f%% (must be >= 90%%)",
+					100*cur.E16.PlanCacheHitRate))
+		}
 	}
 	if cur.E15 != nil && base.E15 != nil {
 		if cur.E15.ResumeCompletionPct < 100 {
@@ -90,7 +119,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	jsonOut := flag.String("json", "", "run E14+E15 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates) to this file")
+	jsonOut := flag.String("json", "", "run E14+E15+E16 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates, plan-cache hit rate) to this file")
 	baseline := flag.String("baseline", "", "with -json: diff the fresh run against this committed baseline and exit nonzero on a regression")
 	flag.Parse()
 
@@ -121,7 +150,7 @@ func main() {
 	}
 	ran := 0
 
-	// -json runs E14 and E15 exactly once, printing their tables and
+	// -json runs E14, E15, and E16 exactly once, printing their tables and
 	// persisting the raw measurements; the registry loop below skips them.
 	if *jsonOut != "" {
 		e14, err := experiments.RunE14Bench()
@@ -136,7 +165,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.E15Render(e15).String())
-		data := benchData{E14: e14, E15: e15}
+		e16, err := experiments.RunE16Bench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: E16: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.E16Render(e16).String())
+		data := benchData{E14: e14, E15: e15, E16: e16}
 		buf, err := json.MarshalIndent(data, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "braid-bench: -json: %v\n", err)
@@ -175,7 +210,7 @@ func main() {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		if (e.id == "E14" || e.id == "E15") && *jsonOut != "" {
+		if (e.id == "E14" || e.id == "E15" || e.id == "E16") && *jsonOut != "" {
 			continue // already ran above
 		}
 		fmt.Println(e.run().String())

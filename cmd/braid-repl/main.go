@@ -15,7 +15,8 @@
 //	.advice k1(X, Y)?       show the advice bundle for a query
 //	.cache                  dump the cache model
 //	.stats                  show data-layer statistics
-//	.sql SELECT * FROM t    run raw SQL on the local database
+//	.sql SELECT * FROM t    run raw SQL (in-process, or against -remote)
+//	.explain SELECT ...     show the optimizer's plan for a SELECT
 //	.quit
 package main
 
@@ -28,7 +29,44 @@ import (
 	"strings"
 
 	braid "repro"
+	"repro/internal/remotedb"
 )
+
+// sqlRunner executes raw SQL for the .sql and .explain meta-commands:
+// against the in-process database, or — in -remote mode — over a lazily
+// dialed side connection to the braid-server (the same engine the inference
+// session queries, so EXPLAIN shows the plans the session's statements get).
+type sqlRunner struct {
+	db     *braid.DB
+	remote string
+	c      *remotedb.TCPClient
+}
+
+func (r *sqlRunner) exec(sql string) (string, error) {
+	if r.db != nil {
+		return r.db.Exec(sql)
+	}
+	if r.c == nil {
+		// Redial: the side connection must survive server restarts the same
+		// way the session's pooled transport does.
+		c, err := remotedb.DialTCPOpts(r.remote, remotedb.TCPOptions{
+			Costs:  remotedb.DefaultCosts(),
+			Redial: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		r.c = c
+	}
+	res, err := r.c.Exec(sql)
+	if err != nil {
+		return "", err
+	}
+	if res == nil || res.Rel == nil {
+		return "", nil
+	}
+	return res.Rel.String(), nil
+}
 
 func main() {
 	kbPath := flag.String("kb", "", "knowledge base file (required)")
@@ -95,6 +133,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	runner := &sqlRunner{db: db, remote: *remote}
 	fmt.Printf("braid-repl: strategy=%s comparator=%s; type queries like p(X)? or .help\n", *strategy, *comparator)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -106,7 +145,7 @@ func main() {
 		case line == ".quit" || line == ".exit":
 			return
 		case line == ".help":
-			fmt.Println("queries: p(X, Y)?   meta: .first <q>, .why <q>, .advice <q>, .cache, .stats, .sql <stmt>, .quit")
+			fmt.Println("queries: p(X, Y)?   meta: .first <q>, .why <q>, .advice <q>, .cache, .stats, .sql <stmt>, .explain <select>, .quit")
 		case line == ".cache":
 			if cm := sys.CacheModel(); cm != "" {
 				fmt.Println(cm)
@@ -116,11 +155,18 @@ func main() {
 		case line == ".stats":
 			fmt.Println(sys.Stats())
 		case strings.HasPrefix(line, ".sql "):
-			if db == nil {
-				fmt.Println("no local database (-remote mode)")
-				break
+			out, err := runner.exec(strings.TrimPrefix(line, ".sql "))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else if out != "" {
+				fmt.Println(out)
 			}
-			out, err := db.Exec(strings.TrimPrefix(line, ".sql "))
+		case strings.HasPrefix(line, ".explain "):
+			q := strings.TrimPrefix(line, ".explain ")
+			if !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(q)), "EXPLAIN") {
+				q = "EXPLAIN " + q
+			}
+			out, err := runner.exec(q)
 			if err != nil {
 				fmt.Println("error:", err)
 			} else if out != "" {

@@ -45,9 +45,14 @@ func main() {
 	proto := flag.Int("proto", 0, "max wire protocol version to negotiate: 1 legacy monolithic, 2 framed streaming (0: highest supported)")
 	frameTuples := flag.Int("frame-tuples", 0, "default tuples per response frame on streamed (v2) connections (0: built-in default)")
 	connStreams := flag.Int("conn-streams", 0, "concurrently executing requests per framed connection (0: 1, session-serial)")
+	noOpt := flag.Bool("no-optimizer", false, "disable the cost-based optimizer: every non-trivial SELECT runs through the naive materializing executor (the experiment control arm)")
 	flag.Parse()
 
 	engine := remotedb.NewEngine()
+	if *noOpt {
+		engine.SetOptimizer(false)
+		fmt.Println("braid-server: cost-based optimizer DISABLED (-no-optimizer)")
+	}
 
 	switch *wl {
 	case "":

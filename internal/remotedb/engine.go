@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 )
@@ -22,6 +23,22 @@ type Engine struct {
 	// append-only, so a captured snapshot prefix stays valid), while
 	// wholesale replacement bumps it, invalidating outstanding tokens.
 	versions map[string]uint64
+	// meta holds per-table column statistics (NDV, min/max), maintained at
+	// CreateTable/LoadTable/Insert for the cost-based optimizer.
+	meta map[string]*tableMeta
+
+	// epoch is the catalog generation: any DDL/DML that could change a
+	// cached plan's validity (new rows shift statistics and invalidate
+	// indexes; new indexes open access paths) bumps it, and plan-cache
+	// lookups require an exact match.
+	epoch atomic.Uint64
+	// noOpt disables the cost-based planner, routing every SELECT through
+	// the naive materializing executor (SetOptimizer; the experiments'
+	// control arm).
+	noOpt      atomic.Bool
+	plans      *planCache
+	planHits   atomic.Int64
+	planMisses atomic.Int64
 }
 
 // NewEngine returns an empty engine.
@@ -30,8 +47,19 @@ func NewEngine() *Engine {
 		tables:   make(map[string]*relation.Relation),
 		indexes:  make(map[string][]*relation.Index),
 		versions: make(map[string]uint64),
+		meta:     make(map[string]*tableMeta),
+		plans:    newPlanCache(planCacheCap),
 	}
 }
+
+// SetOptimizer toggles the cost-based planner. It is on by default; off, the
+// engine executes every SELECT with the naive materializing executor (the
+// unoptimized baseline the golden parity suite and experiment E16 compare
+// against).
+func (e *Engine) SetOptimizer(on bool) { e.noOpt.Store(!on) }
+
+// OptimizerEnabled reports whether the cost-based planner is active.
+func (e *Engine) OptimizerEnabled() bool { return !e.noOpt.Load() }
 
 // CreateTable registers an empty table.
 func (e *Engine) CreateTable(name string, schema *relation.Schema) error {
@@ -42,6 +70,8 @@ func (e *Engine) CreateTable(name string, schema *relation.Schema) error {
 	}
 	e.tables[name] = relation.New(name, schema)
 	e.versions[name]++
+	e.meta[name] = newTableMeta(schema.Arity())
+	e.epoch.Add(1)
 	return nil
 }
 
@@ -53,6 +83,8 @@ func (e *Engine) LoadTable(r *relation.Relation) {
 	e.tables[r.Name] = r
 	delete(e.indexes, r.Name)
 	e.versions[r.Name]++
+	e.meta[r.Name] = buildTableMeta(r)
+	e.epoch.Add(1)
 }
 
 // Insert appends rows to a table, validating kinds (ints coerce to float
@@ -64,7 +96,9 @@ func (e *Engine) Insert(table string, rows []relation.Tuple) error {
 	if !ok {
 		return fmt.Errorf("remotedb: unknown table %s", table)
 	}
+	e.epoch.Add(1)
 	schema := t.Schema()
+	m := e.meta[table]
 	for _, row := range rows {
 		if len(row) != schema.Arity() {
 			return fmt.Errorf("remotedb: insert arity %d into %s%s", len(row), table, schema)
@@ -78,6 +112,9 @@ func (e *Engine) Insert(table string, rows []relation.Tuple) error {
 			coerced[i] = cv
 		}
 		t.MustAppend(coerced)
+		if m != nil {
+			m.addRow(coerced)
+		}
 	}
 	delete(e.indexes, table) // indexes are snapshots; invalidate
 	return nil
@@ -103,6 +140,7 @@ func (e *Engine) CreateIndex(table string, cols []int) error {
 		return fmt.Errorf("remotedb: unknown table %s", table)
 	}
 	e.indexes[table] = append(e.indexes[table], relation.BuildIndex(t, cols))
+	e.epoch.Add(1)
 	return nil
 }
 
@@ -137,13 +175,23 @@ type TableStats struct {
 	Distinct []int // per-column distinct value counts
 }
 
-// Stats computes catalog statistics for a table.
+// Stats computes catalog statistics for a table. When the maintained
+// per-column accumulators (stats.go) are exact they are served in O(columns);
+// the full-scan fallback covers saturated NDV tracking and relations mutated
+// behind the engine's back.
 func (e *Engine) Stats(name string) (TableStats, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	t, ok := e.tables[name]
 	if !ok {
 		return TableStats{}, fmt.Errorf("remotedb: unknown table %s", name)
+	}
+	if m := e.meta[name]; m.exact(t.Len()) {
+		st := TableStats{Rows: m.rows, Distinct: make([]int, len(m.cols))}
+		for i := range m.cols {
+			st.Distinct[i] = len(m.cols[i].seen)
+		}
+		return st, nil
 	}
 	st := TableStats{Rows: t.Len(), Distinct: make([]int, t.Schema().Arity())}
 	for c := 0; c < t.Schema().Arity(); c++ {
@@ -166,6 +214,9 @@ func (e *Engine) Execute(st *Statement) (*relation.Relation, int64, error) {
 	case st.Insert != nil:
 		return nil, int64(len(st.Insert.Rows)), e.Insert(st.Insert.Table, st.Insert.Rows)
 	case st.Select != nil:
+		if st.Explain {
+			return e.explainSelect(st.Select)
+		}
 		return e.executeSelect(st.Select)
 	default:
 		return nil, 0, fmt.Errorf("remotedb: empty statement")
@@ -181,109 +232,140 @@ func (e *Engine) ExecuteSQL(src string) (*relation.Relation, int64, error) {
 	return e.Execute(st)
 }
 
-// binding of an alias in a running plan.
-type aliasInfo struct {
-	alias  string
-	rel    *relation.Relation // filtered extension
-	schema *relation.Schema
+// executeSelect dispatches a SELECT: through the cost-based planner when the
+// optimizer is on (plan cache, predicate pushdown, join reordering —
+// optimizer.go), or through the naive materializing executor when it is off.
+func (e *Engine) executeSelect(sel *SelectStmt) (*relation.Relation, int64, error) {
+	if e.OptimizerEnabled() {
+		return e.executeSelectPlanned(sel)
+	}
+	return e.executeSelectNaive(sel)
 }
 
-func (e *Engine) executeSelect(sel *SelectStmt) (*relation.Relation, int64, error) {
+// selScope is the resolved FROM/WHERE of one SELECT: alias bindings plus the
+// WHERE conjuncts classified into per-alias filters, index-usable equality
+// constants, and cross-alias conditions. The naive executor and the planner
+// share it so both report identical resolution errors.
+type selScope struct {
+	aliases  map[string]*relation.Relation
+	order    []string // aliases in FROM order
+	perAlias map[string][]relation.Cond
+	eqConsts map[string][][2]any // alias -> (col, value) equality pairs, for index use
+	cross    []crossCond
+}
+
+// crossCond is a WHERE conjunct spanning two aliases.
+type crossCond struct {
+	la string
+	lc int
+	op relation.CmpOp
+	ra string
+	rc int
+}
+
+// resolve binds a possibly-qualified column reference to (alias, column).
+func (sc *selScope) resolve(c ColRef) (string, int, error) {
+	if c.Qualifier != "" {
+		t, ok := sc.aliases[c.Qualifier]
+		if !ok {
+			return "", 0, fmt.Errorf("remotedb: unknown alias %s", c.Qualifier)
+		}
+		i := t.Schema().ColIndex(c.Column)
+		if i < 0 {
+			return "", 0, fmt.Errorf("remotedb: no column %s in %s", c.Column, c.Qualifier)
+		}
+		return c.Qualifier, i, nil
+	}
+	found := ""
+	idx := -1
+	for a, t := range sc.aliases {
+		if i := t.Schema().ColIndex(c.Column); i >= 0 {
+			if found != "" {
+				return "", 0, fmt.Errorf("remotedb: ambiguous column %s", c.Column)
+			}
+			found, idx = a, i
+		}
+	}
+	if found == "" {
+		return "", 0, fmt.Errorf("remotedb: unknown column %s", c.Column)
+	}
+	return found, idx, nil
+}
+
+// analyzeSelect resolves the FROM clause and classifies the WHERE conjuncts:
+// per-alias (col-const or col-col within one alias) vs cross-alias
+// equi-joins and theta residuals. The caller must hold e.mu.
+func (e *Engine) analyzeSelect(sel *SelectStmt) (*selScope, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("remotedb: SELECT without FROM")
+	}
+	sc := &selScope{
+		aliases:  make(map[string]*relation.Relation, len(sel.From)),
+		perAlias: make(map[string][]relation.Cond),
+		eqConsts: make(map[string][][2]any),
+	}
+	for _, ref := range sel.From {
+		t, ok := e.tables[ref.Table]
+		if !ok {
+			return nil, fmt.Errorf("remotedb: unknown table %s", ref.Table)
+		}
+		if _, dup := sc.aliases[ref.Alias]; dup {
+			return nil, fmt.Errorf("remotedb: duplicate alias %s", ref.Alias)
+		}
+		sc.aliases[ref.Alias] = t
+		sc.order = append(sc.order, ref.Alias)
+	}
+	for _, c := range sel.Where {
+		la, lc, err := sc.resolve(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		if !c.RightIsCol {
+			sc.perAlias[la] = append(sc.perAlias[la], relation.ColConst(lc, c.Op, c.RightVal))
+			if c.Op == relation.OpEq {
+				sc.eqConsts[la] = append(sc.eqConsts[la], [2]any{lc, c.RightVal})
+			}
+			continue
+		}
+		ra, rc, err := sc.resolve(c.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		if la == ra {
+			sc.perAlias[la] = append(sc.perAlias[la], relation.ColCol(lc, c.Op, rc))
+			continue
+		}
+		sc.cross = append(sc.cross, crossCond{la: la, lc: lc, op: c.Op, ra: ra, rc: rc})
+	}
+	return sc, nil
+}
+
+// executeSelectNaive is the unoptimized materializing executor: filter each
+// alias (index-aware), join greedily smallest-first, then project, aggregate,
+// order, and limit over fully materialized intermediates. It is the semantic
+// oracle the golden parity suite holds the planner to, and the optimizer-off
+// control arm of experiment E16.
+func (e *Engine) executeSelectNaive(sel *SelectStmt) (*relation.Relation, int64, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var ops int64
 
-	if len(sel.From) == 0 {
-		return nil, 0, fmt.Errorf("remotedb: SELECT without FROM")
+	scope, err := e.analyzeSelect(sel)
+	if err != nil {
+		return nil, ops, err
 	}
-	// Resolve aliases.
-	aliases := make(map[string]*relation.Relation, len(sel.From))
-	order := make([]string, 0, len(sel.From))
-	for _, ref := range sel.From {
-		t, ok := e.tables[ref.Table]
-		if !ok {
-			return nil, ops, fmt.Errorf("remotedb: unknown table %s", ref.Table)
-		}
-		if _, dup := aliases[ref.Alias]; dup {
-			return nil, ops, fmt.Errorf("remotedb: duplicate alias %s", ref.Alias)
-		}
-		aliases[ref.Alias] = t
-		order = append(order, ref.Alias)
-	}
-
-	resolve := func(c ColRef) (string, int, error) {
-		if c.Qualifier != "" {
-			t, ok := aliases[c.Qualifier]
-			if !ok {
-				return "", 0, fmt.Errorf("remotedb: unknown alias %s", c.Qualifier)
-			}
-			i := t.Schema().ColIndex(c.Column)
-			if i < 0 {
-				return "", 0, fmt.Errorf("remotedb: no column %s in %s", c.Column, c.Qualifier)
-			}
-			return c.Qualifier, i, nil
-		}
-		found := ""
-		idx := -1
-		for a, t := range aliases {
-			if i := t.Schema().ColIndex(c.Column); i >= 0 {
-				if found != "" {
-					return "", 0, fmt.Errorf("remotedb: ambiguous column %s", c.Column)
-				}
-				found, idx = a, i
-			}
-		}
-		if found == "" {
-			return "", 0, fmt.Errorf("remotedb: unknown column %s", c.Column)
-		}
-		return found, idx, nil
-	}
-
-	// Classify WHERE conjuncts: per-alias (col-const or col-col within one
-	// alias) vs cross-alias equi-joins vs cross-alias theta residuals.
-	type resolvedCond struct {
-		la   string
-		lc   int
-		op   relation.CmpOp
-		isCC bool
-		ra   string
-		rc   int
-		val  relation.Value
-	}
-	perAlias := make(map[string][]relation.Cond)
-	eqConsts := make(map[string][][2]any) // alias -> (col, value) equality pairs, for index use
-	var cross []resolvedCond
-	for _, c := range sel.Where {
-		la, lc, err := resolve(c.Left)
-		if err != nil {
-			return nil, ops, err
-		}
-		if !c.RightIsCol {
-			perAlias[la] = append(perAlias[la], relation.ColConst(lc, c.Op, c.RightVal))
-			if c.Op == relation.OpEq {
-				eqConsts[la] = append(eqConsts[la], [2]any{lc, c.RightVal})
-			}
-			continue
-		}
-		ra, rc, err := resolve(c.RightCol)
-		if err != nil {
-			return nil, ops, err
-		}
-		if la == ra {
-			perAlias[la] = append(perAlias[la], relation.ColCol(lc, c.Op, rc))
-			continue
-		}
-		cross = append(cross, resolvedCond{la: la, lc: lc, op: c.Op, isCC: true, ra: ra, rc: rc})
-	}
+	order := scope.order
+	cross := scope.cross
+	resolve := scope.resolve
 
 	// Filter each alias's extension, preferring an index when an equality
 	// constant condition matches one.
 	filtered := make(map[string]*relation.Relation, len(order))
 	for _, a := range order {
-		base := aliases[a]
-		conds := perAlias[a]
+		base := scope.aliases[a]
+		conds := scope.perAlias[a]
 		var out *relation.Relation
-		if pairs := eqConsts[a]; len(pairs) > 0 {
+		if pairs := scope.eqConsts[a]; len(pairs) > 0 {
 			if ix := e.findIndex(base.Name, pairs); ix != nil {
 				vals := make([]relation.Value, len(ix.Cols()))
 				for i, col := range ix.Cols() {
@@ -317,7 +399,7 @@ func (e *Engine) executeSelect(sel *SelectStmt) (*relation.Relation, int64, erro
 	// colPos maps alias -> base offset in the wide tuple.
 	colPos := make(map[string]int)
 	var wide *relation.Relation
-	takeConds := func(joined map[string]bool, next string) (eq []relation.JoinCond, later []resolvedCond) {
+	takeConds := func(joined map[string]bool, next string) (eq []relation.JoinCond, later []crossCond) {
 		for _, c := range cross {
 			switch {
 			case joined[c.la] && c.ra == next && c.op == relation.OpEq:
@@ -370,7 +452,7 @@ func (e *Engine) executeSelect(sel *SelectStmt) (*relation.Relation, int64, erro
 		cross = later
 		// Apply any theta conditions now fully available.
 		var now []relation.Cond
-		var still []resolvedCond
+		var still []crossCond
 		for _, c := range cross {
 			if joined[c.la] && joined[c.ra] {
 				now = append(now, relation.ColCol(colPos[c.la]+c.lc, c.op, colPos[c.ra]+c.rc))
@@ -409,9 +491,7 @@ func (e *Engine) executeSelect(sel *SelectStmt) (*relation.Relation, int64, erro
 			hasAgg = true
 		}
 	}
-	var result *relation.Relation
-	switch {
-	case hasAgg:
+	if hasAgg {
 		var groupCols []int
 		for _, g := range sel.GroupBy {
 			p, err := widePos(g)
@@ -450,44 +530,117 @@ func (e *Engine) executeSelect(sel *SelectStmt) (*relation.Relation, int64, erro
 			}
 			attrs = append(attrs, relation.Attr{Name: fmt.Sprintf("agg%d", i), Kind: kind})
 		}
-		result = relation.FromTuples("result", relation.NewSchema(attrs...), tuples)
-	default:
-		var cols []int
-		if len(sel.Items) == 1 && sel.Items[0].Star {
-			for i := 0; i < wide.Schema().Arity(); i++ {
+		result := relation.FromTuples("result", relation.NewSchema(attrs...), tuples)
+		if sel.Distinct {
+			ops += int64(result.Len())
+			result = relation.DistinctRel(result)
+		}
+		if len(sel.OrderBy) > 0 {
+			// An aggregate's ORDER BY resolves against the group output only:
+			// sorting its input by a pre-aggregation column is meaningless.
+			var cols []int
+			for _, c := range sel.OrderBy {
+				i := result.Schema().ColIndex(c.Column)
+				if i < 0 {
+					return nil, ops, fmt.Errorf("remotedb: ORDER BY column %s not in result", c.Column)
+				}
 				cols = append(cols, i)
 			}
-		} else {
-			for _, it := range sel.Items {
-				if it.Star {
-					return nil, ops, fmt.Errorf("remotedb: * must be the only select item")
-				}
-				p, err := widePos(it.Col)
-				if err != nil {
-					return nil, ops, err
-				}
-				cols = append(cols, p)
-			}
+			ops += int64(result.Len())
+			result.SortBy(cols)
 		}
+		if sel.Limit >= 0 && result.Len() > sel.Limit {
+			result = relation.FromTuples(result.Name, result.Schema(), result.Tuples()[:sel.Limit])
+		}
+		return result, ops, nil
+	}
+
+	// Plain projection.
+	var cols []int
+	if len(sel.Items) == 1 && sel.Items[0].Star {
+		for i := 0; i < wide.Schema().Arity(); i++ {
+			cols = append(cols, i)
+		}
+	} else {
+		for _, it := range sel.Items {
+			if it.Star {
+				return nil, ops, fmt.Errorf("remotedb: * must be the only select item")
+			}
+			p, err := widePos(it.Col)
+			if err != nil {
+				return nil, ops, err
+			}
+			cols = append(cols, p)
+		}
+	}
+	projSchema := wide.Schema().Project(cols)
+
+	// ORDER BY columns resolve against the projection by bare column name;
+	// a column the projection dropped instead resolves against the wide
+	// (pre-projection) schema, and the sort then runs before projection.
+	var sortRes, sortWide []int
+	needWide := false
+	for _, c := range sel.OrderBy {
+		if i := projSchema.ColIndex(c.Column); i >= 0 {
+			sortRes = append(sortRes, i)
+			sortWide = append(sortWide, cols[i])
+			continue
+		}
+		needWide = true
+		p, err := widePos(c)
+		if err != nil {
+			return nil, ops, err
+		}
+		sortWide = append(sortWide, p)
+	}
+
+	var result *relation.Relation
+	if sel.Limit >= 0 && len(sel.OrderBy) == 0 {
+		// LIMIT without ORDER BY short-circuits: the lazy pipeline is pulled
+		// only until the limit is satisfied instead of materializing the
+		// whole result and slicing it.
+		pulled := 0
+		src := wide.Iter()
+		counted := relation.IteratorFunc(func() (relation.Tuple, bool) {
+			t, ok := src.Next()
+			if ok {
+				pulled++
+			}
+			return t, ok
+		})
+		var pipe relation.Iterator = relation.Project(counted, cols)
+		if sel.Distinct {
+			pipe = relation.Distinct(pipe)
+		}
+		result = relation.Drain("result", projSchema, relation.Limit(pipe, sel.Limit))
+		ops += int64(pulled)
+		if sel.Distinct {
+			ops += int64(result.Len())
+		}
+		return result, ops, nil
+	}
+	if needWide {
+		ops += int64(wide.Len())
+		wide.SortBy(sortWide)
 		ops += int64(wide.Len())
 		result = relation.ProjectRel(wide, cols)
 		result.Name = "result"
-	}
-	if sel.Distinct {
-		ops += int64(result.Len())
-		result = relation.DistinctRel(result)
-	}
-	if len(sel.OrderBy) > 0 {
-		var cols []int
-		for _, c := range sel.OrderBy {
-			i := result.Schema().ColIndex(c.Column)
-			if i < 0 {
-				return nil, ops, fmt.Errorf("remotedb: ORDER BY column %s not in result", c.Column)
-			}
-			cols = append(cols, i)
+		if sel.Distinct {
+			ops += int64(result.Len())
+			result = relation.DistinctRel(result)
 		}
-		ops += int64(result.Len())
-		result.SortBy(cols)
+	} else {
+		ops += int64(wide.Len())
+		result = relation.ProjectRel(wide, cols)
+		result.Name = "result"
+		if sel.Distinct {
+			ops += int64(result.Len())
+			result = relation.DistinctRel(result)
+		}
+		if len(sortRes) > 0 {
+			ops += int64(result.Len())
+			result.SortBy(sortRes)
+		}
 	}
 	if sel.Limit >= 0 && result.Len() > sel.Limit {
 		result = relation.FromTuples(result.Name, result.Schema(), result.Tuples()[:sel.Limit])

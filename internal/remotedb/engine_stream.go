@@ -89,6 +89,43 @@ func (s *ScanStream) Next() (relation.Tuple, bool) {
 	return nil, false
 }
 
+// EngineStream is a pull-based SELECT result: tuples are produced
+// incrementally, so the framed server can ship the first frame as soon as
+// the stream's blocking prefix (if any) completes. ScanStream (resumable
+// single-table pipelines) and PlanStream (optimized join/aggregate
+// pipelines) both implement it.
+type EngineStream interface {
+	Next() (relation.Tuple, bool)
+	Schema() *relation.Schema
+	Name() string
+	Ops() int64
+}
+
+// ExecuteSQLPipeline returns a pull-based stream for any SELECT the engine
+// can execute incrementally: the resumable single-table ScanStream when the
+// statement qualifies, otherwise a cost-based PlanStream (optimizer on only
+// — with the optimizer off every non-trivial SELECT deliberately falls back
+// to the materializing executor, the E16 control arm). ok=false sends the
+// caller to the materializing Execute path, which also owns error
+// reporting: parse and resolution errors surface there, not here.
+func (e *Engine) ExecuteSQLPipeline(src string) (EngineStream, bool) {
+	if sc, ok := e.ExecuteSQLStream(src); ok {
+		return sc, true
+	}
+	if !e.OptimizerEnabled() {
+		return nil, false
+	}
+	st, err := ParseSQL(src)
+	if err != nil || st.Select == nil || st.Explain {
+		return nil, false
+	}
+	ps, err := e.openPlan(st.Select)
+	if err != nil {
+		return nil, false
+	}
+	return ps, true
+}
+
 // ExecuteSQLStream returns a ScanStream when src parses to a streamable
 // statement, and ok=false otherwise — including on parse and resolution
 // errors, so the caller falls back to Execute and reports the error through
@@ -122,7 +159,7 @@ func (e *Engine) ResumeSQLStream(src string, tok ResumeToken, skip int64) (*Scan
 // SnapLen rows) and ok=false reports the snapshot is gone.
 func (e *Engine) buildScanStream(src string, pin *ResumeToken) (*ScanStream, bool) {
 	st, err := ParseSQL(src)
-	if err != nil || st.Select == nil {
+	if err != nil || st.Select == nil || st.Explain {
 		return nil, false
 	}
 	sel := st.Select

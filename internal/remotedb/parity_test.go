@@ -1,0 +1,362 @@
+package remotedb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// The golden parity corpus: a table-driven suite asserting that the
+// cost-based planner (and its streamed execution path) returns result sets
+// identical to the naive materializing executor — as bags always, and in
+// order where an ORDER BY key makes the order deterministic. The whole
+// corpus runs twice, with and without indexes, so both access paths are held
+// to the same oracle.
+
+type parityCase struct {
+	sql string
+	// ordered marks statements whose ORDER BY key is unique per row, so the
+	// full tuple order (not just the bag) must match.
+	ordered bool
+	// unlimited, when set, is the statement without its LIMIT clause: a LIMIT
+	// with no ORDER BY over a join returns an executor-dependent subset, so
+	// parity means "N rows, each drawn (with multiplicity) from the full
+	// result", not bag equality.
+	unlimited string
+}
+
+var parityCorpus = []parityCase{
+	// Single table: scans, predicates, projection, distinct, order, limit.
+	{sql: "SELECT * FROM po"},
+	{sql: "SELECT id, amt FROM po WHERE grp = 3"},
+	{sql: "SELECT id FROM po WHERE amt > 500.0 AND grp != 2"},
+	{sql: "SELECT DISTINCT grp FROM po"},
+	{sql: "SELECT id, grp FROM po ORDER BY id", ordered: true},
+	{sql: "SELECT id FROM po ORDER BY id LIMIT 7", ordered: true},
+	{sql: "SELECT id, grp FROM po LIMIT 5"},
+	{sql: "SELECT grp FROM po WHERE cust = 4"},
+	// ORDER BY on a non-projected column (satellite fix): sort runs wide.
+	{sql: "SELECT grp FROM po ORDER BY id", ordered: false},
+	{sql: "SELECT grp, amt FROM po ORDER BY id LIMIT 9", ordered: false},
+	// Two-table equi-joins, both directions, with pushdown-able predicates.
+	{sql: "SELECT po.id, cu.cname FROM po, cu WHERE po.cust = cu.id"},
+	{sql: "SELECT po.id, cu.cname FROM po, cu WHERE po.cust = cu.id AND cu.tier = 1"},
+	{sql: "SELECT cu.cname, po.amt FROM cu, po WHERE cu.id = po.cust AND po.grp = 2"},
+	{sql: "SELECT po.id, cu.cname FROM po, cu WHERE po.cust = cu.id ORDER BY po.id", ordered: true},
+	{sql: "SELECT po.id FROM po, cu WHERE po.cust = cu.id AND cu.tier = 0 ORDER BY po.id LIMIT 6", ordered: true},
+	// Three-table chain (join reordering has real choices here).
+	{sql: "SELECT po.id, cu.cname, re.rname FROM po, cu, re WHERE po.cust = cu.id AND cu.region = re.id"},
+	{sql: "SELECT po.id FROM po, cu, re WHERE po.cust = cu.id AND cu.region = re.id AND re.rname = 'north' ORDER BY po.id", ordered: true},
+	// Theta join and cross product.
+	{sql: "SELECT a.id, b.id FROM cu a, cu b WHERE a.tier > b.tier AND a.region = b.region"},
+	{sql: "SELECT po.id, re.id FROM po, re WHERE po.grp = 1"},
+	// Aggregates: grouped, global, joined, ordered, limited.
+	{sql: "SELECT grp, COUNT(*), SUM(amt) FROM po GROUP BY grp ORDER BY grp", ordered: true},
+	{sql: "SELECT COUNT(*), MIN(amt), MAX(amt), AVG(amt) FROM po"},
+	{sql: "SELECT cust, COUNT(*) FROM po GROUP BY cust ORDER BY cust LIMIT 4", ordered: true},
+	{sql: "SELECT cu.region, COUNT(*) FROM po, cu WHERE po.cust = cu.id GROUP BY cu.region ORDER BY region", ordered: true},
+	{sql: "SELECT grp, MAX(amt) FROM po WHERE amt < 800.0 GROUP BY grp ORDER BY grp", ordered: true},
+	// DISTINCT interactions.
+	{sql: "SELECT DISTINCT cu.region FROM po, cu WHERE po.cust = cu.id"},
+	{sql: "SELECT DISTINCT grp FROM po ORDER BY grp LIMIT 3", ordered: true},
+	// LIMIT without ORDER BY over a join (short-circuit pipelines).
+	{sql: "SELECT po.id, cu.cname FROM po, cu WHERE po.cust = cu.id LIMIT 5",
+		unlimited: "SELECT po.id, cu.cname FROM po, cu WHERE po.cust = cu.id"},
+	{sql: "SELECT * FROM po WHERE grp = 0 LIMIT 2"},
+	// Indexed-equality shapes (exercise index access under the indexed run).
+	{sql: "SELECT id, amt FROM po WHERE cust = 7"},
+	{sql: "SELECT po.id FROM po, cu WHERE po.cust = cu.id AND po.cust = 7"},
+}
+
+// newParityEngine loads a deterministic three-table workload: po (orders,
+// 300 rows) -> cu (customers, 20) -> re (regions, 4).
+func newParityEngine(t *testing.T, indexed bool) *Engine {
+	t.Helper()
+	e := NewEngine()
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, _, err := e.ExecuteSQL(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE re (id INT, rname TEXT)")
+	mustExec("INSERT INTO re VALUES (0,'north'),(1,'south'),(2,'east'),(3,'west')")
+	mustExec("CREATE TABLE cu (id INT, cname TEXT, region INT, tier INT)")
+	var cu []string
+	for i := 0; i < 20; i++ {
+		cu = append(cu, fmt.Sprintf("(%d,'c%02d',%d,%d)", i, i, i%4, i%3))
+	}
+	mustExec("INSERT INTO cu VALUES " + strings.Join(cu, ","))
+	mustExec("CREATE TABLE po (id INT, cust INT, grp INT, amt FLOAT)")
+	var po []string
+	rng := uint64(42)
+	for i := 0; i < 300; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		cust := int(rng>>33) % 20
+		grp := int(rng>>21) % 5
+		amt := float64(int(rng>>11)%1000) + 0.5
+		po = append(po, fmt.Sprintf("(%d,%d,%d,%g)", i, cust, grp, amt))
+	}
+	mustExec("INSERT INTO po VALUES " + strings.Join(po, ","))
+	if indexed {
+		if err := e.CreateIndex("po", []int{1}); err != nil { // po.cust
+			t.Fatal(err)
+		}
+		if err := e.CreateIndex("cu", []int{0}); err != nil { // cu.id
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func runParity(t *testing.T, indexed bool) {
+	e := newParityEngine(t, indexed)
+	for _, tc := range parityCorpus {
+		t.Run(tc.sql, func(t *testing.T) {
+			e.SetOptimizer(false)
+			want, _, err := e.ExecuteSQL(tc.sql)
+			if err != nil {
+				t.Fatalf("naive: %v", err)
+			}
+			var full *relation.Relation
+			if tc.unlimited != "" {
+				if full, _, err = e.ExecuteSQL(tc.unlimited); err != nil {
+					t.Fatalf("naive unlimited: %v", err)
+				}
+			}
+			e.SetOptimizer(true)
+			got, _, err := e.ExecuteSQL(tc.sql)
+			if err != nil {
+				t.Fatalf("planned: %v", err)
+			}
+			check := func(label string, res *relation.Relation) {
+				t.Helper()
+				if full != nil {
+					assertSubsetOf(t, label, res, full, want.Len())
+					return
+				}
+				assertSameResult(t, label, want, res, tc.ordered)
+			}
+			check("planned", got)
+
+			// The streamed path must agree too when it accepts the statement.
+			if st, ok := e.ExecuteSQLPipeline(tc.sql); ok {
+				streamed := relation.Drain(st.Name(), st.Schema(), st)
+				check("streamed", streamed)
+			} else {
+				t.Fatalf("pipeline declined %q with optimizer on", tc.sql)
+			}
+
+			// EXPLAIN must render without error for every corpus statement.
+			plan, _, err := e.ExecuteSQL("EXPLAIN " + tc.sql)
+			if err != nil {
+				t.Fatalf("explain: %v", err)
+			}
+			if plan.Len() < 2 {
+				t.Fatalf("explain produced %d lines", plan.Len())
+			}
+		})
+	}
+}
+
+func TestParityCorpus(t *testing.T)        { runParity(t, false) }
+func TestParityCorpusIndexed(t *testing.T) { runParity(t, true) }
+
+func assertSameResult(t *testing.T, label string, want, got *relation.Relation, ordered bool) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: rows = %d, want %d", label, got.Len(), want.Len())
+	}
+	if !got.EqualAsBag(want) {
+		t.Fatalf("%s: bag mismatch:\n got %v\nwant %v", label, got.Tuples(), want.Tuples())
+	}
+	if ordered {
+		for i := range want.Tuples() {
+			if !got.Tuple(i).Equal(want.Tuple(i)) {
+				t.Fatalf("%s: order mismatch at row %d: got %v want %v", label, i, got.Tuple(i), want.Tuple(i))
+			}
+		}
+	}
+}
+
+// assertSubsetOf checks a LIMIT-without-ORDER result: same row count as the
+// oracle's, and every tuple drawn (with multiplicity) from the full result.
+func assertSubsetOf(t *testing.T, label string, got, full *relation.Relation, wantLen int) {
+	t.Helper()
+	if got.Len() != wantLen {
+		t.Fatalf("%s: rows = %d, want %d", label, got.Len(), wantLen)
+	}
+	avail := make(map[string]int, full.Len())
+	for _, tu := range full.Tuples() {
+		avail[tu.Key()]++
+	}
+	for _, tu := range got.Tuples() {
+		k := tu.Key()
+		if avail[k] == 0 {
+			t.Fatalf("%s: tuple %v not in (or over-drawn from) the full result", label, tu)
+		}
+		avail[k]--
+	}
+}
+
+// The parser must accept EXPLAIN only before SELECT.
+func TestExplainParse(t *testing.T) {
+	if _, err := ParseSQL("EXPLAIN SELECT * FROM t"); err != nil {
+		t.Fatalf("EXPLAIN SELECT: %v", err)
+	}
+	if st, _ := ParseSQL("EXPLAIN SELECT * FROM t"); !st.Explain || st.Select == nil {
+		t.Fatal("EXPLAIN flag not set")
+	}
+	if _, err := ParseSQL("EXPLAIN CREATE TABLE t (a INT)"); err == nil {
+		t.Fatal("EXPLAIN CREATE accepted")
+	}
+}
+
+// EXPLAIN output reflects the optimizer's choices: index access paths,
+// hash joins with small build sides, pushed-down predicates, TopN fusing.
+func TestExplainShowsPlanChoices(t *testing.T) {
+	e := newParityEngine(t, true)
+	explain := func(sql string) string {
+		t.Helper()
+		r, _, err := e.ExecuteSQL("EXPLAIN " + sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		var b strings.Builder
+		for _, tu := range r.Tuples() {
+			b.WriteString(tu[0].AsString())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	out := explain("SELECT id FROM po WHERE cust = 7")
+	if !strings.Contains(out, "via index(cust)") {
+		t.Fatalf("no index access path:\n%s", out)
+	}
+	out = explain("SELECT po.id, cu.cname FROM po, cu WHERE po.cust = cu.id AND cu.tier = 1")
+	if !strings.Contains(out, "hash join") {
+		t.Fatalf("no hash join:\n%s", out)
+	}
+	if !strings.Contains(out, "(build cu, probe streams)") {
+		t.Fatalf("build side should be the small filtered cu:\n%s", out)
+	}
+	if !strings.Contains(out, "where [tier = 1]") {
+		t.Fatalf("predicate not pushed into the cu scan:\n%s", out)
+	}
+	out = explain("SELECT id FROM po ORDER BY id LIMIT 7")
+	if !strings.Contains(out, "topn") {
+		t.Fatalf("LIMIT not fused into TopN:\n%s", out)
+	}
+	out = explain("SELECT po.id, cu.cname FROM po, cu WHERE po.cust = cu.id")
+	if !strings.Contains(out, "prune po to (id, cust)") {
+		t.Fatalf("po not column-pruned:\n%s", out)
+	}
+}
+
+// The plan cache: repeated statements hit, any catalog mutation invalidates,
+// capacity is bounded with LRU eviction.
+func TestPlanCache(t *testing.T) {
+	e := newParityEngine(t, false)
+	base := e.PlanCacheStats()
+	const sql = "SELECT grp, COUNT(*) FROM po GROUP BY grp ORDER BY grp"
+	for i := 0; i < 10; i++ {
+		if _, _, err := e.ExecuteSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.PlanCacheStats()
+	if misses := st.Misses - base.Misses; misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	if hits := st.Hits - base.Hits; hits != 9 {
+		t.Fatalf("hits = %d, want 9", hits)
+	}
+
+	// Any DML/DDL bumps the epoch and forces a replan.
+	if err := e.Insert("re", []relation.Tuple{{relation.Int(9), relation.Str("far")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.ExecuteSQL(sql); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e.PlanCacheStats()
+	if st2.Misses != st.Misses+1 {
+		t.Fatalf("insert did not invalidate: misses %d -> %d", st.Misses, st2.Misses)
+	}
+	if err := e.CreateIndex("po", []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.ExecuteSQL(sql); err != nil {
+		t.Fatal(err)
+	}
+	if st3 := e.PlanCacheStats(); st3.Misses != st2.Misses+1 {
+		t.Fatalf("create index did not invalidate: misses %d -> %d", st2.Misses, st3.Misses)
+	}
+
+	// LRU: the cache never exceeds its capacity.
+	for i := 0; i < planCacheCap+20; i++ {
+		if _, _, err := e.ExecuteSQL(fmt.Sprintf("SELECT id FROM po WHERE id = %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.PlanCacheStats().Entries; n > planCacheCap {
+		t.Fatalf("cache entries = %d > cap %d", n, planCacheCap)
+	}
+}
+
+// Optimizer-off parity for ops accounting: the planner's single-table op
+// counts match the naive executor's conventions exactly (the streaming suite
+// already pins ScanStream to Execute; this pins planned to naive).
+func TestPlannedOpsMatchNaiveSingleTable(t *testing.T) {
+	e := newParityEngine(t, false)
+	for _, sql := range []string{
+		"SELECT * FROM po",
+		"SELECT id, amt FROM po WHERE grp = 3",
+		"SELECT id FROM po ORDER BY id",
+		"SELECT grp, COUNT(*) FROM po GROUP BY grp",
+		"SELECT DISTINCT grp FROM po",
+	} {
+		e.SetOptimizer(false)
+		_, naiveOps, err := e.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetOptimizer(true)
+		_, planOps, err := e.ExecuteSQL(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if naiveOps != planOps {
+			t.Errorf("%s: planned ops %d != naive ops %d", sql, planOps, naiveOps)
+		}
+	}
+}
+
+// Error parity: the planner reports the same resolution errors as the naive
+// executor.
+func TestPlannedErrorParity(t *testing.T) {
+	e := newParityEngine(t, false)
+	for _, sql := range []string{
+		"SELECT nosuch FROM po",
+		"SELECT po.nosuch FROM po",
+		"SELECT x.id FROM po",
+		"SELECT id FROM po, cu",                   // ambiguous
+		"SELECT id, * FROM po",                    // star not alone
+		"SELECT grp, COUNT(*) FROM po GROUP BY grp ORDER BY amt", // not in result
+		"SELECT id FROM nosuch",
+	} {
+		e.SetOptimizer(false)
+		_, _, naiveErr := e.ExecuteSQL(sql)
+		e.SetOptimizer(true)
+		_, _, planErr := e.ExecuteSQL(sql)
+		if naiveErr == nil || planErr == nil {
+			t.Fatalf("%s: expected errors, naive=%v planned=%v", sql, naiveErr, planErr)
+		}
+		if naiveErr.Error() != planErr.Error() {
+			t.Errorf("%s: error mismatch:\n naive   %v\n planned %v", sql, naiveErr, planErr)
+		}
+	}
+}

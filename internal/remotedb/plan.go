@@ -1,0 +1,214 @@
+package remotedb
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// This file defines the explicit Plan tree the cost-based optimizer
+// (optimizer.go) produces for a SELECT: an operator DAG (left-deep tree) of
+// scans, pipelined hash joins, filters, projections, aggregation, sort/TopN,
+// distinct, and limit. A Plan is immutable once built and safe for concurrent
+// reuse out of the plan cache (plancache.go): all per-execution state lives
+// in a planRun, and base-table snapshots are bound at open time under the
+// engine lock (plan_exec.go). EXPLAIN renders the tree one node per line.
+
+// Plan is a compiled, optimizer-chosen execution strategy for one SELECT.
+type Plan struct {
+	root   planNode
+	schema *relation.Schema
+	key    uint64 // StatementHash of the canonical statement text (cache key)
+	epoch  uint64 // catalog epoch the plan was built against
+
+	estRows float64 // estimated result cardinality
+	estOps  float64 // estimated server-side tuple operations
+}
+
+// EstRows is the optimizer's estimate of the result cardinality.
+func (p *Plan) EstRows() float64 { return p.estRows }
+
+// EstOps is the optimizer's estimate of server-side tuple operations.
+func (p *Plan) EstOps() float64 { return p.estOps }
+
+// EstCost is the plan's simulated cost under the virtual cost model: one
+// round trip, the estimated result tuples shipped, the estimated server ops.
+func (p *Plan) EstCost(c Costs) float64 {
+	return c.RequestCost(int64(p.estRows), int64(p.estOps))
+}
+
+// Explain renders the plan tree, one line per operator, children indented
+// under their parent.
+func (p *Plan) Explain() []string {
+	var lines []string
+	explainNode(p.root, 0, &lines)
+	return lines
+}
+
+func explainNode(n planNode, depth int, out *[]string) {
+	prefix := ""
+	for i := 0; i < depth; i++ {
+		prefix += "  "
+	}
+	*out = append(*out, prefix+n.describe())
+	for _, c := range n.children() {
+		explainNode(c, depth+1, out)
+	}
+}
+
+// errPlanStale reports that a plan's catalog epoch no longer matches the
+// engine; the caller drops the cache entry and replans.
+var errPlanStale = errors.New("remotedb: plan stale")
+
+// errNotSelect reports that PlanForSQL was handed a non-SELECT statement.
+var errNotSelect = errors.New("remotedb: not a SELECT statement")
+
+// planNode is one operator of a compiled plan.
+type planNode interface {
+	Schema() *relation.Schema
+	// open builds the operator's pull iterator over the run's bound
+	// snapshots. Blocking operators (hash-join build, sort, aggregation) do
+	// their blocking work when opened, which happens on the first pull of
+	// the root — so a streamed plan's first-tuple latency includes exactly
+	// the blocking prefix the plan could not avoid.
+	open(run *planRun) relation.Iterator
+	describe() string
+	children() []planNode
+}
+
+// scanNode reads one base table: a full snapshot scan or an index equality
+// lookup, with every pushed-down per-alias predicate applied in the same
+// pass. The node stores names, not snapshots: the extension and the index
+// are re-bound to the live catalog each run, so cached plans survive
+// appends (via replanning: the epoch check fails) and never dangle.
+type scanNode struct {
+	table, alias string
+	sch          *relation.Schema
+	conds        []relation.Cond
+	// idxCols/idxVals select an index access path when non-empty: bind looks
+	// up an index on exactly idxCols, falling back to the full scan (conds
+	// still include the equality predicates) if it no longer exists.
+	idxCols []int
+	idxVals []relation.Value
+	desc    string
+}
+
+func (n *scanNode) Schema() *relation.Schema { return n.sch }
+func (n *scanNode) children() []planNode     { return nil }
+func (n *scanNode) describe() string         { return n.desc }
+
+// joinNode joins two subtrees. The left side is the probe input and
+// streams; the right side is the build input, drained into a hash table
+// (equi-join) or a buffer (cross/theta join) when the node opens.
+type joinNode struct {
+	left, right planNode
+	eq          []relation.JoinCond // probe position = Left, build position = Right
+	post        []relation.Cond     // residual theta conditions over the concatenated tuple
+	sch         *relation.Schema
+	desc        string
+}
+
+func (n *joinNode) Schema() *relation.Schema { return n.sch }
+func (n *joinNode) children() []planNode     { return []planNode{n.left, n.right} }
+func (n *joinNode) describe() string         { return n.desc }
+
+// projectNode projects each input tuple onto cols. counted distinguishes the
+// final projection (accounted as one tuple operation per tuple, matching the
+// materializing executor) from column pruning below a join (bookkeeping the
+// optimizer inserted; the join's own input accounting already covers it).
+type projectNode struct {
+	child   planNode
+	cols    []int
+	sch     *relation.Schema
+	counted bool
+	desc    string
+}
+
+func (n *projectNode) Schema() *relation.Schema { return n.sch }
+func (n *projectNode) children() []planNode     { return []planNode{n.child} }
+func (n *projectNode) describe() string         { return n.desc }
+
+// filterNode applies residual conditions (defensive; ordinarily residuals
+// fold into the join that completes them).
+type filterNode struct {
+	child planNode
+	conds []relation.Cond
+	desc  string
+}
+
+func (n *filterNode) Schema() *relation.Schema { return n.child.Schema() }
+func (n *filterNode) children() []planNode     { return []planNode{n.child} }
+func (n *filterNode) describe() string         { return n.desc }
+
+// aggNode drains its input into grouped aggregation and emits the group rows
+// incrementally.
+type aggNode struct {
+	child     planNode
+	groupCols []int
+	specs     []relation.AggSpec
+	sch       *relation.Schema
+	desc      string
+}
+
+func (n *aggNode) Schema() *relation.Schema { return n.sch }
+func (n *aggNode) children() []planNode     { return []planNode{n.child} }
+func (n *aggNode) describe() string         { return n.desc }
+
+// sortNode sorts its input stably by cols. With limit >= 0 it runs as a
+// bounded-heap TopN: the LIMIT was pushed into the sort, so memory and
+// comparisons are O(limit) instead of O(input).
+type sortNode struct {
+	child planNode
+	cols  []int
+	limit int // -1: full sort; else TopN
+	desc  string
+}
+
+func (n *sortNode) Schema() *relation.Schema { return n.child.Schema() }
+func (n *sortNode) children() []planNode     { return []planNode{n.child} }
+func (n *sortNode) describe() string         { return n.desc }
+
+// distinctNode deduplicates, streaming first occurrences through.
+type distinctNode struct {
+	child planNode
+	desc  string
+}
+
+func (n *distinctNode) Schema() *relation.Schema { return n.child.Schema() }
+func (n *distinctNode) children() []planNode     { return []planNode{n.child} }
+func (n *distinctNode) describe() string         { return n.desc }
+
+// limitNode truncates the stream after n tuples; because execution is
+// pull-based, upstream operators simply stop being asked for more.
+type limitNode struct {
+	child planNode
+	n     int
+	desc  string
+}
+
+func (n *limitNode) Schema() *relation.Schema { return n.child.Schema() }
+func (n *limitNode) children() []planNode     { return []planNode{n.child} }
+func (n *limitNode) describe() string         { return n.desc }
+
+// explainSelect renders the plan for sel as a one-column relation, the
+// wire-transparent form of EXPLAIN <select>: it flows through every client
+// and transport like an ordinary result.
+func (e *Engine) explainSelect(sel *SelectStmt) (*relation.Relation, int64, error) {
+	p, err := e.planFor(sel)
+	if err != nil {
+		return nil, 0, err
+	}
+	mode := "on"
+	if !e.OptimizerEnabled() {
+		mode = "off (naive materializing executor runs this statement)"
+	}
+	lines := []string{fmt.Sprintf("optimizer: %s | plan epoch %d | est rows %.0f | est cost %.1f sim-ms",
+		mode, p.epoch, p.estRows, p.EstCost(DefaultCosts()))}
+	lines = append(lines, p.Explain()...)
+	out := relation.New("plan", relation.NewSchema(relation.Attr{Name: "plan", Kind: relation.KindString}))
+	for _, l := range lines {
+		out.MustAppend(relation.Tuple{relation.Str(l)})
+	}
+	return out, int64(len(lines)), nil
+}

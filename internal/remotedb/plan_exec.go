@@ -1,0 +1,270 @@
+package remotedb
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Plan execution. A Plan is a reusable template; each execution gets a
+// planRun holding the base-table snapshots bound under the engine lock and
+// the server-op counter. The iterator tree itself is built lazily on the
+// first pull (outside the lock — snapshots are immutable), so opening a
+// stream is cheap and first-tuple latency pays only for the blocking prefix
+// (hash-join builds, sorts, aggregation) the plan actually contains.
+
+// planRun is the per-execution state of a plan.
+type planRun struct {
+	ops   int64
+	scans map[*scanNode]scanBinding
+}
+
+// scanBinding is a scan's snapshot of the live catalog: the table extension
+// and, for an index access path, the index (nil when it has been
+// invalidated — the scan then falls back to filtering the full extension,
+// which is always correct because the scan's conds include the equality
+// predicates the index served).
+type scanBinding struct {
+	rows []relation.Tuple
+	ix   *relation.Index
+}
+
+// counted wraps an iterator so every pulled tuple counts as one server-side
+// operation, the unit the virtual cost model charges.
+func (run *planRun) counted(in relation.Iterator) relation.Iterator {
+	return relation.IteratorFunc(func() (relation.Tuple, bool) {
+		t, ok := in.Next()
+		if ok {
+			run.ops++
+		}
+		return t, ok
+	})
+}
+
+// open binds the plan to the live catalog. It fails with errPlanStale when
+// the catalog epoch moved past the plan (the caller drops the cache entry
+// and replans).
+func (p *Plan) open(e *Engine) (*PlanStream, error) {
+	run := &planRun{scans: make(map[*scanNode]scanBinding)}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.epoch.Load() != p.epoch {
+		return nil, errPlanStale
+	}
+	if err := bindScans(p.root, e, run); err != nil {
+		return nil, err
+	}
+	return &PlanStream{plan: p, run: run}, nil
+}
+
+func bindScans(n planNode, e *Engine, run *planRun) error {
+	if sn, ok := n.(*scanNode); ok {
+		t, ok := e.tables[sn.table]
+		if !ok {
+			return errPlanStale
+		}
+		b := scanBinding{rows: t.Tuples()}
+		if len(sn.idxCols) > 0 {
+			for _, ix := range e.indexes[sn.table] {
+				if sameCols(ix.Cols(), sn.idxCols) {
+					b.ix = ix
+					break
+				}
+			}
+		}
+		run.scans[sn] = b
+		return nil
+	}
+	for _, c := range n.children() {
+		if err := bindScans(c, e, run); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Node iterators ---
+
+func (n *scanNode) open(run *planRun) relation.Iterator {
+	b := run.scans[n]
+	var src relation.Iterator
+	if b.ix != nil {
+		src = relation.NewSliceIterator(b.ix.Lookup(n.idxVals))
+	} else {
+		src = relation.NewSliceIterator(b.rows)
+	}
+	return relation.Select(run.counted(src), n.conds)
+}
+
+func (n *joinNode) open(run *planRun) relation.Iterator {
+	left := run.counted(n.left.open(run))
+	right := run.counted(n.right.open(run))
+	if len(n.eq) > 0 {
+		it := relation.HashJoin(left, right, n.eq)
+		if len(n.post) > 0 {
+			it = relation.Select(it, n.post)
+		}
+		return it
+	}
+	return relation.NestedLoopJoin(left, right, n.left.Schema().Arity(), n.post)
+}
+
+func (n *projectNode) open(run *planRun) relation.Iterator {
+	in := n.child.open(run)
+	if n.counted {
+		in = run.counted(in)
+	}
+	return relation.Project(in, n.cols)
+}
+
+func (n *filterNode) open(run *planRun) relation.Iterator {
+	return relation.Select(run.counted(n.child.open(run)), n.conds)
+}
+
+func (n *aggNode) open(run *planRun) relation.Iterator {
+	rows := relation.Aggregate(run.counted(n.child.open(run)), n.groupCols, n.specs)
+	return relation.NewSliceIterator(rows)
+}
+
+func (n *sortNode) open(run *planRun) relation.Iterator {
+	in := run.counted(n.child.open(run))
+	if n.limit >= 0 {
+		return relation.NewSliceIterator(relation.TopN(in, n.cols, n.limit))
+	}
+	var rows []relation.Tuple
+	for {
+		t, ok := in.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, t)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, c := range n.cols {
+			switch rows[i][c].Compare(rows[j][c]) {
+			case -1:
+				return true
+			case 1:
+				return false
+			}
+		}
+		return false
+	})
+	return relation.NewSliceIterator(rows)
+}
+
+func (n *distinctNode) open(run *planRun) relation.Iterator {
+	return relation.Distinct(run.counted(n.child.open(run)))
+}
+
+func (n *limitNode) open(run *planRun) relation.Iterator {
+	return relation.Limit(n.child.open(run), n.n)
+}
+
+// PlanStream executes a bound plan as a pull stream: Next drives the
+// iterator tree directly, so a consumer sees the first tuple as soon as the
+// plan's blocking prefix allows — no full materialization. It implements
+// EngineStream alongside ScanStream.
+type PlanStream struct {
+	plan *Plan
+	run  *planRun
+	it   relation.Iterator
+}
+
+// Schema returns the result schema.
+func (s *PlanStream) Schema() *relation.Schema { return s.plan.schema }
+
+// Name returns the result relation name.
+func (s *PlanStream) Name() string { return "result" }
+
+// Ops returns the server-side tuple operations performed so far.
+func (s *PlanStream) Ops() int64 { return s.run.ops }
+
+// Plan returns the compiled plan backing this stream.
+func (s *PlanStream) Plan() *Plan { return s.plan }
+
+// Next returns the next result tuple. The iterator tree is built on the
+// first call; hash-join builds and sorts run then.
+func (s *PlanStream) Next() (relation.Tuple, bool) {
+	if s.it == nil {
+		s.it = s.plan.root.open(s.run)
+	}
+	return s.it.Next()
+}
+
+// planFor returns the cached plan for sel, compiling (and caching) it on a
+// miss. Stale-epoch entries count as misses.
+func (e *Engine) planFor(sel *SelectStmt) (*Plan, error) {
+	key := StatementHash(sel.String())
+	if p := e.plans.get(key, e.epoch.Load()); p != nil {
+		e.planHits.Add(1)
+		return p, nil
+	}
+	e.planMisses.Add(1)
+	p, err := e.buildPlan(sel)
+	if err != nil {
+		return nil, err
+	}
+	p.key = key
+	e.plans.put(key, p)
+	return p, nil
+}
+
+// PlanForSQL compiles (or fetches from the plan cache) the plan for a
+// SELECT statement without executing it. It is the programmatic face of
+// EXPLAIN: experiments and tooling use it to read the optimizer's cost
+// estimate and plan shape.
+func (e *Engine) PlanForSQL(src string) (*Plan, error) {
+	st, err := ParseSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	if st.Select == nil {
+		return nil, errNotSelect
+	}
+	return e.planFor(st.Select)
+}
+
+// openPlan fetches-or-builds the plan for sel and binds it to the live
+// catalog, replanning when a concurrent mutation raced the bind.
+func (e *Engine) openPlan(sel *SelectStmt) (*PlanStream, error) {
+	for attempt := 0; ; attempt++ {
+		p, err := e.planFor(sel)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := p.open(e)
+		if err == errPlanStale && attempt < 4 {
+			e.plans.remove(p.key)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return ps, nil
+	}
+}
+
+// executeSelectPlanned runs a SELECT through the cost-based planner and
+// materializes the streamed result (the Execute API returns whole
+// relations; the v2 wire path streams the PlanStream directly).
+func (e *Engine) executeSelectPlanned(sel *SelectStmt) (*relation.Relation, int64, error) {
+	ps, err := e.openPlan(sel)
+	if err != nil {
+		return nil, 0, err
+	}
+	rel := relation.Drain("result", ps.Schema(), ps)
+	return rel, ps.Ops(), nil
+}

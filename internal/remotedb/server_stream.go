@@ -220,7 +220,7 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 				}
 			}
 		}
-		if sc, ok := s.engine.ExecuteSQLStream(req.SQL); ok {
+		if sc, ok := s.engine.ExecuteSQLPipeline(req.SQL); ok {
 			fc.streamScan(ctx, id, sc, delay, release, false, killer)
 			return
 		}
@@ -336,12 +336,13 @@ func (s *Server) runBounded(ctx context.Context, req *wireRequest, delay time.Du
 	}
 }
 
-// streamScan pipelines a streamable SELECT: tuples are pulled from the
-// engine scan and shipped in frames as they are produced. The request
-// deadline bounds production, checked at frame granularity; an injected
-// delay fault models slow server work before the first tuple, interruptible
-// by the deadline and by cancellation as on the materialized path.
-func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc *ScanStream, delay time.Duration, release func(), resumed bool, killer *streamKiller) {
+// streamScan pipelines a streamed SELECT — a resumable single-table
+// ScanStream or an optimized PlanStream — shipping tuples in frames as they
+// are produced. The request deadline bounds production, checked at frame
+// granularity; an injected delay fault models slow server work before the
+// first tuple, interruptible by the deadline and by cancellation as on the
+// materialized path.
+func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc EngineStream, delay time.Duration, release func(), resumed bool, killer *streamKiller) {
 	s := fc.s
 	defer release()
 	var timerC <-chan time.Time
@@ -370,13 +371,19 @@ func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc *ScanStream,
 	for _, a := range sc.Schema().Attrs() {
 		attrs = append(attrs, wireAttr{Name: a.Name, Kind: uint8(a.Kind)})
 	}
-	// The header of a scanned stream carries the resume token pinning this
+	// The header of a resumable scan carries the resume token pinning its
 	// snapshot; a client that loses the connection mid-transfer re-issues the
 	// statement with it. Resumed acknowledges a honored token (server-side
 	// skip); on a fresh stream it tells a resuming client to skip client-side.
+	// Plan streams carry no token: their emission order is only deterministic
+	// per snapshot binding, so a resuming client restarts and skips locally.
+	resume := ""
+	if rs, ok := sc.(*ScanStream); ok {
+		resume = rs.ResumeToken().Encode()
+	}
 	if fc.write(&wireFrame{
 		ID: id, Kind: frameHeader, Name: sc.Name(), Attrs: attrs,
-		Resume: sc.ResumeToken().Encode(), Resumed: resumed,
+		Resume: resume, Resumed: resumed,
 	}) != nil {
 		return
 	}

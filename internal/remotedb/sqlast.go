@@ -27,10 +27,13 @@ import (
 // OR, NOT, subqueries, unions, recursion — those are CMS-only capabilities.
 
 // Statement is a parsed DML statement: exactly one field is non-nil.
+// Explain marks an EXPLAIN SELECT: the engine returns the compiled plan of
+// the wrapped SELECT (as a one-column relation) instead of executing it.
 type Statement struct {
-	Create *CreateStmt
-	Insert *InsertStmt
-	Select *SelectStmt
+	Create  *CreateStmt
+	Insert  *InsertStmt
+	Select  *SelectStmt
+	Explain bool
 }
 
 // CreateStmt is CREATE TABLE.

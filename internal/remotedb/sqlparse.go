@@ -160,6 +160,16 @@ func (p *sqlParser) identifier() (string, error) {
 
 func (p *sqlParser) parseStatement() (*Statement, error) {
 	switch {
+	case p.atWord("EXPLAIN"):
+		p.advance()
+		if !p.atWord("SELECT") {
+			return nil, fmt.Errorf("remotedb: EXPLAIN expects SELECT, found %q", p.cur().text)
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Statement{Select: sel, Explain: true}, nil
 	case p.atWord("CREATE"):
 		c, err := p.parseCreate()
 		if err != nil {
@@ -434,7 +444,7 @@ func (p *sqlParser) parseSelect() (*SelectStmt, error) {
 
 func isSQLKeyword(w string) bool {
 	switch w {
-	case "SELECT", "FROM", "WHERE", "AND", "GROUP", "ORDER", "BY", "LIMIT", "AS", "DISTINCT", "INSERT", "INTO", "VALUES", "CREATE", "TABLE":
+	case "SELECT", "FROM", "WHERE", "AND", "GROUP", "ORDER", "BY", "LIMIT", "AS", "DISTINCT", "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "EXPLAIN":
 		return true
 	}
 	return false
