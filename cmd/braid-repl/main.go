@@ -15,6 +15,7 @@
 //	.advice k1(X, Y)?       show the advice bundle for a query
 //	.cache                  dump the cache model
 //	.stats                  show data-layer statistics
+//	.trace                  dump sampled query traces (span trees)
 //	.sql SELECT * FROM t    run raw SQL (in-process, or against -remote)
 //	.explain SELECT ...     show the optimizer's plan for a SELECT
 //	.quit
@@ -77,6 +78,7 @@ func main() {
 	poolSize := flag.Int("pool-size", 1, "remote connection pool size (with -remote)")
 	frameTuples := flag.Int("frame-tuples", 0, "preferred tuples per response frame on the streamed protocol (0: server default)")
 	proto := flag.Int("proto", 0, "max wire protocol version: 1 legacy monolithic, 2 framed streaming (0: highest supported)")
+	traceEvery := flag.Int("trace-sample", 1, "record a trace for one in N queries for .trace (0: tracing off)")
 	flag.Parse()
 
 	if *kbPath == "" {
@@ -98,6 +100,9 @@ func main() {
 		braid.WithStrategy(*strategy),
 		braid.WithComparator(*comparator),
 		braid.WithExplanations(),
+	}
+	if *traceEvery > 0 {
+		opts = append(opts, braid.WithTracing(*traceEvery, 1024))
 	}
 	if *remote != "" {
 		opts = append(opts, braid.WithRemote(*remote))
@@ -145,7 +150,7 @@ func main() {
 		case line == ".quit" || line == ".exit":
 			return
 		case line == ".help":
-			fmt.Println("queries: p(X, Y)?   meta: .first <q>, .why <q>, .advice <q>, .cache, .stats, .sql <stmt>, .explain <select>, .quit")
+			fmt.Println("queries: p(X, Y)?   meta: .first <q>, .why <q>, .advice <q>, .cache, .stats, .trace, .sql <stmt>, .explain <select>, .quit")
 		case line == ".cache":
 			if cm := sys.CacheModel(); cm != "" {
 				fmt.Println(cm)
@@ -154,6 +159,12 @@ func main() {
 			}
 		case line == ".stats":
 			fmt.Println(sys.Stats())
+		case line == ".trace":
+			if dump := sys.TraceDump(); dump != "" {
+				fmt.Print(dump)
+			} else {
+				fmt.Println("(no traces recorded; run with -trace-sample >= 1 and ask a query)")
+			}
 		case strings.HasPrefix(line, ".sql "):
 			out, err := runner.exec(strings.TrimPrefix(line, ".sql "))
 			if err != nil {

@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/remotedb"
 	"repro/internal/workload"
 )
@@ -46,6 +48,9 @@ func main() {
 	frameTuples := flag.Int("frame-tuples", 0, "default tuples per response frame on streamed (v2) connections (0: built-in default)")
 	connStreams := flag.Int("conn-streams", 0, "concurrently executing requests per framed connection (0: 1, session-serial)")
 	noOpt := flag.Bool("no-optimizer", false, "disable the cost-based optimizer: every non-trivial SELECT runs through the naive materializing executor (the experiment control arm)")
+	admin := flag.String("admin", "", "admin HTTP listen address serving /metrics (Prometheus), /debug/vars (expvar), /debug/pprof/, /debug/traces (empty: disabled)")
+	traceEvery := flag.Int("trace-sample", 64, "with -admin: record a trace for one in N requests (1: every request)")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds as structured JSON on stderr (0: disabled)")
 	flag.Parse()
 
 	engine := remotedb.NewEngine()
@@ -96,6 +101,26 @@ func main() {
 		MaxProto:       *proto,
 		FrameTuples:    *frameTuples,
 		ConnStreams:    *connStreams,
+	}
+	var adminSrv *obs.AdminServer
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntime(reg)
+		tracer := obs.NewTracer(*traceEvery, 4096)
+		engine.SetTracer(tracer)
+		opts.Tracer = tracer
+		opts.Metrics = reg
+		var err error
+		if adminSrv, err = obs.ServeAdmin(*admin, reg, tracer); err != nil {
+			log.Fatal(err)
+		}
+		defer adminSrv.Close()
+		fmt.Printf("braid-server: admin endpoints on http://%s (/metrics /debug/vars /debug/pprof/ /debug/traces)\n", adminSrv.Addr())
+	}
+	if *slowQueryMS > 0 {
+		opts.SlowQuery = time.Duration(*slowQueryMS) * time.Millisecond
+		opts.SlowLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		fmt.Printf("braid-server: slow-query log enabled at %dms\n", *slowQueryMS)
 	}
 	if *maxInflight > 0 || *queryTimeout > 0 {
 		fmt.Printf("braid-server: admission control (max-inflight %d, query-timeout %v)\n",

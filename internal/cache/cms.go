@@ -9,6 +9,7 @@ import (
 	"repro/internal/advice"
 	"repro/internal/bridge"
 	"repro/internal/caql"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/remotedb"
 )
@@ -86,6 +87,15 @@ type Options struct {
 	// MaxQueue bounds the admission wait queue (<= 0: 2x MaxInflight).
 	// Ignored unless MaxInflight > 0.
 	MaxQueue int
+	// Tracer, when non-nil, records spans for each query's lifecycle stages
+	// (parse, cache probe, subsumption, generalization, decomposition, remote
+	// fetch). Trace IDs propagate to the remote engine over the v2 wire, so a
+	// remote-miss query yields one trace spanning both tiers.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the CMS and remote-client counters as
+	// read-through metrics (braid_cms_* / braid_pool_* namespaces) plus an
+	// owned end-to-end query latency histogram.
+	Metrics *obs.Registry
 }
 
 // CMS is the Cache Management System. It implements bridge.DataSource and is
@@ -97,6 +107,11 @@ type CMS struct {
 	mgr  *Manager
 	pf   *prefetchPool
 	adm  *admission // nil when admission control is disabled
+
+	// tracer and queryLat are nil when observability is not configured; every
+	// use is nil-safe, so the hot path pays nothing.
+	tracer   *obs.Tracer
+	queryLat *obs.Histogram
 
 	nextSID atomic.Int64
 	stats   bridge.StatsCounters
@@ -112,13 +127,63 @@ func New(client remotedb.Client, opts Options) *CMS {
 	if opts.PrefetchWorkers <= 0 {
 		opts.PrefetchWorkers = 4
 	}
-	return &CMS{
-		opts: opts,
-		rdi:  NewRDI(client),
-		mgr:  NewManager(opts.CacheBytes),
-		pf:   newPrefetchPool(opts.PrefetchWorkers),
-		adm:  newAdmission(opts.MaxInflight, opts.MaxQueue),
+	c := &CMS{
+		opts:   opts,
+		rdi:    NewRDI(client),
+		mgr:    NewManager(opts.CacheBytes),
+		pf:     newPrefetchPool(opts.PrefetchWorkers),
+		adm:    newAdmission(opts.MaxInflight, opts.MaxQueue),
+		tracer: opts.Tracer,
 	}
+	c.rdi.tracer = opts.Tracer
+	if opts.Metrics != nil {
+		c.registerMetrics(opts.Metrics)
+	}
+	return c
+}
+
+// registerMetrics exposes the CMS's scattered atomic counters through one
+// registry. Everything is read-through — the counters stay authoritative and
+// are sampled at scrape time, so registration adds no hot-path accounting.
+func (c *CMS) registerMetrics(reg *obs.Registry) {
+	st := &c.stats
+	reg.CounterFunc("braid_cms_queries_total", "CAQL queries dispatched.", st.Queries.Load)
+	reg.CounterFunc("braid_cms_cache_hits_total", "Queries answered entirely from the cache.", st.CacheHits.Load)
+	reg.CounterFunc("braid_cms_exact_hits_total", "Full hits that were exact result-cache matches.", st.ExactHits.Load)
+	reg.CounterFunc("braid_cms_partial_hits_total", "Queries partially answered from the cache.", st.PartialHits.Load)
+	reg.CounterFunc("braid_cms_prefetches_total", "Prefetch requests issued.", st.Prefetches.Load)
+	reg.CounterFunc("braid_cms_prefetch_hits_total", "Queries answered by previously prefetched data.", st.PrefetchHits.Load)
+	reg.CounterFunc("braid_cms_prefetch_drops_total", "Prefetch requests dropped at a saturated worker pool.", st.PrefetchDrops.Load)
+	reg.CounterFunc("braid_cms_generalizations_total", "Queries widened before remote execution.", st.Generalizations.Load)
+	reg.CounterFunc("braid_cms_lazy_answers_total", "Queries answered with a generator (lazy).", st.LazyAnswers.Load)
+	reg.CounterFunc("braid_cms_index_builds_total", "Attribute indexes built on cached extensions.", st.IndexBuilds.Load)
+	reg.CounterFunc("braid_cms_degraded_hits_total", "Cache hits served while the remote was unavailable.", st.DegradedHits.Load)
+	reg.CounterFunc("braid_cms_admitted_total", "Queries past the admission controller.", st.Admitted.Load)
+	reg.CounterFunc("braid_cms_queued_total", "Admitted queries that waited in the bounded queue.", st.Queued.Load)
+	reg.CounterFunc("braid_cms_shed_total", "Queries rejected with ErrOverloaded.", st.Shed.Load)
+	reg.CounterFunc("braid_cms_canceled_total", "Queries aborted by caller cancellation.", st.Canceled.Load)
+	reg.CounterFunc("braid_cms_deadline_exceeded_total", "Queries aborted by a deadline.", st.DeadlineExceeded.Load)
+	reg.CounterFunc("braid_cms_completed_total", "Queries that returned a stream.", st.Completed.Load)
+	reg.CounterFunc("braid_cms_failed_total", "Queries that failed for any other reason.", st.Failed.Load)
+	reg.CounterFunc("braid_cms_panics_recovered_total", "Panics isolated to one query or prefetch.", st.PanicsRecovered.Load)
+	reg.CounterFunc("braid_cms_evictions_total", "Cache elements evicted.", c.mgr.Evictions)
+	reg.GaugeFunc("braid_cms_cache_hit_rate", "Fraction of dispatched queries answered fully from the cache.", func() float64 {
+		q := st.Queries.Load()
+		if q == 0 {
+			return 0
+		}
+		return float64(st.CacheHits.Load()) / float64(q)
+	})
+	reg.CounterFunc("braid_pool_requests_total", "Requests issued to the remote DBMS.", func() int64 { return c.rdi.Stats().Requests })
+	reg.CounterFunc("braid_pool_tuples_total", "Tuples shipped from the remote DBMS.", func() int64 { return c.rdi.Stats().TuplesReturned })
+	reg.CounterFunc("braid_pool_frames_sent_total", "Wire v2 frames written to the remote DBMS.", func() int64 { return c.rdi.Stats().FramesSent })
+	reg.CounterFunc("braid_pool_frames_recv_total", "Wire v2 frames received from the remote DBMS.", func() int64 { return c.rdi.Stats().FramesRecv })
+	reg.CounterFunc("braid_pool_streams_total", "Streamed exec results opened.", func() int64 { return c.rdi.Stats().Streams })
+	reg.CounterFunc("braid_pool_streams_canceled_total", "Remote streams torn down mid-flight.", func() int64 { return c.rdi.Stats().StreamsCanceled })
+	reg.CounterFunc("braid_pool_health_probes_total", "Connection health probes sent.", func() int64 { return c.rdi.Stats().HealthProbes })
+	reg.CounterFunc("braid_pool_probe_failures_total", "Health probes that found a dead connection.", func() int64 { return c.rdi.Stats().ProbeFailures })
+	reg.CounterFunc("braid_pool_reconnects_total", "Pool connections re-dialed after death.", func() int64 { return c.rdi.Stats().Reconnects })
+	c.queryLat = reg.Histogram("braid_cms_query_us", "End-to-end CAQL query latency, microseconds.")
 }
 
 // Manager exposes the cache manager (cache model introspection, tests).
@@ -259,7 +324,9 @@ func (s *Session) QueryText(src string) (*bridge.Stream, error) {
 
 // QueryTextCtx parses and answers a CAQL query under a context.
 func (s *Session) QueryTextCtx(ctx context.Context, src string) (*bridge.Stream, error) {
+	_, psp := s.cms.tracer.Start(ctx, "cms.parse")
 	q, err := caql.Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}

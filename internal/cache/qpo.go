@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/advice"
 	"repro/internal/bridge"
@@ -41,6 +42,14 @@ func (s *Session) QueryCtx(ctx context.Context, q *caql.Query) (stream *bridge.S
 	}
 	c := s.cms
 	c.stats.Queries.Add(1)
+	// Root span of the query's trace: every stage span below (parse happens in
+	// QueryTextCtx, before dispatch) and the engine's remote spans hang off it.
+	ctx, sp := c.tracer.Start(ctx, "cms.query")
+	sp.Set("query", q.Name())
+	var lat0 time.Time
+	if c.queryLat != nil {
+		lat0 = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// Panic isolation: a panic while planning or executing one query
@@ -52,6 +61,13 @@ func (s *Session) QueryCtx(ctx context.Context, q *caql.Query) (stream *bridge.S
 		}
 		err = liftCtxErr(err)
 		c.stats.ClassifyOutcome(err)
+		if err != nil {
+			sp.Set("error", err.Error())
+		}
+		sp.End()
+		if !lat0.IsZero() {
+			c.queryLat.Observe(time.Since(lat0).Microseconds())
+		}
 	}()
 	if err = bridge.CtxError(ctx); err != nil {
 		return nil, err
@@ -150,7 +166,9 @@ func (s *Session) dispatch(ctx context.Context, q *caql.Query) (*bridge.Stream, 
 	if c.opts.Features.Prefetch && s.adv != nil && s.adv.Path != nil && c.rdi.Available() {
 		// Prefetching is suppressed while degraded: speculative remote work
 		// would only burn the breaker's half-open probes.
+		_, psp := c.tracer.Start(ctx, "cms.prefetch_enqueue")
 		s.prefetchFollowers(q, vs)
+		psp.End()
 	}
 	return stream, nil
 }
@@ -170,8 +188,11 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 	// Step 2a: exact-match result cache ([IOAN88]-style reuse, subsumed by
 	// full subsumption but cheaper: a single map lookup).
 	if f.ExactMatch && f.ResultCaching {
+		_, probe := c.tracer.Start(ctx, "cms.cache_probe")
 		if e := c.mgr.ExactMatchFor(q, s.id); e != nil {
 			if d, ok := subsume.DeriveFull(e.Def, q); ok {
+				probe.Set("hit", "exact")
+				probe.End()
 				c.stats.CacheHits.Add(1)
 				c.stats.ExactHits.Add(1)
 				if e.prefetched {
@@ -183,10 +204,13 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 				return s.serveFromElement(e, d, q, vs)
 			}
 		}
+		probe.Set("hit", "miss")
+		probe.End()
 	}
 
 	// Step 2b: full derivation from a single cache element via subsumption.
 	if f.Subsumption {
+		_, sub := c.tracer.Start(ctx, "cms.subsume")
 		var bestE *Element
 		var bestD *subsume.Derivation
 		for _, e := range c.mgr.CandidatesForSession(q, s.id) {
@@ -194,6 +218,7 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 			// loop on the planning path: checkpoint it so a canceled query
 			// stops burning cycles.
 			if err := bridge.CtxError(ctx); err != nil {
+				sub.End()
 				return nil, err
 			}
 			d, ok := subsume.DeriveFull(e.Def, q)
@@ -204,6 +229,8 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 				bestE, bestD = e, d
 			}
 		}
+		sub.Set("hit", fmt.Sprint(bestE != nil))
+		sub.End()
 		if bestE != nil {
 			c.stats.CacheHits.Add(1)
 			if bestE.prefetched {
@@ -222,7 +249,9 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 	// for sessions without usable advice).
 	if f.Generalization && !degraded && (s.predictsReuse(q.Name()) || s.repeatedInstance(q)) {
 		if gq := s.generalizationOf(q, vs); gq != nil {
-			ext, sim, err := c.rdi.FetchCtx(ctx, gq)
+			gctx, gsp := c.tracer.Start(ctx, "cms.generalize")
+			ext, sim, err := c.rdi.FetchCtx(gctx, gq)
+			gsp.End()
 			if err == nil {
 				s.advance(sim)
 				e := s.cacheResult(gq, ext, vs)
@@ -242,7 +271,10 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 	// Step 2c/3: decomposition — cover what we can from the cache, fetch the
 	// residue remotely, join locally (in parallel when enabled).
 	if f.Subsumption {
-		stream, handled, err := s.answerDecomposed(ctx, q, vs)
+		dctx, dsp := c.tracer.Start(ctx, "cms.decompose")
+		stream, handled, err := s.answerDecomposed(dctx, q, vs)
+		dsp.Set("handled", fmt.Sprint(handled))
+		dsp.End()
 		if handled || err != nil {
 			return stream, err
 		}

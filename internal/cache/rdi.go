@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/caql"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/remotedb"
 )
@@ -17,6 +18,10 @@ import (
 // manages ... (a copy of) the remote database schema").
 type RDI struct {
 	client remotedb.Client
+	// tracer records remote-fetch spans (nil: untraced). The span's context
+	// flows into the client call, so the pooled v2 transport puts its trace ID
+	// on the wire and the server's spans join the same trace.
+	tracer *obs.Tracer
 
 	mu      sync.Mutex
 	schemas map[string]*relation.Schema
@@ -91,6 +96,9 @@ func (r *RDI) Fetch(q *caql.Query) (*relation.Relation, float64, error) {
 // bulk append path, so peak memory during transfer is one frame plus the
 // growing result instead of two whole wire relations.
 func (r *RDI) FetchCtx(ctx context.Context, q *caql.Query) (*relation.Relation, float64, error) {
+	ctx, sp := r.tracer.Start(ctx, "cms.remote_fetch")
+	sp.Set("query", q.Name())
+	defer sp.End()
 	if r.StreamCapable() {
 		fs, err := r.FetchStreamCtx(ctx, q)
 		if err != nil {
@@ -139,6 +147,11 @@ func (r *RDI) StreamCapable() bool {
 // tears down the remote producer via Close instead of paying for the full
 // transfer.
 func (r *RDI) FetchStreamCtx(ctx context.Context, q *caql.Query) (*FetchStream, error) {
+	// Establishment span only: tuple delivery is pull-driven by the consumer,
+	// so its duration would say more about the consumer than the remote.
+	ctx, sp := r.tracer.Start(ctx, "cms.remote_stream")
+	sp.Set("query", q.Name())
+	defer sp.End()
 	tr, err := remotedb.TranslateCAQL(q, r)
 	if err != nil {
 		return nil, err

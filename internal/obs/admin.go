@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// AdminServer is the observability HTTP listener behind -admin: Prometheus
+// text at /metrics, expvar at /debug/vars, the pprof suite at
+// /debug/pprof/, and the tracer ring as JSON at /debug/traces.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin binds addr and serves the registry and tracer until Close.
+// Either may be nil (the corresponding endpoint reports empty data).
+func ServeAdmin(addr string, reg *Registry, tr *Tracer) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	// net/http/pprof only self-registers on http.DefaultServeMux; wire its
+	// handlers onto ours explicitly so the admin mux stays isolated.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if tr != nil {
+			_ = tr.WriteJSON(w)
+		} else {
+			_, _ = w.Write([]byte("[]\n"))
+		}
+	})
+	a := &AdminServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (a *AdminServer) Close() error { return a.srv.Close() }
+
+// RegisterRuntime adds process-level runtime gauges (goroutines, heap) to
+// the registry.
+func RegisterRuntime(reg *Registry) {
+	reg.GaugeFunc("braid_go_goroutines", "number of live goroutines",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("braid_go_heap_alloc_bytes", "bytes of allocated heap objects",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}

@@ -1,11 +1,13 @@
 package remotedb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -39,6 +41,11 @@ type Engine struct {
 	plans      *planCache
 	planHits   atomic.Int64
 	planMisses atomic.Int64
+
+	// tracer records engine-side spans (plan-cache probe, optimize, execute).
+	// Nil (the default) disables tracing at near-zero cost; the atomic
+	// pointer lets a server install it after construction without a lock.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // NewEngine returns an empty engine.
@@ -51,6 +58,10 @@ func NewEngine() *Engine {
 		plans:    newPlanCache(planCacheCap),
 	}
 }
+
+// SetTracer installs (or, with nil, removes) the tracer recording
+// engine-side spans. Safe to call while the engine serves queries.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer.Store(t) }
 
 // SetOptimizer toggles the cost-based planner. It is on by default; off, the
 // engine executes every SELECT with the naive materializing executor (the
@@ -208,6 +219,12 @@ func (e *Engine) Stats(name string) (TableStats, error) {
 // DDL/DML) and the number of server-side tuple operations performed (the
 // cost-model input).
 func (e *Engine) Execute(st *Statement) (*relation.Relation, int64, error) {
+	return e.ExecuteCtx(context.Background(), st)
+}
+
+// ExecuteCtx is Execute with a context: engine spans started here parent
+// under the caller's span (or join a trace ID adopted from the wire).
+func (e *Engine) ExecuteCtx(ctx context.Context, st *Statement) (*relation.Relation, int64, error) {
 	switch {
 	case st.Create != nil:
 		return nil, 1, e.CreateTable(st.Create.Table, st.Create.Schema)
@@ -215,9 +232,12 @@ func (e *Engine) Execute(st *Statement) (*relation.Relation, int64, error) {
 		return nil, int64(len(st.Insert.Rows)), e.Insert(st.Insert.Table, st.Insert.Rows)
 	case st.Select != nil:
 		if st.Explain {
+			if st.Analyze {
+				return e.explainAnalyzeSelect(ctx, st.Select)
+			}
 			return e.explainSelect(st.Select)
 		}
-		return e.executeSelect(st.Select)
+		return e.executeSelect(ctx, st.Select)
 	default:
 		return nil, 0, fmt.Errorf("remotedb: empty statement")
 	}
@@ -225,19 +245,29 @@ func (e *Engine) Execute(st *Statement) (*relation.Relation, int64, error) {
 
 // ExecuteSQL parses and runs a statement.
 func (e *Engine) ExecuteSQL(src string) (*relation.Relation, int64, error) {
+	return e.ExecuteSQLCtx(context.Background(), src)
+}
+
+// ExecuteSQLCtx parses and runs a statement under ctx (span parenting and
+// wire-adopted trace IDs flow through).
+func (e *Engine) ExecuteSQLCtx(ctx context.Context, src string) (*relation.Relation, int64, error) {
+	ctx, bind := e.tracer.Load().Start(ctx, "engine.bind")
 	st, err := ParseSQL(src)
+	bind.End()
 	if err != nil {
 		return nil, 0, err
 	}
-	return e.Execute(st)
+	return e.ExecuteCtx(ctx, st)
 }
 
 // executeSelect dispatches a SELECT: through the cost-based planner when the
 // optimizer is on (plan cache, predicate pushdown, join reordering —
 // optimizer.go), or through the naive materializing executor when it is off.
-func (e *Engine) executeSelect(sel *SelectStmt) (*relation.Relation, int64, error) {
+func (e *Engine) executeSelect(ctx context.Context, sel *SelectStmt) (*relation.Relation, int64, error) {
+	ctx, sp := e.tracer.Load().Start(ctx, "engine.execute")
+	defer sp.End()
 	if e.OptimizerEnabled() {
-		return e.executeSelectPlanned(sel)
+		return e.executeSelectPlanned(ctx, sel)
 	}
 	return e.executeSelectNaive(sel)
 }

@@ -1,6 +1,8 @@
 package remotedb
 
 import (
+	"context"
+
 	"repro/internal/relation"
 )
 
@@ -109,6 +111,13 @@ type EngineStream interface {
 // caller to the materializing Execute path, which also owns error
 // reporting: parse and resolution errors surface there, not here.
 func (e *Engine) ExecuteSQLPipeline(src string) (EngineStream, bool) {
+	return e.ExecuteSQLPipelineCtx(context.Background(), src)
+}
+
+// ExecuteSQLPipelineCtx is ExecuteSQLPipeline with a context: plan-cache
+// and optimize spans started under it stitch into the caller's trace (the
+// framed server passes a context carrying the wire-adopted trace ID).
+func (e *Engine) ExecuteSQLPipelineCtx(ctx context.Context, src string) (EngineStream, bool) {
 	if sc, ok := e.ExecuteSQLStream(src); ok {
 		return sc, true
 	}
@@ -119,7 +128,7 @@ func (e *Engine) ExecuteSQLPipeline(src string) (EngineStream, bool) {
 	if err != nil || st.Select == nil || st.Explain {
 		return nil, false
 	}
-	ps, err := e.openPlan(st.Select)
+	ps, err := e.openPlan(ctx, st.Select, false)
 	if err != nil {
 		return nil, false
 	}

@@ -209,6 +209,10 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 		mark(colKey{c.ra, c.rc})
 	}
 
+	// nodeEst stamps the optimizer's output-cardinality estimate on every
+	// node as it is built; EXPLAIN ANALYZE renders it against actuals.
+	nodeEst := make(map[planNode]float64)
+
 	// --- Per-alias subtrees: scan (+ prune) ---
 	subtree := make(map[string]planNode, len(scope.order))
 	prunedCols := make(map[string][]int, len(scope.order))
@@ -247,6 +251,10 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 				keep = append(keep, i)
 			}
 		}
+		nodeEst[sn] = acc.outEst
+		if node != planNode(sn) {
+			nodeEst[node] = acc.outEst
+		}
 		prunedCols[a] = keep
 		subtree[a] = node
 	}
@@ -267,8 +275,12 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 	cur := subtree[best[0]]
 	wideArity := len(prunedCols[best[0]])
 	consumed := make([]bool, len(scope.cross))
+	leftEst := accs[best[0]].outEst
 	for _, a := range best[1:] {
 		right := subtree[a]
+		// Per-step output estimate, mirroring joinOrderCost's recurrence
+		// (joined does not yet include a here).
+		stepOut := leftEst * accs[a].outEst * joinStepSelectivity(scope, accs, joined, a)
 		var eq []relation.JoinCond
 		var post []relation.Cond
 		var condStrs []string
@@ -311,6 +323,8 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 			sch:   cur.Schema().Concat(right.Schema()),
 			desc:  fmt.Sprintf("%s [%s] (build %s, probe streams)", kind, strings.Join(condStrs, " AND "), a),
 		}
+		nodeEst[jn] = stepOut
+		leftEst = stepOut
 		offs[a] = wideArity
 		wideArity += len(prunedCols[a])
 		cur = jn
@@ -330,6 +344,7 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 	}
 	if len(leftover) > 0 {
 		cur = &filterNode{child: cur, conds: leftover, desc: fmt.Sprintf("filter (%d residual conds)", len(leftover))}
+		nodeEst[cur] = wideEst
 	}
 
 	pos := func(k colKey) int { return offs[k.alias] + rankIn(k) }
@@ -384,9 +399,11 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 			child: cur, groupCols: groupCols, specs: specs, sch: aggSch,
 			desc: fmt.Sprintf("aggregate group by (%s) [%s]", strings.Join(groupNames, ", "), strings.Join(specStrs, ", ")),
 		}
+		nodeEst[cur] = est
 		if sel.Distinct {
 			estOps += est
 			cur = &distinctNode{child: cur, desc: "distinct"}
+			nodeEst[cur] = est
 		}
 		if len(sel.OrderBy) > 0 {
 			var cols []int
@@ -406,6 +423,7 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 				sn.desc = fmt.Sprintf("topn (%s) limit %d", strings.Join(names, ", "), sel.Limit)
 			}
 			cur = sn
+			nodeEst[cur] = est
 		}
 		schema = aggSch
 	} else {
@@ -439,18 +457,23 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 				sn.desc = fmt.Sprintf("topn wide (%s) limit %d", strings.Join(names, ", "), sel.Limit)
 			}
 			cur = sn
+			nodeEst[cur] = est
 			estOps += est
 			cur = &projectNode{child: cur, cols: cols, sch: projSch, counted: true, desc: projDesc}
+			nodeEst[cur] = est
 			if sel.Distinct {
 				estOps += est
 				cur = &distinctNode{child: cur, desc: "distinct"}
+				nodeEst[cur] = est
 			}
 		} else {
 			estOps += est
 			cur = &projectNode{child: cur, cols: cols, sch: projSch, counted: true, desc: projDesc}
+			nodeEst[cur] = est
 			if sel.Distinct {
 				estOps += est
 				cur = &distinctNode{child: cur, desc: "distinct"}
+				nodeEst[cur] = est
 			}
 			if len(sortResIdx) > 0 {
 				names := make([]string, len(sortResIdx))
@@ -464,6 +487,7 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 					sn.desc = fmt.Sprintf("topn (%s) limit %d", strings.Join(names, ", "), sel.Limit)
 				}
 				cur = sn
+				nodeEst[cur] = est
 			}
 		}
 		schema = projSch
@@ -471,6 +495,7 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 	if sel.Limit >= 0 {
 		est = math.Min(est, float64(sel.Limit))
 		cur = &limitNode{child: cur, n: sel.Limit, desc: fmt.Sprintf("limit %d", sel.Limit)}
+		nodeEst[cur] = est
 	}
 
 	return &Plan{
@@ -479,6 +504,7 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 		epoch:   epoch,
 		estRows: est,
 		estOps:  estOps,
+		nodeEst: nodeEst,
 	}, nil
 }
 

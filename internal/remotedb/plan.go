@@ -1,8 +1,11 @@
 package remotedb
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -24,6 +27,11 @@ type Plan struct {
 
 	estRows float64 // estimated result cardinality
 	estOps  float64 // estimated server-side tuple operations
+
+	// nodeEst is the optimizer's per-node output-cardinality estimate,
+	// stamped at build time and rendered against actuals by EXPLAIN ANALYZE.
+	// Read-only after buildPlan, like the tree itself.
+	nodeEst map[planNode]float64
 }
 
 // EstRows is the optimizer's estimate of the result cardinality.
@@ -195,7 +203,7 @@ func (n *limitNode) describe() string         { return n.desc }
 // wire-transparent form of EXPLAIN <select>: it flows through every client
 // and transport like an ordinary result.
 func (e *Engine) explainSelect(sel *SelectStmt) (*relation.Relation, int64, error) {
-	p, err := e.planFor(sel)
+	p, _, err := e.planFor(context.Background(), sel)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -206,9 +214,90 @@ func (e *Engine) explainSelect(sel *SelectStmt) (*relation.Relation, int64, erro
 	lines := []string{fmt.Sprintf("optimizer: %s | plan epoch %d | est rows %.0f | est cost %.1f sim-ms",
 		mode, p.epoch, p.estRows, p.EstCost(DefaultCosts()))}
 	lines = append(lines, p.Explain()...)
+	return planLinesRelation(lines), int64(len(lines)), nil
+}
+
+// planLinesRelation wraps EXPLAIN output as a one-column relation so it
+// flows through every client and transport like an ordinary result.
+func planLinesRelation(lines []string) *relation.Relation {
 	out := relation.New("plan", relation.NewSchema(relation.Attr{Name: "plan", Kind: relation.KindString}))
 	for _, l := range lines {
 		out.MustAppend(relation.Tuple{relation.Str(l)})
 	}
-	return out, int64(len(lines)), nil
+	return out
+}
+
+// explainAnalyze renders the plan tree with the optimizer's per-node
+// estimates against the run's recorded actuals: rows emitted, input tuple
+// operations (scan rows examined; for interior nodes the sum of child
+// emissions), and inclusive wall time.
+func (p *Plan) explainAnalyze(run *planRun) []string {
+	var lines []string
+	var walk func(n planNode, depth int)
+	walk = func(n planNode, depth int) {
+		line := strings.Repeat("  ", depth) + n.describe()
+		if est, ok := p.nodeEst[n]; ok {
+			line += fmt.Sprintf(" (est rows %.0f)", est)
+		}
+		if na := run.analyze[n]; na != nil {
+			ops := na.examined
+			for _, c := range n.children() {
+				if ca := run.analyze[c]; ca != nil {
+					ops += ca.rows
+				}
+			}
+			line += fmt.Sprintf(" (actual rows %d, ops %d, time %.3fms)",
+				na.rows, ops, float64(na.wallNS)/1e6)
+		}
+		lines = append(lines, line)
+		for _, c := range n.children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p.root, 0)
+	return lines
+}
+
+// explainAnalyzeSelect executes sel with per-node instrumentation and
+// renders estimated-vs-actual rows/ops/time for every plan node (EXPLAIN
+// ANALYZE SELECT). With the optimizer off, the statement runs through the
+// naive materializing executor and only statement totals are reported —
+// there is no plan tree to attribute time to.
+func (e *Engine) explainAnalyzeSelect(ctx context.Context, sel *SelectStmt) (*relation.Relation, int64, error) {
+	if !e.OptimizerEnabled() {
+		t0 := time.Now()
+		rel, ops, err := e.executeSelectNaive(sel)
+		if err != nil {
+			return nil, 0, err
+		}
+		lines := []string{
+			fmt.Sprintf("optimizer: off | naive materializing executor | actual rows %d | ops %d | time %.3fms",
+				rel.Len(), ops, float64(time.Since(t0).Nanoseconds())/1e6),
+			"(per-node timings require the cost-based optimizer)",
+		}
+		return planLinesRelation(lines), ops, nil
+	}
+	ps, err := e.openPlan(ctx, sel, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	t0 := time.Now()
+	rows := int64(0)
+	for {
+		if _, ok := ps.Next(); !ok {
+			break
+		}
+		rows++
+	}
+	wall := time.Since(t0)
+	p := ps.plan
+	cache := "miss"
+	if ps.cached {
+		cache = "hit"
+	}
+	lines := []string{fmt.Sprintf(
+		"optimizer: on | plan epoch %d | plan cache %s | est rows %.0f | actual rows %d | ops %d | time %.3fms",
+		p.epoch, cache, p.estRows, rows, ps.Ops(), float64(wall.Nanoseconds())/1e6)}
+	lines = append(lines, p.explainAnalyze(ps.run)...)
+	return planLinesRelation(lines), ps.Ops(), nil
 }

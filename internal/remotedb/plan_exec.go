@@ -1,7 +1,9 @@
 package remotedb
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -17,6 +19,30 @@ import (
 type planRun struct {
 	ops   int64
 	scans map[*scanNode]scanBinding
+	// analyze, when non-nil, collects per-node actuals (rows emitted,
+	// inclusive wall time, scan rows examined) for EXPLAIN ANALYZE. It is nil
+	// on ordinary executions, so the hot path pays nothing.
+	analyze map[planNode]*nodeActual
+}
+
+// nodeActual is what one plan node actually did during an analyzed run.
+type nodeActual struct {
+	rows     int64 // tuples the node emitted
+	examined int64 // scan only: snapshot/index rows read before filtering
+	wallNS   int64 // inclusive wall time (open + pulls, children included)
+}
+
+// actualFor returns (allocating) the node's actuals; nil when not analyzing.
+func (run *planRun) actualFor(n planNode) *nodeActual {
+	if run.analyze == nil {
+		return nil
+	}
+	na := run.analyze[n]
+	if na == nil {
+		na = &nodeActual{}
+		run.analyze[n] = na
+	}
+	return na
 }
 
 // scanBinding is a scan's snapshot of the live catalog: the table extension
@@ -41,11 +67,37 @@ func (run *planRun) counted(in relation.Iterator) relation.Iterator {
 	})
 }
 
-// open binds the plan to the live catalog. It fails with errPlanStale when
-// the catalog epoch moved past the plan (the caller drops the cache entry
-// and replans).
-func (p *Plan) open(e *Engine) (*PlanStream, error) {
+// openNode opens a node's iterator, and — when analyzing — times the open
+// (where blocking operators do their work) and wraps the iterator so emitted
+// rows and pull time accrue to the node. Wall times are inclusive of
+// children, PostgreSQL-style.
+func (run *planRun) openNode(n planNode) relation.Iterator {
+	if run.analyze == nil {
+		return n.open(run)
+	}
+	na := run.actualFor(n)
+	t0 := time.Now()
+	it := n.open(run)
+	na.wallNS += time.Since(t0).Nanoseconds()
+	return relation.IteratorFunc(func() (relation.Tuple, bool) {
+		p0 := time.Now()
+		t, ok := it.Next()
+		na.wallNS += time.Since(p0).Nanoseconds()
+		if ok {
+			na.rows++
+		}
+		return t, ok
+	})
+}
+
+// open binds the plan to the live catalog. With analyze set, the run records
+// per-node actuals. It fails with errPlanStale when the catalog epoch moved
+// past the plan (the caller drops the cache entry and replans).
+func (p *Plan) open(e *Engine, analyze bool) (*PlanStream, error) {
 	run := &planRun{scans: make(map[*scanNode]scanBinding)}
+	if analyze {
+		run.analyze = make(map[planNode]*nodeActual)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.epoch.Load() != p.epoch {
@@ -105,12 +157,23 @@ func (n *scanNode) open(run *planRun) relation.Iterator {
 	} else {
 		src = relation.NewSliceIterator(b.rows)
 	}
-	return relation.Select(run.counted(src), n.conds)
+	src = run.counted(src)
+	if na := run.actualFor(n); na != nil {
+		inner := src
+		src = relation.IteratorFunc(func() (relation.Tuple, bool) {
+			t, ok := inner.Next()
+			if ok {
+				na.examined++
+			}
+			return t, ok
+		})
+	}
+	return relation.Select(src, n.conds)
 }
 
 func (n *joinNode) open(run *planRun) relation.Iterator {
-	left := run.counted(n.left.open(run))
-	right := run.counted(n.right.open(run))
+	left := run.counted(run.openNode(n.left))
+	right := run.counted(run.openNode(n.right))
 	if len(n.eq) > 0 {
 		it := relation.HashJoin(left, right, n.eq)
 		if len(n.post) > 0 {
@@ -122,7 +185,7 @@ func (n *joinNode) open(run *planRun) relation.Iterator {
 }
 
 func (n *projectNode) open(run *planRun) relation.Iterator {
-	in := n.child.open(run)
+	in := run.openNode(n.child)
 	if n.counted {
 		in = run.counted(in)
 	}
@@ -130,16 +193,16 @@ func (n *projectNode) open(run *planRun) relation.Iterator {
 }
 
 func (n *filterNode) open(run *planRun) relation.Iterator {
-	return relation.Select(run.counted(n.child.open(run)), n.conds)
+	return relation.Select(run.counted(run.openNode(n.child)), n.conds)
 }
 
 func (n *aggNode) open(run *planRun) relation.Iterator {
-	rows := relation.Aggregate(run.counted(n.child.open(run)), n.groupCols, n.specs)
+	rows := relation.Aggregate(run.counted(run.openNode(n.child)), n.groupCols, n.specs)
 	return relation.NewSliceIterator(rows)
 }
 
 func (n *sortNode) open(run *planRun) relation.Iterator {
-	in := run.counted(n.child.open(run))
+	in := run.counted(run.openNode(n.child))
 	if n.limit >= 0 {
 		return relation.NewSliceIterator(relation.TopN(in, n.cols, n.limit))
 	}
@@ -166,11 +229,11 @@ func (n *sortNode) open(run *planRun) relation.Iterator {
 }
 
 func (n *distinctNode) open(run *planRun) relation.Iterator {
-	return relation.Distinct(run.counted(n.child.open(run)))
+	return relation.Distinct(run.counted(run.openNode(n.child)))
 }
 
 func (n *limitNode) open(run *planRun) relation.Iterator {
-	return relation.Limit(n.child.open(run), n.n)
+	return relation.Limit(run.openNode(n.child), n.n)
 }
 
 // PlanStream executes a bound plan as a pull stream: Next drives the
@@ -178,9 +241,10 @@ func (n *limitNode) open(run *planRun) relation.Iterator {
 // plan's blocking prefix allows — no full materialization. It implements
 // EngineStream alongside ScanStream.
 type PlanStream struct {
-	plan *Plan
-	run  *planRun
-	it   relation.Iterator
+	plan   *Plan
+	run    *planRun
+	it     relation.Iterator
+	cached bool // the plan came out of the plan cache (slow-query log field)
 }
 
 // Schema returns the result schema.
@@ -195,31 +259,42 @@ func (s *PlanStream) Ops() int64 { return s.run.ops }
 // Plan returns the compiled plan backing this stream.
 func (s *PlanStream) Plan() *Plan { return s.plan }
 
+// Cached reports whether the plan was served from the plan cache.
+func (s *PlanStream) Cached() bool { return s.cached }
+
 // Next returns the next result tuple. The iterator tree is built on the
 // first call; hash-join builds and sorts run then.
 func (s *PlanStream) Next() (relation.Tuple, bool) {
 	if s.it == nil {
-		s.it = s.plan.root.open(s.run)
+		s.it = s.run.openNode(s.plan.root)
 	}
 	return s.it.Next()
 }
 
 // planFor returns the cached plan for sel, compiling (and caching) it on a
-// miss. Stale-epoch entries count as misses.
-func (e *Engine) planFor(sel *SelectStmt) (*Plan, error) {
+// miss. Stale-epoch entries count as misses. hit reports a cache hit (the
+// slow-query log and EXPLAIN ANALYZE header surface it).
+func (e *Engine) planFor(ctx context.Context, sel *SelectStmt) (p *Plan, hit bool, err error) {
+	_, probe := e.tracer.Load().Start(ctx, "engine.plancache")
 	key := StatementHash(sel.String())
 	if p := e.plans.get(key, e.epoch.Load()); p != nil {
 		e.planHits.Add(1)
-		return p, nil
+		probe.Set("hit", "true")
+		probe.End()
+		return p, true, nil
 	}
 	e.planMisses.Add(1)
-	p, err := e.buildPlan(sel)
+	probe.Set("hit", "false")
+	probe.End()
+	_, opt := e.tracer.Load().Start(ctx, "engine.optimize")
+	p, err = e.buildPlan(sel)
+	opt.End()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	p.key = key
 	e.plans.put(key, p)
-	return p, nil
+	return p, false, nil
 }
 
 // PlanForSQL compiles (or fetches from the plan cache) the plan for a
@@ -234,18 +309,20 @@ func (e *Engine) PlanForSQL(src string) (*Plan, error) {
 	if st.Select == nil {
 		return nil, errNotSelect
 	}
-	return e.planFor(st.Select)
+	p, _, err := e.planFor(context.Background(), st.Select)
+	return p, err
 }
 
 // openPlan fetches-or-builds the plan for sel and binds it to the live
-// catalog, replanning when a concurrent mutation raced the bind.
-func (e *Engine) openPlan(sel *SelectStmt) (*PlanStream, error) {
+// catalog, replanning when a concurrent mutation raced the bind. With
+// analyze set the returned stream records per-node actuals.
+func (e *Engine) openPlan(ctx context.Context, sel *SelectStmt, analyze bool) (*PlanStream, error) {
 	for attempt := 0; ; attempt++ {
-		p, err := e.planFor(sel)
+		p, hit, err := e.planFor(ctx, sel)
 		if err != nil {
 			return nil, err
 		}
-		ps, err := p.open(e)
+		ps, err := p.open(e, analyze)
 		if err == errPlanStale && attempt < 4 {
 			e.plans.remove(p.key)
 			continue
@@ -253,6 +330,7 @@ func (e *Engine) openPlan(sel *SelectStmt) (*PlanStream, error) {
 		if err != nil {
 			return nil, err
 		}
+		ps.cached = hit
 		return ps, nil
 	}
 }
@@ -260,8 +338,8 @@ func (e *Engine) openPlan(sel *SelectStmt) (*PlanStream, error) {
 // executeSelectPlanned runs a SELECT through the cost-based planner and
 // materializes the streamed result (the Execute API returns whole
 // relations; the v2 wire path streams the PlanStream directly).
-func (e *Engine) executeSelectPlanned(sel *SelectStmt) (*relation.Relation, int64, error) {
-	ps, err := e.openPlan(sel)
+func (e *Engine) executeSelectPlanned(ctx context.Context, sel *SelectStmt) (*relation.Relation, int64, error) {
+	ps, err := e.openPlan(ctx, sel, false)
 	if err != nil {
 		return nil, 0, err
 	}

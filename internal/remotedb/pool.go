@@ -5,12 +5,14 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -50,8 +52,53 @@ type PoolClient struct {
 	done     chan struct{}
 	healthWg sync.WaitGroup
 
-	statsMu sync.Mutex
-	stats   Stats
+	stats statsRec
+}
+
+// statsRec is the pool's counter store: one atomic per Stats field, so the
+// hot path (every frame, every request) never takes a lock and a Stats()
+// snapshot during load is race-free. SimMS, the one float, accumulates via
+// CAS on its bit pattern.
+type statsRec struct {
+	requests        atomic.Int64
+	tuplesReturned  atomic.Int64
+	serverOps       atomic.Int64
+	framesSent      atomic.Int64
+	framesRecv      atomic.Int64
+	streams         atomic.Int64
+	streamsCanceled atomic.Int64
+	firstTupleNS    atomic.Int64
+	healthProbes    atomic.Int64
+	probeFailures   atomic.Int64
+	reconnects      atomic.Int64
+	simMSBits       atomic.Uint64
+}
+
+func (r *statsRec) addSimMS(d float64) {
+	for {
+		old := r.simMSBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if r.simMSBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+func (r *statsRec) snapshot() Stats {
+	return Stats{
+		Requests:        r.requests.Load(),
+		TuplesReturned:  r.tuplesReturned.Load(),
+		ServerOps:       r.serverOps.Load(),
+		SimMS:           math.Float64frombits(r.simMSBits.Load()),
+		FramesSent:      r.framesSent.Load(),
+		FramesRecv:      r.framesRecv.Load(),
+		Streams:         r.streams.Load(),
+		StreamsCanceled: r.streamsCanceled.Load(),
+		FirstTupleNS:    r.firstTupleNS.Load(),
+		HealthProbes:    r.healthProbes.Load(),
+		ProbeFailures:   r.probeFailures.Load(),
+		Reconnects:      r.reconnects.Load(),
+	}
 }
 
 // PoolOptions configures a PoolClient.
@@ -162,15 +209,15 @@ func (p *PoolClient) healthPass() {
 			if !p.opts.Redial || c.quarantined(now) {
 				continue
 			}
-			p.addStats(func(s *Stats) { s.Reconnects++ })
+			p.stats.reconnects.Add(1)
 			c.ensure(context.Background()) // a failed dial re-quarantines (dialLocked)
 			continue
 		}
-		p.addStats(func(s *Stats) { s.HealthProbes++ })
+		p.stats.healthProbes.Add(1)
 		if err := c.probe(); err != nil {
 			// The connection is dead but nothing was in flight to notice:
 			// evict it now so pick never dispatches onto it.
-			p.addStats(func(s *Stats) { s.ProbeFailures++ })
+			p.stats.probeFailures.Add(1)
 			c.teardown(&TransportError{Op: "ping", Err: err})
 		}
 	}
@@ -230,17 +277,10 @@ func (p *PoolClient) pick(ctx context.Context) (*muxConn, error) {
 	return best, nil
 }
 
-func (p *PoolClient) addStats(f func(*Stats)) {
-	p.statsMu.Lock()
-	f(&p.stats)
-	p.statsMu.Unlock()
-}
-
-// Stats implements Client.
+// Stats implements Client. The snapshot is assembled from per-field atomics,
+// so it is safe (and exact per field) while requests are in flight.
 func (p *PoolClient) Stats() Stats {
-	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	return p.stats
+	return p.stats.snapshot()
 }
 
 // Close implements Client: every connection is torn down; in-flight streams
@@ -553,7 +593,7 @@ func (c *muxConn) readLoop(conn net.Conn, dec *gob.Decoder) {
 			c.teardown(&TransportError{Op: "read", Err: err})
 			return
 		}
-		c.p.addStats(func(s *Stats) { s.FramesRecv++ })
+		c.p.stats.framesRecv.Add(1)
 		c.mu.Lock()
 		st := c.streams[f.ID]
 		if st != nil && f.Kind == frameEnd {
@@ -587,7 +627,7 @@ func (c *muxConn) writeFrame(f *wireFrame) error {
 		c.teardown(&TransportError{Op: "write", Err: err})
 		return err
 	}
-	c.p.addStats(func(s *Stats) { s.FramesSent++ })
+	c.p.stats.framesSent.Add(1)
 	return nil
 }
 
@@ -625,12 +665,18 @@ func (c *muxConn) execStream(ctx context.Context, sql, resume string, skip int64
 	c.mu.Unlock()
 	c.load.Add(1)
 
-	if err := c.writeFrame(&wireFrame{ID: id, Kind: frameReq, Req: &wireRequest{Op: "exec", SQL: sql, Resume: resume, Skip: skip}}); err != nil {
+	// The context's trace ID (the CMS-side span's trace, or one adopted
+	// upstream) rides the request so server spans stitch into the same
+	// trace. A v1 peer never reaches here; gob drops the field for old
+	// binaries that predate it.
+	req := &wireRequest{Op: "exec", SQL: sql, Resume: resume, Skip: skip, Trace: obs.TraceID(ctx)}
+	if err := c.writeFrame(&wireFrame{ID: id, Kind: frameReq, Req: req}); err != nil {
 		c.unregister(id)
 		c.load.Add(-1)
 		return nil, &TransportError{Op: "exec", Err: err}
 	}
-	c.p.addStats(func(s *Stats) { s.Requests++; s.Streams++ })
+	c.p.stats.requests.Add(1)
+	c.p.stats.streams.Add(1)
 
 	// Wait for the header (or a terminal error) so the caller gets a stream
 	// with a known schema, and so establishment errors are returned as plain
@@ -756,12 +802,10 @@ func (c *muxConn) execV1(ctx context.Context, sql string) (*Result, error) {
 		tuples = int64(rel.Len())
 	}
 	sim := c.p.opts.Costs.RequestCost(tuples, resp.Ops)
-	c.p.addStats(func(s *Stats) {
-		s.Requests++
-		s.TuplesReturned += tuples
-		s.ServerOps += resp.Ops
-		s.SimMS += sim
-	})
+	c.p.stats.requests.Add(1)
+	c.p.stats.tuplesReturned.Add(tuples)
+	c.p.stats.serverOps.Add(resp.Ops)
+	c.p.stats.addSimMS(sim)
 	return &Result{Rel: rel, SimMS: sim}, nil
 }
 
@@ -935,8 +979,7 @@ func (st *muxStream) noteFirst() {
 		return
 	}
 	st.firstSeen = true
-	d := time.Since(st.issued).Nanoseconds()
-	st.c.p.addStats(func(s *Stats) { s.FirstTupleNS += d })
+	st.c.p.stats.firstTupleNS.Add(time.Since(st.issued).Nanoseconds())
 }
 
 // ResumeState implements ResumeReporter.
@@ -974,7 +1017,7 @@ func (st *muxStream) abort(err error) {
 	// Best-effort cancel so the server stops producing for this ID; a broken
 	// connection needs no cancel (the whole conn is gone).
 	st.c.writeFrame(&wireFrame{ID: st.id, Kind: frameCancel})
-	st.c.p.addStats(func(s *Stats) { s.StreamsCanceled++ })
+	st.c.p.stats.streamsCanceled.Add(1)
 	st.settle()
 }
 
@@ -995,11 +1038,9 @@ func (st *muxStream) settle() {
 	st.settled = true
 	st.c.load.Add(-1)
 	st.sim = st.c.p.opts.Costs.RequestCost(st.tuples, st.ops)
-	st.c.p.addStats(func(s *Stats) {
-		s.TuplesReturned += st.tuples
-		s.ServerOps += st.ops
-		s.SimMS += st.sim
-	})
+	st.c.p.stats.tuplesReturned.Add(st.tuples)
+	st.c.p.stats.serverOps.Add(st.ops)
+	st.c.p.stats.addSimMS(st.sim)
 }
 
 // Schema implements TupleStream.

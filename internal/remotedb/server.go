@@ -1,15 +1,19 @@
 package remotedb
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Server exposes an Engine over TCP with a gob-encoded request/response
@@ -35,6 +39,10 @@ type Server struct {
 	streamsCanceled atomic.Int64
 	streamKills     atomic.Int64
 	streamResumes   atomic.Int64
+
+	// frameLat observes per-frame write latency in microseconds (nil when no
+	// metrics registry is configured — the write path then takes no timestamps).
+	frameLat *obs.Histogram
 
 	faultMu  sync.Mutex
 	faultRng *rand.Rand
@@ -76,6 +84,22 @@ type ServerOptions struct {
 	// interleaves at frame granularity. Pool clients get parallelism by
 	// opening more connections, not by widening one.
 	ConnStreams int
+	// Tracer, when non-nil, records a server-side span per framed request.
+	// Requests carrying a wire trace ID (wireRequest.Trace) stitch those spans
+	// into the client's trace.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the server's admission/stream counters
+	// (read-through over the existing atomics) and a frame-write latency
+	// histogram under the braid_server_* namespace.
+	Metrics *obs.Registry
+	// SlowQuery enables the structured slow-query log: an exec request whose
+	// end-to-end handling takes at least this long is logged to SlowLog with
+	// its statement hash, plan-cache outcome, row/frame counts, and duration
+	// (0: disabled; the hot path then takes no timestamps).
+	SlowQuery time.Duration
+	// SlowLog is the destination of the slow-query log (nil with SlowQuery
+	// set: slog.Default()).
+	SlowLog *slog.Logger
 }
 
 // ServerStats are cumulative admission/deadline/streaming counters.
@@ -135,6 +159,42 @@ func NewServerWithOptions(engine *Engine, opts ServerOptions) *Server {
 	}
 	if opts.Faults != nil {
 		s.faultRng = rand.New(rand.NewSource(opts.Faults.Seed))
+	}
+	if opts.SlowQuery > 0 && opts.SlowLog == nil {
+		s.opts.SlowLog = slog.Default()
+	}
+	if reg := opts.Metrics; reg != nil {
+		// Read-through counters: the atomics on Server stay authoritative, the
+		// registry samples them at scrape time — no double accounting.
+		reg.CounterFunc("braid_server_shed_total",
+			"Requests rejected by the MaxInflight admission limit.", s.shed.Load)
+		reg.CounterFunc("braid_server_timeouts_total",
+			"Requests abandoned at the server request deadline.", s.timeouts.Load)
+		reg.CounterFunc("braid_server_frames_sent_total",
+			"Wire v2 response frames written (headers, batches, ends).", s.framesSent.Load)
+		reg.CounterFunc("braid_server_streams_canceled_total",
+			"Wire v2 streams torn down mid-flight by cancel or disconnect.", s.streamsCanceled.Load)
+		reg.CounterFunc("braid_server_stream_kills_total",
+			"Connections severed mid-stream by injected stream faults.", s.streamKills.Load)
+		reg.CounterFunc("braid_server_stream_resumes_total",
+			"Re-issued streamed requests honored with a server-side skip.", s.streamResumes.Load)
+		reg.CounterFunc("braid_server_plan_cache_hits_total",
+			"Compiled plans served from the statement-hash plan cache.",
+			func() int64 { return engine.PlanCacheStats().Hits })
+		reg.CounterFunc("braid_server_plan_cache_misses_total",
+			"SELECT statements compiled because no live cached plan matched.",
+			func() int64 { return engine.PlanCacheStats().Misses })
+		reg.GaugeFunc("braid_server_plan_cache_hit_rate",
+			"Plan-cache hits / (hits + misses) over the server's lifetime.",
+			func() float64 {
+				st := engine.PlanCacheStats()
+				if total := st.Hits + st.Misses; total > 0 {
+					return float64(st.Hits) / float64(total)
+				}
+				return 0
+			})
+		s.frameLat = reg.Histogram("braid_server_frame_write_us",
+			"Latency of one response frame write, microseconds.")
 	}
 	return s
 }
@@ -318,7 +378,7 @@ func (s *Server) dispatch(req *wireRequest) (resp wireResponse, keep bool) {
 		if !s.rollFault() {
 			return wireResponse{}, false // injected dropped connection
 		}
-		return s.handle(req), true
+		return s.handle(context.Background(), req), true
 	}
 	// Deadline-bounded execution: fault delays and the engine call both run
 	// under the request clock (an injected delay models slow server work).
@@ -336,7 +396,7 @@ func (s *Server) dispatch(req *wireRequest) (resp wireResponse, keep bool) {
 			ch <- outcome{wireResponse{}, false} // injected dropped connection
 			return
 		}
-		ch <- outcome{s.handle(req), true}
+		ch <- outcome{s.handle(context.Background(), req), true}
 	}()
 	timer := time.NewTimer(s.opts.RequestTimeout)
 	defer timer.Stop()
@@ -349,13 +409,47 @@ func (s *Server) dispatch(req *wireRequest) (resp wireResponse, keep bool) {
 	}
 }
 
-func (s *Server) handle(req *wireRequest) wireResponse {
+// slowClock returns the start timestamp for the slow-query log, zero when the
+// log is disabled so the hot path pays no time.Now when off.
+func (s *Server) slowClock() time.Time {
+	if s.opts.SlowQuery <= 0 {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// logSlow emits one slow-query record when logging is enabled and the request
+// ran at least SlowQuery. start is the slowClock() value (zero: disabled).
+func (s *Server) logSlow(start time.Time, sql string, cached bool, rows, frames int64) {
+	if start.IsZero() {
+		return
+	}
+	d := time.Since(start)
+	if d < s.opts.SlowQuery {
+		return
+	}
+	s.opts.SlowLog.Info("slow query",
+		"stmt_hash", fmt.Sprintf("%016x", StatementHash(sql)),
+		"plan_cache_hit", cached,
+		"rows", rows,
+		"frames", frames,
+		"dur_ms", float64(d.Nanoseconds())/1e6,
+	)
+}
+
+func (s *Server) handle(ctx context.Context, req *wireRequest) wireResponse {
 	switch req.Op {
 	case "exec":
-		rel, ops, err := s.engine.ExecuteSQL(req.SQL)
+		start := s.slowClock()
+		rel, ops, err := s.engine.ExecuteSQLCtx(ctx, req.SQL)
 		if err != nil {
 			return wireResponse{Err: err.Error()}
 		}
+		var rows int64
+		if rel != nil {
+			rows = int64(len(rel.Tuples()))
+		}
+		s.logSlow(start, req.SQL, false, rows, 0)
 		return wireResponse{Rel: toWireRelation(rel), Ops: ops}
 	case "schema":
 		sch, err := s.engine.Schema(req.Name)

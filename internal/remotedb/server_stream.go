@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the server half of wire protocol v2 (frame.go): after the
@@ -118,7 +120,14 @@ func (fc *framedConn) write(f *wireFrame) error {
 	if fc.s.opts.WriteTimeout > 0 {
 		fc.conn.SetWriteDeadline(time.Now().Add(fc.s.opts.WriteTimeout))
 	}
+	var t0 time.Time
+	if fc.s.frameLat != nil {
+		t0 = time.Now()
+	}
 	err := writeFrame(fc.enc, f)
+	if fc.s.frameLat != nil {
+		fc.s.frameLat.Observe(time.Since(t0).Microseconds())
+	}
 	if fc.s.opts.WriteTimeout > 0 {
 		fc.conn.SetWriteDeadline(time.Time{})
 	}
@@ -155,6 +164,16 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 		fc.active--
 		fc.mu.Unlock()
 	}()
+
+	// Adopt the trace ID the request carried so every span recorded under ctx
+	// — the server span here and the engine's plan-cache/optimize/execute
+	// spans below — stitches into the client's distributed trace. A zero ID
+	// (untraced request, v1-era client) leaves the context unchanged.
+	ctx = obs.WithTraceID(ctx, req.Trace)
+	sctx, sp := s.opts.Tracer.Start(ctx, "server.stream")
+	sp.Set("op", req.Op)
+	defer sp.End()
+	ctx = sctx
 
 	// Per-connection execution slot: by default requests of one session
 	// execute serially, in arrival order. A queued request is still
@@ -206,6 +225,7 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 	// tuples on demand and frames ship as the scan advances, so the client's
 	// first tuple costs one frame of work, not the whole result.
 	if req.Op == "exec" {
+		start := s.slowClock()
 		if req.Resume != "" {
 			// Re-issued request carrying a resume token: serve the remainder
 			// of the pinned snapshot when it still exists. Any failure —
@@ -215,15 +235,34 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 			if tok, err := ParseResumeToken(req.Resume); err == nil {
 				if sc, ok := s.engine.ResumeSQLStream(req.SQL, tok, req.Skip); ok {
 					s.streamResumes.Add(1)
-					fc.streamScan(ctx, id, sc, delay, release, true, killer)
+					rows, frames := fc.streamScan(ctx, id, sc, delay, release, true, killer)
+					s.logSlow(start, req.SQL, false, rows, frames)
 					return
 				}
 			}
 		}
-		if sc, ok := s.engine.ExecuteSQLPipeline(req.SQL); ok {
-			fc.streamScan(ctx, id, sc, delay, release, false, killer)
+		if sc, ok := s.engine.ExecuteSQLPipelineCtx(ctx, req.SQL); ok {
+			rows, frames := fc.streamScan(ctx, id, sc, delay, release, false, killer)
+			cached := false
+			if ps, ok := sc.(*PlanStream); ok {
+				cached = ps.Cached()
+			}
+			s.logSlow(start, req.SQL, cached, rows, frames)
 			return
 		}
+		resp, canceled := s.runBounded(ctx, req, delay, release)
+		if canceled {
+			s.streamsCanceled.Add(1)
+			fc.writeEnd(id, wireCodeCanceled, context.Canceled.Error(), 0)
+			return
+		}
+		if resp.Err != "" {
+			fc.writeEnd(id, resp.Code, resp.Err, resp.Ops)
+			return
+		}
+		rows, frames := fc.streamResult(ctx, id, &resp, killer)
+		s.logSlow(start, req.SQL, false, rows, frames)
+		return
 	}
 
 	resp, canceled := s.runBounded(ctx, req, delay, release)
@@ -232,21 +271,17 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 		fc.writeEnd(id, wireCodeCanceled, context.Canceled.Error(), 0)
 		return
 	}
-	if resp.Err != "" || req.Op != "exec" {
-		// Errors and the small catalog ops fit in the terminal frame.
-		fc.write(&wireFrame{
-			ID:     id,
-			Kind:   frameEnd,
-			Code:   resp.Code,
-			Err:    resp.Err,
-			Ops:    resp.Ops,
-			Attrs:  resp.Attrs,
-			Stats:  resp.Stats,
-			Tables: resp.Tables,
-		})
-		return
-	}
-	fc.streamResult(ctx, id, &resp, killer)
+	// Errors and the small catalog ops fit in the terminal frame.
+	fc.write(&wireFrame{
+		ID:     id,
+		Kind:   frameEnd,
+		Code:   resp.Code,
+		Err:    resp.Err,
+		Ops:    resp.Ops,
+		Attrs:  resp.Attrs,
+		Stats:  resp.Stats,
+		Tables: resp.Tables,
+	})
 }
 
 // rollStreamFault decides whether one stream's connection dies mid-transfer
@@ -317,7 +352,7 @@ func (s *Server) runBounded(ctx context.Context, req *wireRequest, delay time.Du
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		ch <- s.handle(req)
+		ch <- s.handle(ctx, req)
 	}()
 	var timerC <-chan time.Time
 	if s.opts.RequestTimeout > 0 {
@@ -341,8 +376,9 @@ func (s *Server) runBounded(ctx context.Context, req *wireRequest, delay time.Du
 // are produced. The request deadline bounds production, checked at frame
 // granularity; an injected delay fault models slow server work before the
 // first tuple, interruptible by the deadline and by cancellation as on the
-// materialized path.
-func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc EngineStream, delay time.Duration, release func(), resumed bool, killer *streamKiller) {
+// materialized path. It returns the tuples and frames shipped, for the
+// slow-query log.
+func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc EngineStream, delay time.Duration, release func(), resumed bool, killer *streamKiller) (rows, frames int64) {
 	s := fc.s
 	defer release()
 	var timerC <-chan time.Time
@@ -387,6 +423,7 @@ func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc EngineStream
 	}) != nil {
 		return
 	}
+	frames++
 	if killer.afterWrite() {
 		return
 	}
@@ -418,18 +455,23 @@ func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc EngineStream
 			if fc.write(&wireFrame{ID: id, Kind: frameBatch, Tuples: batch}) != nil {
 				return
 			}
+			rows += int64(len(batch))
+			frames++
 			if killer.afterWrite() {
 				return
 			}
 		}
 	}
 	fc.writeEnd(id, wireCodeNone, "", sc.Ops())
+	frames++
+	return rows, frames
 }
 
 // streamResult ships an exec result as header + tuple batches + end,
 // checking for cancellation between batches so a canceled stream stops
-// producing after at most one more frame.
-func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireResponse, killer *streamKiller) {
+// producing after at most one more frame. It returns the tuples and frames
+// shipped, for the slow-query log.
+func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireResponse, killer *streamKiller) (sent, frames int64) {
 	var (
 		name  string
 		attrs []wireAttr
@@ -445,6 +487,7 @@ func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireRes
 	if fc.write(&wireFrame{ID: id, Kind: frameHeader, Name: name, Attrs: attrs}) != nil {
 		return
 	}
+	frames++
 	if killer.afterWrite() {
 		return
 	}
@@ -458,9 +501,13 @@ func (fc *framedConn) streamResult(ctx context.Context, id uint64, resp *wireRes
 		if fc.write(&wireFrame{ID: id, Kind: frameBatch, Tuples: rows[start:end]}) != nil {
 			return
 		}
+		sent += int64(end - start)
+		frames++
 		if killer.afterWrite() {
 			return
 		}
 	}
 	fc.writeEnd(id, wireCodeNone, "", resp.Ops)
+	frames++
+	return sent, frames
 }

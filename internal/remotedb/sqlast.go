@@ -29,11 +29,14 @@ import (
 // Statement is a parsed DML statement: exactly one field is non-nil.
 // Explain marks an EXPLAIN SELECT: the engine returns the compiled plan of
 // the wrapped SELECT (as a one-column relation) instead of executing it.
+// Analyze additionally executes the plan and annotates every node with the
+// actual rows/ops/wall-time it produced (EXPLAIN ANALYZE SELECT).
 type Statement struct {
 	Create  *CreateStmt
 	Insert  *InsertStmt
 	Select  *SelectStmt
 	Explain bool
+	Analyze bool
 }
 
 // CreateStmt is CREATE TABLE.

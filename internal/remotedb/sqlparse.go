@@ -162,6 +162,11 @@ func (p *sqlParser) parseStatement() (*Statement, error) {
 	switch {
 	case p.atWord("EXPLAIN"):
 		p.advance()
+		analyze := false
+		if p.atWord("ANALYZE") {
+			p.advance()
+			analyze = true
+		}
 		if !p.atWord("SELECT") {
 			return nil, fmt.Errorf("remotedb: EXPLAIN expects SELECT, found %q", p.cur().text)
 		}
@@ -169,7 +174,7 @@ func (p *sqlParser) parseStatement() (*Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Statement{Select: sel, Explain: true}, nil
+		return &Statement{Select: sel, Explain: true, Analyze: analyze}, nil
 	case p.atWord("CREATE"):
 		c, err := p.parseCreate()
 		if err != nil {

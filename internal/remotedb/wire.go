@@ -139,6 +139,11 @@ type wireRequest struct {
 	// Skip is the number of result tuples the client already delivered to its
 	// consumer before the stream died (meaningful with Resume).
 	Skip int64
+	// Trace is the client's trace ID for this request (0: untraced). The
+	// server adopts it for the spans its execution records, stitching client
+	// and server into one distributed trace. Gob ignores fields the peer
+	// doesn't know, so v1/older binaries interoperate unchanged.
+	Trace uint64
 }
 
 // Protocol versions.
