@@ -1,5 +1,5 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E17, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E18, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
@@ -7,8 +7,8 @@
 //	braid-bench                  # run every experiment
 //	braid-bench E2 E5            # run selected experiments
 //	braid-bench -list            # list experiments
-//	braid-bench -json BENCH_PR8.json   # run E14+E15+E16+E17, emit machine-readable metrics
-//	braid-bench -json out.json -baseline BENCH_PR8.json  # diff against a committed baseline
+//	braid-bench -json BENCH_PR9.json   # run E14..E18, emit machine-readable metrics
+//	braid-bench -json out.json -baseline BENCH_PR9.json  # diff against a committed baseline
 //	braid-bench -cpuprofile cpu.out -memprofile mem.out E12
 //	braid-bench -admin 127.0.0.1:9900 E12   # watch /metrics + pprof while it runs
 package main
@@ -48,16 +48,18 @@ var registry = []struct {
 	{"E15", "mid-stream failure recovery: resumable streams", experiments.E15StreamRecovery},
 	{"E16", "cost-based optimizer: pipelined joins, plan cache", experiments.E16PlannerStreaming},
 	{"E17", "observability overhead: tracing/metrics on vs off vs sampled", experiments.E17Overhead},
+	{"E18", "durability: write throughput by fsync policy; recovery time by log size", experiments.E18Durability},
 }
 
 // benchData is the -json payload: the raw measurements of the wire-transport,
-// optimizer, and observability experiments (BENCH_PR7.json / BENCH_PR8.json
-// commit one run each as baseline).
+// optimizer, observability, and durability experiments (BENCH_PR7.json /
+// BENCH_PR8.json / BENCH_PR9.json commit one run each as baseline).
 type benchData struct {
 	E14 *experiments.E14Data `json:"e14"`
 	E15 *experiments.E15Data `json:"e15"`
 	E16 *experiments.E16Data `json:"e16,omitempty"`
 	E17 *experiments.E17Data `json:"e17,omitempty"`
+	E18 *experiments.E18Data `json:"e18,omitempty"`
 }
 
 // diffBaseline compares a fresh run against a committed baseline and returns
@@ -73,7 +75,11 @@ type benchData struct {
 //     and the plan-cache hit rate >= 90% is an INVARIANT;
 //   - E17 sampled-tracing p99 overhead <= 5% is an INVARIANT (with a 3x
 //     allowance over a baseline that already exceeded it — overhead this
-//     small sits near the scheduler noise floor on shared runners).
+//     small sits near the scheduler noise floor on shared runners);
+//   - E18 recovery correctness (every acked row replayed, exactly once) is an
+//     INVARIANT, and fsync=off write throughput may not drop below 40% of
+//     baseline (absolute rows/s across policies is machine noise, but the
+//     no-sync arm collapsing means the WAL append path itself regressed).
 func diffBaseline(cur, base benchData) []string {
 	var regressions []string
 	ratio := func(name string, cur, base float64) {
@@ -123,6 +129,26 @@ func diffBaseline(cur, base benchData) []string {
 					cur.E17.SampledOverheadP99Pct, bound))
 		}
 	}
+	if cur.E18 != nil {
+		if !cur.E18.RecoveryCorrect {
+			regressions = append(regressions,
+				"E18 recovery lost or duplicated acknowledged rows (RecoveryCorrect must hold)")
+		}
+		if base.E18 != nil {
+			var curOff, baseOff float64
+			for _, a := range cur.E18.Arms {
+				if a.Policy == "off" {
+					curOff = a.RowsPS
+				}
+			}
+			for _, a := range base.E18.Arms {
+				if a.Policy == "off" {
+					baseOff = a.RowsPS
+				}
+			}
+			ratio("E18 fsync=off write rows/s", curOff, baseOff)
+		}
+	}
 	if cur.E15 != nil && base.E15 != nil {
 		if cur.E15.ResumeCompletionPct < 100 {
 			regressions = append(regressions,
@@ -141,7 +167,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	jsonOut := flag.String("json", "", "run E14+E15+E16+E17 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates, plan-cache hit rate, instrumentation overhead) to this file")
+	jsonOut := flag.String("json", "", "run E14..E18 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates, plan-cache hit rate, instrumentation overhead, durability cost) to this file")
 	adminAddr := flag.String("admin", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while the suite runs (empty: disabled)")
 	baseline := flag.String("baseline", "", "with -json: diff the fresh run against this committed baseline and exit nonzero on a regression")
 	flag.Parse()
@@ -188,8 +214,8 @@ func main() {
 	}
 	ran := 0
 
-	// -json runs E14, E15, and E16 exactly once, printing their tables and
-	// persisting the raw measurements; the registry loop below skips them.
+	// -json runs E14..E18 exactly once, printing their tables and persisting
+	// the raw measurements; the registry loop below skips them.
 	if *jsonOut != "" {
 		e14, err := experiments.RunE14Bench()
 		if err != nil {
@@ -215,7 +241,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.E17Render(e17).String())
-		data := benchData{E14: e14, E15: e15, E16: e16, E17: e17}
+		e18, err := experiments.RunE18Bench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: E18: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.E18Render(e18).String())
+		data := benchData{E14: e14, E15: e15, E16: e16, E17: e17, E18: e18}
 		buf, err := json.MarshalIndent(data, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "braid-bench: -json: %v\n", err)
@@ -254,7 +286,7 @@ func main() {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		if (e.id == "E14" || e.id == "E15" || e.id == "E16" || e.id == "E17") && *jsonOut != "" {
+		if (e.id == "E14" || e.id == "E15" || e.id == "E16" || e.id == "E17" || e.id == "E18") && *jsonOut != "" {
 			continue // already ran above
 		}
 		fmt.Println(e.run().String())

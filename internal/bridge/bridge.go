@@ -114,6 +114,12 @@ type SourceStats struct {
 	BreakerOpens   int64 // circuit-breaker open transitions
 	StreamResumes  int64 // mid-stream failures repaired by resume re-dispatch
 
+	// EpochInvalidations counts cached views evicted because a fetch observed
+	// a newer backend catalog epoch than the view was built under — the
+	// stale-epoch defense refusing to serve a state the server has moved past
+	// (zero when the transport does not report epochs).
+	EpochInvalidations int64
+
 	// Streamed-transport counters (populated when the remote client speaks
 	// the framed v2 wire protocol; zero on the monolithic transport).
 	FramesSent      int64   // protocol frames written to the remote DBMS

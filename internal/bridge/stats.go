@@ -23,6 +23,9 @@ type StatsCounters struct {
 	IndexBuilds     atomic.Int64
 	LazyAnswers     atomic.Int64
 	DegradedHits    atomic.Int64
+	// EpochInvalidations counts stale-epoch cache evictions (see
+	// SourceStats.EpochInvalidations).
+	EpochInvalidations atomic.Int64
 
 	// Dispatch outcomes (see SourceStats for the conservation invariant).
 	Admitted         atomic.Int64
@@ -68,8 +71,9 @@ func (c *StatsCounters) Snapshot() SourceStats {
 		PrefetchDrops:   c.PrefetchDrops.Load(),
 		Generalizations: c.Generalizations.Load(),
 		IndexBuilds:     c.IndexBuilds.Load(),
-		LazyAnswers:     c.LazyAnswers.Load(),
-		DegradedHits:    c.DegradedHits.Load(),
+		LazyAnswers:        c.LazyAnswers.Load(),
+		DegradedHits:       c.DegradedHits.Load(),
+		EpochInvalidations: c.EpochInvalidations.Load(),
 
 		Admitted:         c.Admitted.Load(),
 		Queued:           c.Queued.Load(),

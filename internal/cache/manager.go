@@ -241,6 +241,18 @@ func (s *managerShard) removeLocked(e *Element) {
 	}
 }
 
+// Remove evicts one element immediately (a no-op if it is already gone): the
+// QPO's stale-epoch invalidation path, which must unlink a view before
+// refetching so no later lookup can serve it.
+func (m *Manager) Remove(e *Element) {
+	s := m.shardFor(e.canon)
+	s.mu.Lock()
+	if _, still := s.elements[e.ID]; still {
+		s.removeLocked(e)
+	}
+	s.mu.Unlock()
+}
+
 // Touch records a use of the element for LRU purposes. It is lock-free.
 func (m *Manager) Touch(e *Element) {
 	e.lastUse.Store(m.tick.Add(1))

@@ -118,6 +118,7 @@ func (j prefetchJob) run() {
 		e.AdviceName = j.vs.Name()
 	}
 	e.prefetched = true
+	e.builtEpoch = c.rdi.ObservedEpoch()
 	// The fetch proceeds during IE think time: the element becomes ready sim
 	// ms after the issue point without charging response time.
 	e.readyAtSim = j.issueSim + sim

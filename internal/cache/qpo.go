@@ -185,11 +185,13 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 	// skipped; the mandatory remote paths fail fast in the client.
 	degraded := !c.rdi.Available()
 
+	stale := s.staleChecker(degraded)
+
 	// Step 2a: exact-match result cache ([IOAN88]-style reuse, subsumed by
 	// full subsumption but cheaper: a single map lookup).
 	if f.ExactMatch && f.ResultCaching {
 		_, probe := c.tracer.Start(ctx, "cms.cache_probe")
-		if e := c.mgr.ExactMatchFor(q, s.id); e != nil {
+		if e := c.mgr.ExactMatchFor(q, s.id); e != nil && !stale(e) {
 			if d, ok := subsume.DeriveFull(e.Def, q); ok {
 				probe.Set("hit", "exact")
 				probe.End()
@@ -220,6 +222,9 @@ func (s *Session) answer(ctx context.Context, q *caql.Query, vs *advice.ViewSpec
 			if err := bridge.CtxError(ctx); err != nil {
 				sub.End()
 				return nil, err
+			}
+			if stale(e) {
+				continue
 			}
 			d, ok := subsume.DeriveFull(e.Def, q)
 			if !ok {
@@ -499,6 +504,29 @@ func (s *Session) predictsReuse(name string) bool {
 	return ok
 }
 
+// staleChecker returns the stale-epoch predicate for one planning pass: some
+// fetch has observed the backend at the RDI's epoch high-water mark, so any
+// view built under an older epoch describes a state the server has provably
+// moved past. A stale view is invalidated (removed + counted) and the caller
+// falls through to a refetch instead of serving it. While degraded, cached
+// answers are served regardless of epoch — stale data beats no data, and the
+// breaker already accounts those answers as DegradedHits.
+func (s *Session) staleChecker(degraded bool) func(*Element) bool {
+	c := s.cms
+	var remoteEpoch uint64
+	if !degraded {
+		remoteEpoch = c.rdi.ObservedEpoch()
+	}
+	return func(e *Element) bool {
+		if remoteEpoch == 0 || e.builtEpoch == 0 || e.builtEpoch >= remoteEpoch {
+			return false
+		}
+		c.mgr.Remove(e)
+		c.stats.EpochInvalidations.Add(1)
+		return true
+	}
+}
+
 // shouldCache decides result caching: strict-producer views with no
 // predicted reuse are not cached (Section 4.2.1: the CMS "may also choose
 // not to cache the relation if there are no other predicted requests").
@@ -522,6 +550,10 @@ func (s *Session) cacheResult(def *caql.Query, ext *relation.Relation, vs *advic
 		e.AdviceName = vs.Name()
 	}
 	e.readyAtSim = s.simNow
+	// The fetch that produced ext observed the backend at (at least) the
+	// RDI's current epoch high-water mark; stamping it here (never newer than
+	// the data) is what later staleness comparisons are made against.
+	e.builtEpoch = c.rdi.ObservedEpoch()
 	if c.opts.Features.ResultCaching {
 		c.mgr.Insert(e)
 	}
@@ -543,9 +575,13 @@ func (s *Session) answerDecomposed(ctx context.Context, q *caql.Query, vs *advic
 	covered := make([]bool, len(q.Rels))
 	cmpCovered := make([]bool, len(q.Cmps))
 	var picks []pick
+	stale := s.staleChecker(!c.rdi.Available())
 	for _, e := range c.mgr.CandidatesForSession(q, s.id) {
 		if err := bridge.CtxError(ctx); err != nil {
 			return nil, true, err
+		}
+		if stale(e) {
+			continue
 		}
 		if !e.Materialized() && s.readyRemainder(e) > 0 {
 			continue

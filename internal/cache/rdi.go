@@ -242,6 +242,12 @@ func (r *RDI) Resilience() (remotedb.ResilienceStats, bool) {
 	return remotedb.ResilienceStats{}, false
 }
 
+// ObservedEpoch returns the highest backend catalog epoch any fetch through
+// this interface has observed (0: the transport predates epochs). The QPO
+// compares it against each cached element's build epoch to refuse serving
+// views of a backend state the server has provably moved past.
+func (r *RDI) ObservedEpoch() uint64 { return remotedb.ObservedEpoch(r.client) }
+
 // Tables lists remote tables.
 func (r *RDI) Tables() ([]string, error) { return r.client.Tables() }
 

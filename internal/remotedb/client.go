@@ -3,6 +3,7 @@ package remotedb
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 )
@@ -45,6 +46,39 @@ type ContextClient interface {
 	ExecCtx(ctx context.Context, sql string) (*Result, error)
 }
 
+// EpochReporter is implemented by clients that observe the server's catalog
+// epoch on responses (PoolClient, TCPClient, InProcClient). The CMS uses the
+// high-water mark to detect that cached views were built against a backend
+// state the server has since moved past.
+type EpochReporter interface {
+	// ObservedEpoch returns the highest catalog epoch seen on any response
+	// so far; 0 means the transport (or peer) predates epochs.
+	ObservedEpoch() uint64
+}
+
+// InnerClient is implemented by decorating clients (FaultClient,
+// ResilientClient) so capability probes can reach the transport underneath.
+type InnerClient interface {
+	Inner() Client
+}
+
+// ObservedEpoch unwraps decorators until it finds an EpochReporter; 0 for
+// transports that never report (the defense degrades to off, exactly like
+// talking to a pre-epoch server).
+func ObservedEpoch(c Client) uint64 {
+	for c != nil {
+		if r, ok := c.(EpochReporter); ok {
+			return r.ObservedEpoch()
+		}
+		w, ok := c.(InnerClient)
+		if !ok {
+			return 0
+		}
+		c = w.Inner()
+	}
+	return 0
+}
+
 // ExecContext issues sql through c, honoring ctx when the client supports it.
 // For a plain Client the context is checked before dispatch only (the request
 // itself cannot be interrupted).
@@ -67,6 +101,12 @@ func ExecContext(ctx context.Context, c Client, sql string) (*Result, error) {
 type InProcClient struct {
 	engine *Engine
 	costs  Costs
+
+	// epoch is the engine epoch as of this client's last fetch — NOT the
+	// engine's live epoch. The staleness defense is specified as "on
+	// observing a newer epoch from any fetch", and the in-process transport
+	// keeps that contract so its cache dynamics match the wire transports'.
+	epoch atomic.Uint64
 
 	mu    sync.Mutex
 	stats Stats
@@ -98,9 +138,23 @@ func (c *InProcClient) ExecCtx(ctx context.Context, sql string) (*Result, error)
 	return res, err
 }
 
+// ObservedEpoch implements EpochReporter.
+func (c *InProcClient) ObservedEpoch() uint64 { return c.epoch.Load() }
+
+func (c *InProcClient) noteEpoch() {
+	e := c.engine.Epoch()
+	for {
+		old := c.epoch.Load()
+		if e <= old || c.epoch.CompareAndSwap(old, e) {
+			return
+		}
+	}
+}
+
 // Exec implements Client.
 func (c *InProcClient) Exec(sql string) (*Result, error) {
 	rel, ops, err := c.engine.ExecuteSQL(sql)
+	defer c.noteEpoch()
 	if err != nil {
 		return nil, err
 	}

@@ -85,6 +85,11 @@ type Stats struct {
 	// Reconnects is the number of background re-dial attempts for broken
 	// connections (successful or not; failures re-quarantine).
 	Reconnects int64
+
+	// Epoch is the highest server catalog epoch this client has observed on
+	// any response (0: the peer predates epochs). It is a high-water mark,
+	// not a sum: Add keeps the max.
+	Epoch uint64
 }
 
 // Add accumulates o into s.
@@ -101,4 +106,7 @@ func (s *Stats) Add(o Stats) {
 	s.HealthProbes += o.HealthProbes
 	s.ProbeFailures += o.ProbeFailures
 	s.Reconnects += o.Reconnects
+	if o.Epoch > s.Epoch {
+		s.Epoch = o.Epoch
+	}
 }

@@ -21,9 +21,13 @@ type Engine struct {
 	tables  map[string]*relation.Relation
 	indexes map[string][]*relation.Index
 	// versions tracks each table's extension version for stream resume
-	// tokens: appends leave it unchanged (the relation representation is
-	// append-only, so a captured snapshot prefix stays valid), while
-	// wholesale replacement bumps it, invalidating outstanding tokens.
+	// tokens: every durable mutation of a table — replacement AND append —
+	// bumps it, invalidating outstanding tokens. An in-flight stream's
+	// captured snapshot stays byte-stable regardless (the relation
+	// representation is append-only), but a token minted against the
+	// pre-mutation extension is refused rather than silently resumed against
+	// a different table state; the client-side-skip fallback re-reads the
+	// (identical) prefix instead.
 	versions map[string]uint64
 	// meta holds per-table column statistics (NDV, min/max), maintained at
 	// CreateTable/LoadTable/Insert for the cost-based optimizer.
@@ -46,6 +50,16 @@ type Engine struct {
 	// Nil (the default) disables tracing at near-zero cost; the atomic
 	// pointer lets a server install it after construction without a lock.
 	tracer atomic.Pointer[obs.Tracer]
+
+	// wal, when non-nil, makes every mutation durable: each is logged (and
+	// synced per the fsync policy) BEFORE it is applied in memory, so an
+	// acknowledged write is on disk by the time its reply leaves the engine.
+	// Guarded by mu, like the catalog it protects.
+	wal *WAL
+	// walErr is the sticky durability failure: once an append or rotation
+	// fails, every subsequent mutation returns it rather than silently
+	// diverging memory from the log. Guarded by mu.
+	walErr error
 }
 
 // NewEngine returns an empty engine.
@@ -72,6 +86,92 @@ func (e *Engine) SetOptimizer(on bool) { e.noOpt.Store(!on) }
 // OptimizerEnabled reports whether the cost-based planner is active.
 func (e *Engine) OptimizerEnabled() bool { return !e.noOpt.Load() }
 
+// Epoch returns the current catalog generation. It rides wire responses so
+// clients (and through them the CMS) can detect that the backend has moved
+// past the state their cached views were built from.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// logLocked appends one record to the WAL (a no-op for in-memory engines).
+// A failure is sticky: the engine refuses all further mutations rather than
+// let memory diverge from the log. Called with e.mu held.
+func (e *Engine) logLocked(rec *walRecord) error {
+	if e.walErr != nil {
+		return e.walErr
+	}
+	if e.wal == nil {
+		return nil
+	}
+	if err := e.wal.Append(rec); err != nil {
+		e.walErr = err
+		return err
+	}
+	return nil
+}
+
+// rotateLocked rotates the WAL behind a full-state checkpoint once the live
+// segment outgrows its budget. Called with e.mu held, after a successful
+// mutation, so the snapshot is consistent with the log tail.
+func (e *Engine) rotateLocked() {
+	if e.wal == nil || e.walErr != nil || !e.wal.shouldRotate() {
+		return
+	}
+	if err := e.wal.Rotate(e.checkpointLocked()); err != nil {
+		e.walErr = err
+	}
+}
+
+// checkpointLocked snapshots the full engine state for a checkpoint file.
+func (e *Engine) checkpointLocked() *walCheckpoint {
+	ck := &walCheckpoint{
+		Epoch:    e.epoch.Load(),
+		Versions: make(map[string]uint64, len(e.versions)),
+		Indexes:  make(map[string][][]int),
+	}
+	for n, v := range e.versions {
+		ck.Versions[n] = v
+	}
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ck.Tables = append(ck.Tables, toWireRelation(e.tables[n]))
+	}
+	for n, ixs := range e.indexes {
+		for _, ix := range ixs {
+			ck.Indexes[n] = append(ck.Indexes[n], ix.Cols())
+		}
+	}
+	return ck
+}
+
+// WALStats returns the engine's WAL counters (zero for in-memory engines).
+func (e *Engine) WALStats() WALStats {
+	e.mu.RLock()
+	w := e.wal
+	e.mu.RUnlock()
+	if w == nil {
+		return WALStats{}
+	}
+	return w.Stats()
+}
+
+// CloseWAL syncs and closes the WAL (a no-op for in-memory engines). The
+// engine keeps serving reads; further mutations fail.
+func (e *Engine) CloseWAL() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal == nil {
+		return nil
+	}
+	err := e.wal.Close()
+	if e.walErr == nil {
+		e.walErr = fmt.Errorf("remotedb: wal closed")
+	}
+	return err
+}
+
 // CreateTable registers an empty table.
 func (e *Engine) CreateTable(name string, schema *relation.Schema) error {
 	e.mu.Lock()
@@ -79,18 +179,41 @@ func (e *Engine) CreateTable(name string, schema *relation.Schema) error {
 	if _, dup := e.tables[name]; dup {
 		return fmt.Errorf("remotedb: table %s already exists", name)
 	}
+	attrs := make([]wireAttr, 0, schema.Arity())
+	for _, a := range schema.Attrs() {
+		attrs = append(attrs, wireAttr{Name: a.Name, Kind: uint8(a.Kind)})
+	}
+	if err := e.logLocked(&walRecord{Kind: walCreateTable, Name: name, Attrs: attrs}); err != nil {
+		return err
+	}
+	e.applyCreateTable(name, schema)
+	e.rotateLocked()
+	return nil
+}
+
+func (e *Engine) applyCreateTable(name string, schema *relation.Schema) {
 	e.tables[name] = relation.New(name, schema)
 	e.versions[name]++
 	e.meta[name] = newTableMeta(schema.Arity())
 	e.epoch.Add(1)
-	return nil
 }
 
 // LoadTable registers a table with its extension (replacing any previous
-// definition); a bulk-load convenience for workload generators.
+// definition); a bulk-load convenience for workload generators. On a durable
+// engine a WAL failure leaves the table unchanged and surfaces as the sticky
+// error on the next erroring mutation (the signature predates durability and
+// its twenty-odd callers are bulk loaders that check nothing).
 func (e *Engine) LoadTable(r *relation.Relation) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.logLocked(&walRecord{Kind: walLoadTable, Rel: toWireRelation(r)}); err != nil {
+		return
+	}
+	e.applyLoadTable(r)
+	e.rotateLocked()
+}
+
+func (e *Engine) applyLoadTable(r *relation.Relation) {
 	e.tables[r.Name] = r
 	delete(e.indexes, r.Name)
 	e.versions[r.Name]++
@@ -99,7 +222,8 @@ func (e *Engine) LoadTable(r *relation.Relation) {
 }
 
 // Insert appends rows to a table, validating kinds (ints coerce to float
-// columns).
+// columns). Validation happens before logging: a rejected batch mutates
+// nothing — not the table, not the epoch, not the log.
 func (e *Engine) Insert(table string, rows []relation.Tuple) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -107,28 +231,45 @@ func (e *Engine) Insert(table string, rows []relation.Tuple) error {
 	if !ok {
 		return fmt.Errorf("remotedb: unknown table %s", table)
 	}
-	e.epoch.Add(1)
 	schema := t.Schema()
-	m := e.meta[table]
-	for _, row := range rows {
+	coerced := make([]relation.Tuple, len(rows))
+	for r, row := range rows {
 		if len(row) != schema.Arity() {
 			return fmt.Errorf("remotedb: insert arity %d into %s%s", len(row), table, schema)
 		}
-		coerced := make(relation.Tuple, len(row))
+		crow := make(relation.Tuple, len(row))
 		for i, v := range row {
 			cv, err := coerce(v, schema.Attr(i).Kind)
 			if err != nil {
 				return fmt.Errorf("remotedb: column %s of %s: %w", schema.Attr(i).Name, table, err)
 			}
-			coerced[i] = cv
+			crow[i] = cv
 		}
-		t.MustAppend(coerced)
+		coerced[r] = crow
+	}
+	if err := e.logLocked(&walRecord{Kind: walInsert, Name: table, Rows: toWireTuples(coerced)}); err != nil {
+		return err
+	}
+	e.applyInsert(table, coerced)
+	e.rotateLocked()
+	return nil
+}
+
+// applyInsert applies pre-validated rows. The whole batch lands under one
+// mutex hold and one WAL record: concurrent readers (and crash recovery) see
+// all of it or none of it, never a half-applied batch.
+func (e *Engine) applyInsert(table string, rows []relation.Tuple) {
+	t := e.tables[table]
+	m := e.meta[table]
+	for _, row := range rows {
+		t.MustAppend(row)
 		if m != nil {
-			m.addRow(coerced)
+			m.addRow(row)
 		}
 	}
 	delete(e.indexes, table) // indexes are snapshots; invalidate
-	return nil
+	e.versions[table]++      // a durable append invalidates outstanding resume tokens
+	e.epoch.Add(1)
 }
 
 func coerce(v relation.Value, kind relation.Kind) (relation.Value, error) {
@@ -146,13 +287,32 @@ func coerce(v relation.Value, kind relation.Kind) (relation.Value, error) {
 func (e *Engine) CreateIndex(table string, cols []int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	t, ok := e.tables[table]
-	if !ok {
+	if _, ok := e.tables[table]; !ok {
 		return fmt.Errorf("remotedb: unknown table %s", table)
 	}
-	e.indexes[table] = append(e.indexes[table], relation.BuildIndex(t, cols))
-	e.epoch.Add(1)
+	if err := e.logLocked(&walRecord{Kind: walCreateIndex, Name: table, Cols: cols}); err != nil {
+		return err
+	}
+	e.applyCreateIndex(table, cols)
+	e.rotateLocked()
 	return nil
+}
+
+func (e *Engine) applyCreateIndex(table string, cols []int) {
+	e.indexes[table] = append(e.indexes[table], relation.BuildIndex(e.tables[table], cols))
+	e.epoch.Add(1)
+}
+
+// applyRestart is the walRestart record's effect: every table version (and
+// the epoch) moves past anything the pre-crash engine handed out, so resume
+// tokens and cached-plan epochs from before the crash are refused durably —
+// across any number of crash/recover cycles, because the record itself is in
+// the log.
+func (e *Engine) applyRestart() {
+	for name := range e.versions {
+		e.versions[name]++
+	}
+	e.epoch.Add(1)
 }
 
 // Tables returns the table names, sorted.

@@ -148,8 +148,9 @@ func (e *Engine) ExecuteSQLStream(src string) (*ScanStream, bool) {
 // ResumeSQLStream rebuilds the scan pinned by a resume token and
 // fast-forwards past skip already-delivered tuples. It returns
 // resumed=false — and the caller falls back to a fresh ExecuteSQLStream —
-// when the token does not belong to src, the table is gone or was replaced
-// (version mismatch), or the pinned snapshot exceeds the current extension
+// when the token does not belong to src, the table has mutated since the
+// token was minted (version mismatch: replacement, append, or a crash
+// recovery), or the pinned snapshot exceeds the current extension
 // (impossible under append-only; defends against forged tokens).
 func (e *Engine) ResumeSQLStream(src string, tok ResumeToken, skip int64) (*ScanStream, bool) {
 	if skip < 0 || tok.StmtHash != StatementHash(src) {

@@ -61,6 +61,11 @@ type wireFrame struct {
 	Code   int        // frameEnd: wireCode* classification of Err
 	Stats  TableStats // frameEnd for the "stats" op
 	Tables []string   // frameEnd for the "tables" op
+
+	// Epoch, on header and end frames, is the server's catalog generation —
+	// the same gob-ignored extension as wireResponse.Epoch (v1 peers never
+	// see it, pre-epoch v2 peers skip the unknown field).
+	Epoch uint64 // frameHeader, frameEnd
 }
 
 // validFrameKind reports whether k is a kind this build understands.

@@ -46,6 +46,13 @@ type PoolClient struct {
 	mu     sync.Mutex
 	conns  []*muxConn
 	closed bool
+	// shut mirrors closed as an atomic so muxConn.ensure / dialLocked can
+	// refuse to (re)dial after Close without taking p.mu under c.mu —
+	// Proto() holds p.mu while taking c.mu, so the reverse order would
+	// deadlock. Without this check, pick or a health probe racing Close can
+	// redial a connection Close already tore down, leaking the socket and
+	// its read-loop goroutine.
+	shut atomic.Bool
 
 	// done stops the background health loop; wg waits for it on Close so the
 	// pool provably leaks no goroutines (asserted in pool_test.go).
@@ -72,6 +79,19 @@ type statsRec struct {
 	probeFailures   atomic.Int64
 	reconnects      atomic.Int64
 	simMSBits       atomic.Uint64
+	epoch           atomic.Uint64
+}
+
+// noteEpoch records a server catalog epoch observed on a response, keeping
+// the high-water mark (responses from pooled connections can arrive out of
+// order relative to the server-side mutations that stamped them).
+func (r *statsRec) noteEpoch(e uint64) {
+	for {
+		old := r.epoch.Load()
+		if e <= old || r.epoch.CompareAndSwap(old, e) {
+			return
+		}
+	}
 }
 
 func (r *statsRec) addSimMS(d float64) {
@@ -98,6 +118,7 @@ func (r *statsRec) snapshot() Stats {
 		HealthProbes:    r.healthProbes.Load(),
 		ProbeFailures:   r.probeFailures.Load(),
 		Reconnects:      r.reconnects.Load(),
+		Epoch:           r.epoch.Load(),
 	}
 }
 
@@ -292,6 +313,7 @@ func (p *PoolClient) Close() error {
 		return nil
 	}
 	p.closed = true
+	p.shut.Store(true)
 	conns := append([]*muxConn(nil), p.conns...)
 	p.mu.Unlock()
 	close(p.done)
@@ -301,6 +323,10 @@ func (p *PoolClient) Close() error {
 	}
 	return nil
 }
+
+// ObservedEpoch implements EpochReporter: the highest server catalog epoch
+// seen on any response through this pool.
+func (p *PoolClient) ObservedEpoch() uint64 { return p.stats.epoch.Load() }
 
 // breakConn tears down one pooled connection without closing the pool — the
 // fault-injection hook FaultClient uses to model a dropped connection, so the
@@ -419,6 +445,12 @@ type muxConn struct {
 	proto   int
 	broken  bool
 	streams map[uint64]*muxStream
+	// gen counts successful dials. Teardown requests that originate from a
+	// particular connection (its read loop, a failed write on it) carry the
+	// generation they belong to and are dropped if a redial has since
+	// replaced it — otherwise a stale read loop waking up on its closed
+	// socket would tear down the fresh connection it never owned.
+	gen uint64
 
 	// Failure accounting for health management: consecutive transport
 	// failures back the connection off (jittered exponential quarantine, so
@@ -503,6 +535,12 @@ func (c *muxConn) probe() error {
 func (c *muxConn) ensure(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.p.shut.Load() {
+		// pick released p.mu before calling ensure, so Close may have torn
+		// everything down in between; dialing now would resurrect a
+		// connection nobody will ever tear down again.
+		return errors.New("remotedb: client closed")
+	}
 	if !c.broken && c.conn != nil {
 		return nil
 	}
@@ -552,12 +590,22 @@ func (c *muxConn) dialLocked(ctx context.Context) error {
 			proto = protoV2
 		}
 	}
+	if c.p.shut.Load() {
+		// Close ran while we were dialing (it cannot hold c.mu across our
+		// dial): this connection is already past its teardown, so finish the
+		// job ourselves instead of leaking the socket.
+		conn.Close()
+		c.conn, c.enc, c.dec = nil, nil, nil
+		c.broken = true
+		return errors.New("remotedb: client closed")
+	}
 	c.conn, c.enc, c.dec = conn, enc, dec
 	c.proto = proto
 	c.broken = false
 	c.streams = make(map[uint64]*muxStream)
+	c.gen++
 	if proto >= protoV2 {
-		go c.readLoop(conn, dec)
+		go c.readLoop(conn, dec, c.gen)
 	}
 	return nil
 }
@@ -581,19 +629,36 @@ func (c *muxConn) teardown(err error) {
 	}
 }
 
+// teardownGen is teardown gated on the connection generation: a read loop
+// whose connection has already been replaced by a redial must not tear down
+// the replacement. The stale loop's own socket is closed (that is what woke
+// it), and its streams were failed by the teardown that preceded the redial.
+func (c *muxConn) teardownGen(err error, gen uint64) {
+	c.mu.Lock()
+	stale := c.gen != gen
+	c.mu.Unlock()
+	if stale {
+		return
+	}
+	c.teardown(err)
+}
+
 // readLoop is the demultiplexer: one goroutine per v2 connection routes
 // response frames to their stream. Delivery blocks when a stream's window is
 // full — that is the client half of end-to-end backpressure (the stalled
 // reader stops draining the socket, TCP fills, the server's writer blocks).
 // A dead stream never blocks the loop: its gone channel drops late frames.
-func (c *muxConn) readLoop(conn net.Conn, dec *gob.Decoder) {
+func (c *muxConn) readLoop(conn net.Conn, dec *gob.Decoder, gen uint64) {
 	for {
 		f, err := readFrame(dec)
 		if err != nil {
-			c.teardown(&TransportError{Op: "read", Err: err})
+			c.teardownGen(&TransportError{Op: "read", Err: err}, gen)
 			return
 		}
 		c.p.stats.framesRecv.Add(1)
+		if f.Epoch > 0 {
+			c.p.stats.noteEpoch(f.Epoch)
+		}
 		c.mu.Lock()
 		st := c.streams[f.ID]
 		if st != nil && f.Kind == frameEnd {
@@ -615,7 +680,7 @@ func (c *muxConn) readLoop(conn net.Conn, dec *gob.Decoder) {
 func (c *muxConn) writeFrame(f *wireFrame) error {
 	c.wmu.Lock()
 	c.mu.Lock()
-	conn, enc, broken := c.conn, c.enc, c.broken
+	conn, enc, broken, gen := c.conn, c.enc, c.broken, c.gen
 	c.mu.Unlock()
 	if broken || conn == nil {
 		c.wmu.Unlock()
@@ -624,7 +689,7 @@ func (c *muxConn) writeFrame(f *wireFrame) error {
 	err := writeFrame(enc, f)
 	c.wmu.Unlock()
 	if err != nil {
-		c.teardown(&TransportError{Op: "write", Err: err})
+		c.teardownGen(&TransportError{Op: "write", Err: err}, gen)
 		return err
 	}
 	c.p.stats.framesSent.Add(1)
@@ -868,6 +933,9 @@ func (c *muxConn) roundTripV1(ctx context.Context, req *wireRequest) (*wireRespo
 		conn.SetDeadline(time.Time{})
 	}
 	c.noteSuccess()
+	if resp.Epoch > 0 {
+		c.p.stats.noteEpoch(resp.Epoch)
+	}
 	switch resp.Code {
 	case wireCodeOverloaded:
 		return nil, &TransportError{Op: req.Op, Err: ErrOverloaded}

@@ -174,10 +174,13 @@ func TestScanResumeEqualsUninterrupted(t *testing.T) {
 	}
 }
 
-// TestScanResumeIgnoresConcurrentAppends: rows inserted after the snapshot was
-// pinned must not leak into a resumed delivery (SnapLen bounds the scan), and
-// appends must NOT invalidate the token (append-only prefix stays valid).
-func TestScanResumeIgnoresConcurrentAppends(t *testing.T) {
+// TestScanResumeInvalidatedByAppend: a durable Insert is a mutation like any
+// other — a resume token minted against the pre-insert extension is refused,
+// not silently resumed against a table whose state has moved on. Correctness
+// is preserved end to end because a refused token falls back to a fresh
+// stream plus client-side skip, and the append-only representation makes the
+// re-read prefix byte-identical (asserted here).
+func TestScanResumeInvalidatedByAppend(t *testing.T) {
 	e := NewEngine()
 	loadBigTable(t, e, 100)
 	const src = "SELECT v FROM big"
@@ -188,13 +191,77 @@ func TestScanResumeIgnoresConcurrentAppends(t *testing.T) {
 	if _, _, err := e.ExecuteSQL("INSERT INTO big VALUES (100,'late'),(101,'later')"); err != nil {
 		t.Fatal(err)
 	}
-	sc, ok := e.ResumeSQLStream(src, tok, 40)
-	if !ok {
-		t.Fatal("append invalidated the token; only replacement should")
+	if _, ok := e.ResumeSQLStream(src, tok, 40); ok {
+		t.Fatal("token minted before the insert was accepted after it")
 	}
-	got := drainScan(sc)
-	if !equalStrings(got, want[40:]) {
-		t.Fatalf("resumed tail leaked post-snapshot rows: got %d tuples, want %d", len(got), len(want)-40)
+
+	// The client-side-skip fallback: a fresh stream's first len(want) rows
+	// are byte-identical to the pre-insert delivery (append-only prefix), so
+	// skipping the delivered count loses and duplicates nothing.
+	fresh, ok := e.ExecuteSQLStream(src)
+	if !ok {
+		t.Fatalf("%q not streamable after append", src)
+	}
+	got := drainScan(fresh)
+	if len(got) != len(want)+2 {
+		t.Fatalf("fresh stream has %d rows, want %d", len(got), len(want)+2)
+	}
+	if !equalStrings(got[:len(want)], want) {
+		t.Fatal("append changed the already-delivered prefix; client-side skip would corrupt")
+	}
+	if fresh.ResumeToken().Version == tok.Version {
+		t.Fatalf("append did not bump the version: %+v vs %+v", fresh.ResumeToken(), tok)
+	}
+}
+
+// TestInsertDuringScanStreamByteStable: an Insert landing while a ScanStream
+// is mid-delivery must not disturb the stream — the snapshot pinned at open
+// time delivers exactly the pre-insert rows, in order, and never sees the new
+// ones. (The append-only relation representation is what makes the pinned
+// prefix immutable; this is the test that holds that property in place.)
+func TestInsertDuringScanStreamByteStable(t *testing.T) {
+	e := NewEngine()
+	loadBigTable(t, e, 120)
+	const src = "SELECT v FROM big"
+
+	ref, _ := e.ExecuteSQLStream(src)
+	want := drainScan(ref)
+
+	sc, ok := e.ExecuteSQLStream(src)
+	if !ok {
+		t.Fatalf("%q not streamable", src)
+	}
+	var got []string
+	for i := 0; i < 50; i++ {
+		tu, more := sc.Next()
+		if !more {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		got = append(got, tu[0].String())
+	}
+
+	// Mutate mid-stream: both a plain append and a second batch.
+	if _, _, err := e.ExecuteSQL("INSERT INTO big VALUES (120,'mid')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert("big", []relation.Tuple{{relation.Int(121), relation.Str("mid2")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	for {
+		tu, more := sc.Next()
+		if !more {
+			break
+		}
+		got = append(got, tu[0].String())
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("mid-stream insert disturbed delivery: got %d tuples, want %d", len(got), len(want))
+	}
+	// And the stream's own token — minted against the pre-insert snapshot —
+	// is refused afterwards rather than silently reused.
+	if _, ok := e.ResumeSQLStream(src, sc.ResumeToken(), 10); ok {
+		t.Fatal("pre-insert token accepted after the inserts")
 	}
 }
 

@@ -334,6 +334,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if !keep {
 			return // injected dropped connection
 		}
+		resp.Epoch = s.engine.Epoch()
 		if s.opts.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}

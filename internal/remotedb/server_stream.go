@@ -115,6 +115,11 @@ func (s *Server) serveFramed(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, 
 // failed write desynchronizes the gob stream, so the connection is closed
 // (which also unblocks the read loop).
 func (fc *framedConn) write(f *wireFrame) error {
+	if f.Kind == frameHeader || f.Kind == frameEnd {
+		// The catalog epoch rides every header and end frame (batch frames
+		// skip it — gob omits the zero value, and once per stream suffices).
+		f.Epoch = fc.s.engine.Epoch()
+	}
 	fc.wmu.Lock()
 	defer fc.wmu.Unlock()
 	if fc.s.opts.WriteTimeout > 0 {

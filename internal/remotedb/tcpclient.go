@@ -195,6 +195,9 @@ func (c *TCPClient) roundTripCtx(ctx context.Context, req *wireRequest) (*wireRe
 	if !deadline.IsZero() {
 		c.conn.SetDeadline(time.Time{})
 	}
+	if resp.Epoch > c.stats.Epoch {
+		c.stats.Epoch = resp.Epoch
+	}
 	switch resp.Code {
 	case wireCodeOverloaded:
 		// Admission shed: the server is healthy but saturated. The stream is
@@ -280,6 +283,13 @@ func (c *TCPClient) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// ObservedEpoch implements EpochReporter.
+func (c *TCPClient) ObservedEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats.Epoch
 }
 
 // Close implements Client.

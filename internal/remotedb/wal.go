@@ -1,0 +1,607 @@
+package remotedb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Write-ahead log for the engine's mutations (CreateTable / LoadTable /
+// Insert / CreateIndex). Every mutation is logged BEFORE it is applied to the
+// in-memory catalog, so an acknowledged write is on disk when the engine's
+// reply leaves the process; on restart, recovery (recovery.go) replays the
+// log and rebuilds the exact acknowledged state.
+//
+// On-disk format. A data directory holds at most one checkpoint and one live
+// segment per generation:
+//
+//	wal-<gen>.log          length-prefixed CRC32-framed gob records
+//	checkpoint-<gen>.ckpt  full engine snapshot as of the START of wal-<gen>
+//
+// Each log record is framed as
+//
+//	[4B big-endian payload length][4B CRC32-IEEE of payload][payload]
+//
+// where the payload is one self-contained gob encoding of walRecord (a fresh
+// encoder per record: records must be individually decodable so a damaged
+// record does not desynchronize the rest of the file).
+//
+// Torn tails vs corruption. A crashed writer leaves at most a *prefix* of its
+// final frame (the frame is written with one Write call). Recovery therefore
+// truncates an incomplete frame at the end of the final segment — short
+// header, short payload, or a CRC mismatch on the very last frame — but
+// refuses a damaged frame that has valid data after it (or a garbage length
+// field, which no torn write can produce) with the typed ErrWALCorrupt:
+// mid-log damage means acknowledged history is gone, and silently dropping it
+// would violate the durability contract.
+//
+// Rotation. When the live segment exceeds SegmentBytes, the engine snapshots
+// its full state into checkpoint-<gen+1> (written to a temp file, fsynced,
+// renamed), opens wal-<gen+1>.log, and deletes the previous generation — so
+// the log is bounded by roughly SegmentBytes plus one snapshot regardless of
+// the write history's length.
+
+// FsyncPolicy selects when the WAL forces its writes to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every appended record: an acknowledged write
+	// survives any crash. This is the policy the durability invariant (and
+	// the restart-storm chaos suite) is stated under.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per FsyncInterval, amortizing the
+	// sync over a burst: a crash loses at most the writes acknowledged since
+	// the last sync.
+	FsyncInterval
+	// FsyncOff never syncs explicitly; the OS writes back on its own
+	// schedule. Fastest, weakest: a crash may lose any unflushed suffix.
+	FsyncOff
+)
+
+// String returns the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses the -fsync flag value.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off", "none":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("remotedb: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// ErrWALCorrupt reports unrecoverable mid-log damage: a record that fails its
+// CRC or length validation while acknowledged records follow it. Recovery
+// refuses to proceed — replaying around the hole would silently drop
+// acknowledged writes. Errors carry position detail and match this sentinel
+// under errors.Is.
+var ErrWALCorrupt = errors.New("remotedb: wal corrupt")
+
+// WALCorruptError is the typed form of ErrWALCorrupt with location detail.
+type WALCorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+// Error implements error.
+func (e *WALCorruptError) Error() string {
+	return fmt.Sprintf("remotedb: wal corrupt: %s at %s+%d", e.Reason, e.Path, e.Offset)
+}
+
+// Is matches the ErrWALCorrupt sentinel.
+func (e *WALCorruptError) Is(target error) bool { return target == ErrWALCorrupt }
+
+// ErrWALCrashed is returned by appends after an injected crashpoint fired:
+// the WAL behaves as if the process died mid-write (a torn frame is on disk,
+// nothing later is accepted). Only fault-injected WALs return it.
+var ErrWALCrashed = errors.New("remotedb: wal crashed (injected)")
+
+// WAL record kinds, one per logged engine mutation plus the restart marker.
+const (
+	walCreateTable uint8 = 1
+	walLoadTable   uint8 = 2
+	walInsert      uint8 = 3
+	walCreateIndex uint8 = 4
+	// walRestart is appended once per recovery: replaying it bumps every
+	// table version (and the catalog epoch), so resume tokens minted before a
+	// crash are durably refused after it — across any number of crashes.
+	walRestart uint8 = 5
+)
+
+// walRecord is one logged mutation. Which fields are meaningful depends on
+// Kind; the wire mirror types (wire.go) are reused so relation.Value's
+// unexported fields never meet gob directly.
+type walRecord struct {
+	Seq  uint64 // position in the segment, starting at 1; replay verifies contiguity
+	Kind uint8
+
+	Name  string        // CreateTable/Insert/CreateIndex: table name
+	Attrs []wireAttr    // CreateTable: schema
+	Rel   *wireRelation // LoadTable: full extension
+	Rows  [][]wireValue // Insert: validated (coerced) rows
+	Cols  []int         // CreateIndex: indexed columns
+}
+
+// walCheckpoint is a full engine snapshot, written at segment rotation. It is
+// framed exactly like a log record (one frame per file).
+type walCheckpoint struct {
+	Gen      uint64
+	Epoch    uint64
+	Versions map[string]uint64
+	Tables   []*wireRelation
+	Indexes  map[string][][]int
+}
+
+// WALCrash seeds deterministic crashpoint injection, the WAL's rider on the
+// package's fault-injection machinery (ListenerFaults, FaultConfig): with
+// probability Rate, an append writes only a prefix of its frame — exactly the
+// torn tail a real mid-write crash leaves — and the WAL refuses all further
+// work with ErrWALCrashed, as a dead process would. Reopening the directory
+// then exercises recovery's truncation path deterministically.
+type WALCrash struct {
+	Seed int64
+	Rate float64
+}
+
+// Durability configures OpenEngine (recovery.go): where the log lives and how
+// hard it pushes bytes to disk.
+type Durability struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// Fsync is the sync policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval period (default 100ms).
+	FsyncEvery time.Duration
+	// SegmentBytes triggers rotation + checkpoint when the live segment
+	// exceeds it (default 64 MiB).
+	SegmentBytes int64
+	// Crash enables seeded crashpoint injection (tests only).
+	Crash *WALCrash
+	// Tracer records the recovery span and is installed on the recovered
+	// engine (nil: untraced).
+	Tracer *obs.Tracer
+}
+
+const (
+	defaultSegmentBytes = 64 << 20
+	defaultFsyncEvery   = 100 * time.Millisecond
+
+	// maxWALRecord bounds one record's payload. A length field above it is
+	// corruption by definition (the writer never produces one), so the reader
+	// can refuse it without attempting a giant allocation.
+	maxWALRecord = 256 << 20
+
+	walFrameHeader = 8 // 4B length + 4B CRC
+)
+
+// WALStats are cumulative WAL counters, read-through for the metrics registry.
+type WALStats struct {
+	Appends   int64
+	Syncs     int64
+	Rotations int64
+	Bytes     int64
+}
+
+// WAL is the append side of the log. All methods are called with the engine
+// mutex held (the engine serializes mutations), so the WAL itself needs no
+// lock; the counters are atomics only so metrics can read them concurrently.
+type WAL struct {
+	dir          string
+	fsync        FsyncPolicy
+	fsyncEvery   time.Duration
+	segmentBytes int64
+
+	f        *os.File
+	gen      uint64
+	seq      uint64 // last record sequence written in the current segment
+	size     int64
+	lastSync time.Time
+
+	crash   *WALCrash
+	rng     *rand.Rand
+	crashed bool
+
+	appends   atomic.Int64
+	syncs     atomic.Int64
+	rotations atomic.Int64
+	bytes     atomic.Int64
+}
+
+func (d Durability) withDefaults() Durability {
+	if d.SegmentBytes <= 0 {
+		d.SegmentBytes = defaultSegmentBytes
+	}
+	if d.FsyncEvery <= 0 {
+		d.FsyncEvery = defaultFsyncEvery
+	}
+	return d
+}
+
+func walSegmentPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", gen))
+}
+
+func walCheckpointPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%06d.ckpt", gen))
+}
+
+// walGens scans the data directory and returns the generations that have a
+// segment and/or a checkpoint, sorted ascending.
+func walGens(dir string) (segs, ckpts []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	parse := func(name, prefix, suffix string) (uint64, bool) {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			return 0, false
+		}
+		mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		n, err := strconv.ParseUint(mid, 10, 64)
+		return n, err == nil
+	}
+	for _, ent := range ents {
+		if g, ok := parse(ent.Name(), "wal-", ".log"); ok {
+			segs = append(segs, g)
+		}
+		if g, ok := parse(ent.Name(), "checkpoint-", ".ckpt"); ok {
+			ckpts = append(ckpts, g)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	return segs, ckpts, nil
+}
+
+// encodeWALFrame frames one gob payload: length, CRC, payload.
+func encodeWALFrame(payload []byte) []byte {
+	frame := make([]byte, walFrameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[walFrameHeader:], payload)
+	return frame
+}
+
+// encodeWALRecord gob-encodes one record into a framed byte slice.
+func encodeWALRecord(rec *walRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, err
+	}
+	if buf.Len() > maxWALRecord {
+		return nil, fmt.Errorf("remotedb: wal record of %d bytes exceeds the %d limit", buf.Len(), maxWALRecord)
+	}
+	return encodeWALFrame(buf.Bytes()), nil
+}
+
+// decodeWALRecord decodes one CRC-validated payload. A payload that passes its
+// CRC but fails gob decoding is corruption (the bytes are provably what the
+// writer wrote, so the record itself is damaged or alien).
+func decodeWALRecord(payload []byte) (*walRecord, error) {
+	var rec walRecord
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return nil, err
+	}
+	if rec.Kind < walCreateTable || rec.Kind > walRestart {
+		return nil, fmt.Errorf("unknown wal record kind %d", rec.Kind)
+	}
+	return &rec, nil
+}
+
+// walScanResult is one segment's replay outcome.
+type walScanResult struct {
+	records   int   // valid records delivered
+	truncated int64 // torn-tail bytes dropped (0: clean end)
+	goodSize  int64 // offset of the end of the last valid record
+	lastSeq   uint64
+}
+
+// scanWALSegment reads every record of one segment in order, delivering each
+// to apply. final marks the last (live) segment: only there may a damaged
+// frame at EOF be treated as a torn tail. The function never blocks beyond
+// the file and never delivers a partially validated record.
+func scanWALSegment(path string, final bool, apply func(*walRecord) error) (walScanResult, error) {
+	res := walScanResult{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	off := int64(0)
+	total := int64(len(data))
+	corrupt := func(reason string) (walScanResult, error) {
+		return res, &WALCorruptError{Path: path, Offset: off, Reason: reason}
+	}
+	tornOrCorrupt := func(reason string) (walScanResult, error) {
+		if final {
+			res.truncated = total - off
+			res.goodSize = off
+			return res, nil
+		}
+		return corrupt(reason)
+	}
+	var wantSeq uint64
+	for off < total {
+		rest := data[off:]
+		if int64(len(rest)) < walFrameHeader {
+			// A frame prefix shorter than its header: torn tail on the final
+			// segment, corruption elsewhere.
+			return tornOrCorrupt("short frame header")
+		}
+		length := int64(binary.BigEndian.Uint32(rest[0:4]))
+		crc := binary.BigEndian.Uint32(rest[4:8])
+		if length == 0 || length > maxWALRecord {
+			// No torn write produces a garbage length (the header is the
+			// frame's first bytes): refuse it anywhere, even at EOF.
+			return corrupt(fmt.Sprintf("implausible record length %d", length))
+		}
+		if int64(len(rest)) < walFrameHeader+length {
+			return tornOrCorrupt("short record payload")
+		}
+		payload := rest[walFrameHeader : walFrameHeader+length]
+		if crc32.ChecksumIEEE(payload) != crc {
+			if final && off+walFrameHeader+length == total {
+				// The final frame of the final segment: a crash mid-write can
+				// leave exactly this (blocks of one write can land out of
+				// order), so it is a torn tail, not history damage.
+				res.truncated = total - off
+				res.goodSize = off
+				return res, nil
+			}
+			return corrupt("record CRC mismatch")
+		}
+		rec, derr := decodeWALRecord(payload)
+		if derr != nil {
+			return corrupt(fmt.Sprintf("undecodable record: %v", derr))
+		}
+		if wantSeq != 0 && rec.Seq != wantSeq {
+			return corrupt(fmt.Sprintf("sequence gap: record %d follows %d", rec.Seq, wantSeq-1))
+		}
+		wantSeq = rec.Seq + 1
+		if err := apply(rec); err != nil {
+			return res, err
+		}
+		off += walFrameHeader + length
+		res.records++
+		res.goodSize = off
+		res.lastSeq = rec.Seq
+	}
+	return res, nil
+}
+
+// writeCheckpoint atomically writes one checkpoint file: temp file, fsync,
+// rename, directory fsync — a crash at any point leaves either the old state
+// or a complete new checkpoint, never a half-visible one.
+func writeCheckpoint(dir string, ck *walCheckpoint) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return err
+	}
+	frame := encodeWALFrame(buf.Bytes())
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), walCheckpointPath(dir, ck.Gen)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCheckpoint loads and validates one checkpoint file.
+func readCheckpoint(dir string, gen uint64) (*walCheckpoint, error) {
+	path := walCheckpointPath(dir, gen)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) < walFrameHeader {
+		return nil, &WALCorruptError{Path: path, Reason: "short checkpoint"}
+	}
+	length := int64(binary.BigEndian.Uint32(data[0:4]))
+	crc := binary.BigEndian.Uint32(data[4:8])
+	if length <= 0 || length > maxWALRecord || walFrameHeader+length != int64(len(data)) {
+		return nil, &WALCorruptError{Path: path, Reason: "checkpoint length mismatch"}
+	}
+	payload := data[walFrameHeader:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, &WALCorruptError{Path: path, Reason: "checkpoint CRC mismatch"}
+	}
+	var ck walCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, &WALCorruptError{Path: path, Reason: fmt.Sprintf("undecodable checkpoint: %v", err)}
+	}
+	return &ck, nil
+}
+
+// syncDir fsyncs a directory so renames/creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// openWALSegment opens (creating or appending to) the live segment of gen.
+// size must be the validated length (recovery truncates a torn tail before
+// appending after it).
+func openWALSegment(d Durability, gen uint64, size int64, lastSeq uint64) (*WAL, error) {
+	f, err := os.OpenFile(walSegmentPath(d.Dir, gen), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &WAL{
+		dir:          d.Dir,
+		fsync:        d.Fsync,
+		fsyncEvery:   d.FsyncEvery,
+		segmentBytes: d.SegmentBytes,
+		f:            f,
+		gen:          gen,
+		seq:          lastSeq,
+		size:         size,
+		crash:        d.Crash,
+	}
+	if d.Crash != nil {
+		w.rng = rand.New(rand.NewSource(d.Crash.Seed))
+	}
+	return w, nil
+}
+
+// Append logs one record, assigning its sequence number, and syncs per the
+// policy. The caller (the engine, holding its mutex) must not apply the
+// mutation unless Append returns nil: log-before-apply is what makes an
+// acknowledged write durable.
+func (w *WAL) Append(rec *walRecord) error {
+	if w.crashed {
+		return ErrWALCrashed
+	}
+	rec.Seq = w.seq + 1
+	frame, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	if w.crash != nil && w.rng.Float64() < w.crash.Rate {
+		// Injected crashpoint: die mid-write. A prefix of the frame lands on
+		// disk (never the whole frame, so the record is provably torn) and
+		// the WAL refuses everything afterwards, like the dead process would.
+		torn := frame[:w.rng.Intn(len(frame)-1)+1]
+		if len(torn) == len(frame) {
+			torn = frame[:len(frame)-1]
+		}
+		w.f.Write(torn)
+		w.f.Sync()
+		w.crashed = true
+		return ErrWALCrashed
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("remotedb: wal append: %w", err)
+	}
+	w.seq = rec.Seq
+	w.size += int64(len(frame))
+	w.appends.Add(1)
+	w.bytes.Add(int64(len(frame)))
+	switch w.fsync {
+	case FsyncAlways:
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("remotedb: wal sync: %w", err)
+		}
+		w.syncs.Add(1)
+	case FsyncInterval:
+		if now := time.Now(); now.Sub(w.lastSync) >= w.fsyncEvery {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("remotedb: wal sync: %w", err)
+			}
+			w.syncs.Add(1)
+			w.lastSync = now
+		}
+	}
+	return nil
+}
+
+// shouldRotate reports whether the live segment has outgrown its budget.
+func (w *WAL) shouldRotate() bool {
+	return !w.crashed && w.size >= w.segmentBytes
+}
+
+// Rotate seals the live segment behind a checkpoint of the full engine state
+// and starts the next generation, deleting the old files. The caller holds
+// the engine mutex, so the snapshot is consistent with the log tail.
+func (w *WAL) Rotate(ck *walCheckpoint) error {
+	if w.crashed {
+		return ErrWALCrashed
+	}
+	next := w.gen + 1
+	ck.Gen = next
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := writeCheckpoint(w.dir, ck); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(walSegmentPath(w.dir, next), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	old := w.f
+	oldGen := w.gen
+	w.f, w.gen, w.size, w.seq = f, next, 0, 0
+	w.lastSync = time.Time{}
+	old.Close()
+	os.Remove(walSegmentPath(w.dir, oldGen))
+	os.Remove(walCheckpointPath(w.dir, oldGen))
+	w.rotations.Add(1)
+	return syncDir(w.dir)
+}
+
+// Stats returns cumulative counters (safe to call concurrently with appends).
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Appends:   w.appends.Load(),
+		Syncs:     w.syncs.Load(),
+		Rotations: w.rotations.Load(),
+		Bytes:     w.bytes.Load(),
+	}
+}
+
+// Close syncs and closes the live segment.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	if !w.crashed && w.fsync != FsyncOff {
+		w.f.Sync()
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -177,6 +177,12 @@ type wireResponse struct {
 	Tables []string
 	// Proto is the server's accepted protocol version (hello response only).
 	Proto int
+	// Epoch is the server's catalog generation when the response was built.
+	// Like wireRequest.Trace, it is a gob-level extension: pre-epoch peers
+	// decode responses carrying it by ignoring the unknown field, and gob
+	// omits the zero value entirely, so old servers cost new clients nothing.
+	// The CMS uses it to detect that cached views predate the backend state.
+	Epoch uint64
 }
 
 // toWireTuples converts a slice of tuples to wire rows (one response frame's
