@@ -1,5 +1,5 @@
 // Command braid-bench runs the reproduction's evaluation suite (experiments
-// E1–E18, DESIGN.md Section 5) and prints one table per experiment — the
+// E1–E19, DESIGN.md Section 5) and prints one table per experiment — the
 // reproduction's analogue of the paper's deferred performance evaluation.
 //
 // Usage:
@@ -7,8 +7,8 @@
 //	braid-bench                  # run every experiment
 //	braid-bench E2 E5            # run selected experiments
 //	braid-bench -list            # list experiments
-//	braid-bench -json BENCH_PR9.json   # run E14..E18, emit machine-readable metrics
-//	braid-bench -json out.json -baseline BENCH_PR9.json  # diff against a committed baseline
+//	braid-bench -json BENCH_PR10.json  # run E14..E19, emit machine-readable metrics
+//	braid-bench -json out.json -baseline BENCH_PR10.json  # diff against a committed baseline
 //	braid-bench -cpuprofile cpu.out -memprofile mem.out E12
 //	braid-bench -admin 127.0.0.1:9900 E12   # watch /metrics + pprof while it runs
 package main
@@ -49,17 +49,20 @@ var registry = []struct {
 	{"E16", "cost-based optimizer: pipelined joins, plan cache", experiments.E16PlannerStreaming},
 	{"E17", "observability overhead: tracing/metrics on vs off vs sampled", experiments.E17Overhead},
 	{"E18", "durability: write throughput by fsync policy; recovery time by log size", experiments.E18Durability},
+	{"E19", "morsel-driven parallel execution: speedup vs DOP", experiments.E19ParallelExecution},
 }
 
 // benchData is the -json payload: the raw measurements of the wire-transport,
-// optimizer, observability, and durability experiments (BENCH_PR7.json /
-// BENCH_PR8.json / BENCH_PR9.json commit one run each as baseline).
+// optimizer, observability, durability, and parallelism experiments
+// (BENCH_PR7.json / BENCH_PR8.json / BENCH_PR9.json / BENCH_PR10.json commit
+// one run each as baseline).
 type benchData struct {
 	E14 *experiments.E14Data `json:"e14"`
 	E15 *experiments.E15Data `json:"e15"`
 	E16 *experiments.E16Data `json:"e16,omitempty"`
 	E17 *experiments.E17Data `json:"e17,omitempty"`
 	E18 *experiments.E18Data `json:"e18,omitempty"`
+	E19 *experiments.E19Data `json:"e19,omitempty"`
 }
 
 // diffBaseline compares a fresh run against a committed baseline and returns
@@ -79,7 +82,15 @@ type benchData struct {
 //   - E18 recovery correctness (every acked row replayed, exactly once) is an
 //     INVARIANT, and fsync=off write throughput may not drop below 40% of
 //     baseline (absolute rows/s across policies is machine noise, but the
-//     no-sync arm collapsing means the WAL append path itself regressed).
+//     no-sync arm collapsing means the WAL append path itself regressed);
+//   - E19 aggregate dop-4 speedup >= 1.8x is an INVARIANT whenever the run
+//     used the per-morsel service-time model (StallUS > 0) — stall overlap is
+//     machine-independent, so a miss means the worker pool stopped
+//     overlapping, not that the runner is slow. The dop-4 first-tuple ratio
+//     must stay within max(1.2x, 2x baseline) once a baseline with E19 data
+//     exists to calibrate against: the bounded exchange may not trade
+//     interactivity for throughput, with headroom for scheduler noise in
+//     millisecond-scale medians. Speedup ratios also get the 40% floor.
 func diffBaseline(cur, base benchData) []string {
 	var regressions []string
 	ratio := func(name string, cur, base float64) {
@@ -149,6 +160,33 @@ func diffBaseline(cur, base benchData) []string {
 			ratio("E18 fsync=off write rows/s", curOff, baseOff)
 		}
 	}
+	if cur.E19 != nil {
+		if cur.E19.StallUS > 0 && cur.E19.AggSpeedup4 < 1.8 {
+			regressions = append(regressions,
+				fmt.Sprintf("E19 agg dop-4 speedup %.2fx under the stall model (must be >= 1.8x)",
+					cur.E19.AggSpeedup4))
+		}
+		if base.E19 != nil {
+			bound := 1.2
+			if 2*base.E19.FirstTupleRatio > bound {
+				bound = 2 * base.E19.FirstTupleRatio
+			}
+			if cur.E19.FirstTupleRatio > bound {
+				regressions = append(regressions,
+					fmt.Sprintf("E19 dop-4 first tuple is %.2fx the serial join (bound %.2fx, baseline %.2fx)",
+						cur.E19.FirstTupleRatio, bound, base.E19.FirstTupleRatio))
+			}
+		}
+		if base.E19 != nil {
+			ratio("E19 agg dop-4 speedup", cur.E19.AggSpeedup4, base.E19.AggSpeedup4)
+			ratio("E19 scan dop-4 speedup", cur.E19.ScanSpeedup4, base.E19.ScanSpeedup4)
+			ratio("E19 join dop-4 speedup", cur.E19.JoinSpeedup4, base.E19.JoinSpeedup4)
+		}
+		if cur.E19.ParStreams == 0 {
+			regressions = append(regressions,
+				"E19 ran zero parallel streams — the morsel pool never engaged")
+		}
+	}
 	if cur.E15 != nil && base.E15 != nil {
 		if cur.E15.ResumeCompletionPct < 100 {
 			regressions = append(regressions,
@@ -167,7 +205,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	jsonOut := flag.String("json", "", "run E14..E18 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates, plan-cache hit rate, instrumentation overhead, durability cost) to this file")
+	jsonOut := flag.String("json", "", "run E14..E19 and write their machine-readable metrics (QPS, p50/p99, first-tuple latency, completion rates, plan-cache hit rate, instrumentation overhead, durability cost, parallel speedup) to this file")
 	adminAddr := flag.String("admin", "", "serve /metrics, /debug/vars and /debug/pprof/ on this address while the suite runs (empty: disabled)")
 	baseline := flag.String("baseline", "", "with -json: diff the fresh run against this committed baseline and exit nonzero on a regression")
 	flag.Parse()
@@ -214,7 +252,7 @@ func main() {
 	}
 	ran := 0
 
-	// -json runs E14..E18 exactly once, printing their tables and persisting
+	// -json runs E14..E19 exactly once, printing their tables and persisting
 	// the raw measurements; the registry loop below skips them.
 	if *jsonOut != "" {
 		e14, err := experiments.RunE14Bench()
@@ -247,7 +285,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.E18Render(e18).String())
-		data := benchData{E14: e14, E15: e15, E16: e16, E17: e17, E18: e18}
+		e19, err := experiments.RunE19Bench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "braid-bench: E19: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.E19Render(e19).String())
+		data := benchData{E14: e14, E15: e15, E16: e16, E17: e17, E18: e18, E19: e19}
 		buf, err := json.MarshalIndent(data, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "braid-bench: -json: %v\n", err)
@@ -286,7 +330,7 @@ func main() {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		if (e.id == "E14" || e.id == "E15" || e.id == "E16" || e.id == "E17" || e.id == "E18") && *jsonOut != "" {
+		if (e.id == "E14" || e.id == "E15" || e.id == "E16" || e.id == "E17" || e.id == "E18" || e.id == "E19") && *jsonOut != "" {
 			continue // already ran above
 		}
 		fmt.Println(e.run().String())

@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -48,6 +49,7 @@ func main() {
 	frameTuples := flag.Int("frame-tuples", 0, "default tuples per response frame on streamed (v2) connections (0: built-in default)")
 	connStreams := flag.Int("conn-streams", 0, "concurrently executing requests per framed connection (0: 1, session-serial)")
 	noOpt := flag.Bool("no-optimizer", false, "disable the cost-based optimizer: every non-trivial SELECT runs through the naive materializing executor (the experiment control arm)")
+	parallelism := flag.Int("parallelism", runtime.NumCPU(), "worker-pool bound for morsel-parallel query execution (1: serial only)")
 	dataDir := flag.String("data-dir", "", "durable mode: WAL + checkpoint directory; mutations are logged before apply and recovered at startup (empty: in-memory only)")
 	fsync := flag.String("fsync", "always", "with -data-dir: WAL sync policy — always (every acked write survives a crash), interval (sync at most once per -fsync-interval), off (OS writeback only)")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "with -fsync interval: maximum time between WAL syncs")
@@ -94,6 +96,10 @@ func main() {
 	if *noOpt {
 		engine.SetOptimizer(false)
 		fmt.Println("braid-server: cost-based optimizer DISABLED (-no-optimizer)")
+	}
+	engine.SetParallelism(*parallelism)
+	if *parallelism > 1 {
+		fmt.Printf("braid-server: morsel-parallel execution up to dop %d\n", *parallelism)
 	}
 
 	switch *wl {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/bridge"
 	"repro/internal/cache"
 	"repro/internal/caql"
+	"repro/internal/relation"
 	"repro/internal/remotedb"
 	"repro/internal/workload"
 )
@@ -54,6 +56,18 @@ type StormConfig struct {
 	// a bigger storm needs more connections and a higher no-progress bound.
 	PoolSize   int
 	MaxRetries int
+	// ParallelDOP > 1 adds the parallel leg: join and aggregation streams
+	// executed by the morsel-parallel worker pool while the listener kills
+	// connections mid-flight. Parallel plan streams carry no resume token, so
+	// the contract under kills is fail-visibly-or-deliver-exactly: a
+	// completed stream must bag-match the fault-free delivery, a killed one
+	// must surface an error — and the server must leak no workers either way.
+	ParallelDOP     int
+	ParallelStreams int
+	// ParallelKillRate is the parallel leg's own kill probability (its
+	// streams cannot be repaired, so the rate is moderated to keep a
+	// deterministic mix of completed and killed streams).
+	ParallelKillRate float64
 }
 
 // DefaultStormConfig is a storm in which roughly every stream dies at least
@@ -69,6 +83,9 @@ func DefaultStormConfig() StormConfig {
 		Rows:              160,
 		Sessions:          4,
 		QueriesPerSession: 24,
+		ParallelDOP:       4,
+		ParallelStreams:   24,
+		ParallelKillRate:  0.5,
 	}
 }
 
@@ -93,6 +110,15 @@ type StormResult struct {
 	CMSStats bridge.SourceStats
 	// Errors samples raw-leg stream failures (capped) for diagnosis.
 	Errors []string
+	// Parallel-leg books: attempted = completed + failed; ParMismatched
+	// counts completed streams whose sorted delivery differed from the
+	// fault-free one; ParEngineStreams is the server engine's own count of
+	// executions that actually ran on the morsel worker pool.
+	ParStreams       int64
+	ParCompleted     int64
+	ParFailed        int64
+	ParMismatched    int64
+	ParEngineStreams int64
 }
 
 // stormStatements returns the raw-leg statement set with its expected
@@ -297,6 +323,13 @@ func RunStorm(cfg StormConfig) (StormResult, error) {
 				res.CMSStats.DeadlineExceeded, res.CMSStats.Shed, res.CMSStats.Failed)
 		}
 	}
+	// ---- Leg 3: morsel-parallel streams under kills ----
+	if cfg.ParallelDOP > 1 {
+		if err := runParallelStormLeg(cfg, &res); err != nil {
+			return res, err
+		}
+	}
+
 	res.Elapsed = time.Since(started)
 	ss := srv.ServerStats()
 	res.ServerKills = ss.StreamKills
@@ -317,6 +350,187 @@ func RunStorm(cfg StormConfig) (StormResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// parallelStormEngine builds the parallel leg's tables: fact(id, g, v) sized
+// so a 32-tuple morsel splits it across a dop-wide pool, plus a small dim(g,
+// dname) build side, with the engine forced onto the parallel path for every
+// eligible plan.
+func parallelStormEngine(dop int) (*remotedb.Engine, error) {
+	e := remotedb.NewEngine()
+	if _, _, err := e.ExecuteSQL("CREATE TABLE dim (g INT, dname TEXT)"); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO dim VALUES ")
+	for g := 0; g < 8; g++ {
+		if g > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d,'d%d')", g, g)
+	}
+	if _, _, err := e.ExecuteSQL(sb.String()); err != nil {
+		return nil, err
+	}
+	if _, _, err := e.ExecuteSQL("CREATE TABLE fact (id INT, g INT, v TEXT)"); err != nil {
+		return nil, err
+	}
+	const rows, batch = 600, 200
+	for lo := 0; lo < rows; lo += batch {
+		sb.Reset()
+		sb.WriteString("INSERT INTO fact VALUES ")
+		for i := lo; i < lo+batch; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d,%d,'v%d')", i, i%8, i)
+		}
+		if _, _, err := e.ExecuteSQL(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+	e.SetParallelism(dop)
+	e.SetParallelMinRows(1)
+	e.SetMorselSize(32)
+	return e, nil
+}
+
+// sortedDelivery renders a drained stream as sorted lines: parallel emission
+// order is nondeterministic, so completed deliveries compare as bags.
+func sortedDelivery(lines []string) string {
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// runParallelStormLeg drives join and aggregation statements through a
+// DOP>1 engine behind a kill-prone listener. Parallel plan streams carry no
+// resume token, so the invariant is fail-visibly-or-deliver-exactly: every
+// completed stream bag-matches the fault-free delivery, and kills surface as
+// errors, never truncated "complete" results. Streams run sequentially so
+// the kill-roll sequence (and therefore the outcome books) is deterministic
+// per seed.
+func runParallelStormLeg(cfg StormConfig, res *StormResult) error {
+	pe, err := parallelStormEngine(cfg.ParallelDOP)
+	if err != nil {
+		return err
+	}
+	stmts := []string{
+		"SELECT fact.v, dim.dname FROM fact, dim WHERE fact.g = dim.g",
+		"SELECT g, COUNT(*) FROM fact GROUP BY g",
+		"SELECT dim.dname, COUNT(*) FROM fact, dim WHERE fact.g = dim.g GROUP BY dim.dname",
+	}
+	want := make(map[string]string, len(stmts))
+	for _, s := range stmts {
+		sc, ok := pe.ExecuteSQLPipeline(s)
+		if !ok {
+			return fmt.Errorf("parallel storm statement %q not streamable", s)
+		}
+		var lines []string
+		for tup, ok := sc.Next(); ok; tup, ok = sc.Next() {
+			lines = append(lines, tupleLine(tup))
+		}
+		if c, okc := sc.(interface{ Close() error }); okc {
+			c.Close()
+		}
+		want[s] = sortedDelivery(lines)
+	}
+	if pe.ParallelStats().Streams == 0 {
+		return fmt.Errorf("parallel leg: fault-free warmup never ran on the worker pool")
+	}
+
+	killRate := cfg.ParallelKillRate
+	if killRate <= 0 {
+		killRate = 0.5
+	}
+	psrv := remotedb.NewServerWithOptions(pe, remotedb.ServerOptions{
+		FrameTuples: cfg.FrameTuples,
+		Faults: &remotedb.ListenerFaults{
+			Seed:            cfg.Seed + 2,
+			StreamKillRate:  killRate,
+			StreamKillAfter: cfg.KillAfter,
+		},
+	})
+	paddr, err := psrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer psrv.Close()
+	// No health manager on this client: background probes would consume
+	// kill-roll RNG draws at timer-dependent points, making the leg's
+	// completed/failed split nondeterministic. Redial-on-use alone recovers
+	// the connection after each kill.
+	pp, err := remotedb.DialPool(paddr, remotedb.PoolOptions{
+		Size:        2,
+		FrameTuples: cfg.FrameTuples,
+		Redial:      true,
+		Costs:       remotedb.DefaultCosts(),
+	})
+	if err != nil {
+		return err
+	}
+	prc := remotedb.NewResilientClient(pp, remotedb.Resilience{
+		JitterSeed:      cfg.Seed + 13,
+		MaxRetries:      50,
+		BreakerFailures: -1,
+		BaseBackoff:     200 * time.Microsecond,
+		MaxBackoff:      2 * time.Millisecond,
+	})
+	defer prc.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 31337))
+	streams := cfg.ParallelStreams
+	if streams <= 0 {
+		streams = 24
+	}
+	for n := 0; n < streams; n++ {
+		stmt := stmts[rng.Intn(len(stmts))]
+		var lines []string
+		st, err := prc.ExecStream(context.Background(), stmt)
+		if err == nil {
+			for tup, ok := st.Next(); ok; tup, ok = st.Next() {
+				lines = append(lines, tupleLine(tup))
+			}
+			err = st.Err()
+		}
+		res.ParStreams++
+		switch {
+		case err != nil:
+			res.ParFailed++
+		case sortedDelivery(lines) != want[stmt]:
+			res.ParCompleted++
+			res.ParMismatched++
+		default:
+			res.ParCompleted++
+		}
+	}
+	res.ParEngineStreams = pe.ParallelStats().Streams
+
+	if res.ParStreams != res.ParCompleted+res.ParFailed {
+		return fmt.Errorf("parallel leg books do not balance: %d != %d + %d",
+			res.ParStreams, res.ParCompleted, res.ParFailed)
+	}
+	if res.ParMismatched > 0 {
+		return fmt.Errorf("parallel leg: %d completed streams did not bag-match the fault-free delivery", res.ParMismatched)
+	}
+	if res.ParCompleted == 0 {
+		return fmt.Errorf("parallel leg: kill rate %.2f starved every stream (%d attempted)", killRate, res.ParStreams)
+	}
+	if killRate > 0 && res.ParFailed == 0 {
+		return fmt.Errorf("parallel leg: kill rate %.2f never failed a tokenless stream — the storm did not bite", killRate)
+	}
+	return nil
+}
+
+// tupleLine renders one tuple as a pipe-joined line.
+func tupleLine(tup relation.Tuple) string {
+	var sb strings.Builder
+	for i, v := range tup {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		sb.WriteString(v.String())
+	}
+	return sb.String()
 }
 
 // stormClient is the storm's standard client stack: a health-managed pool of

@@ -42,6 +42,7 @@ func TestStreamKillStorm(t *testing.T) {
 		cfg.Sessions = 8
 		cfg.QueriesPerSession = 150
 		cfg.KillRate = 1.0
+		cfg.ParallelStreams = 400
 		// 6× the workers per client means 6× the collateral stream deaths
 		// per connection kill: spread the load over more connections and
 		// give the no-progress bound the same headroom.
@@ -58,8 +59,15 @@ func TestStreamKillStorm(t *testing.T) {
 	if res.Completed != res.Streams {
 		t.Fatalf("resume on, yet only %d/%d streams completed", res.Completed, res.Streams)
 	}
-	t.Logf("storm: %d streams, %d client resumes, %d server kills in %v",
-		res.Streams, res.Resumes, res.ServerKills, res.Elapsed)
+	// The parallel leg must have exercised the worker pool for real: the
+	// engine's own counter says how many executions ran on it (warmup plus
+	// every wire stream that got far enough to open a plan).
+	if res.ParEngineStreams == 0 {
+		t.Fatalf("parallel leg never ran on the morsel worker pool: %+v", res)
+	}
+	t.Logf("storm: %d streams, %d client resumes, %d server kills in %v; parallel leg %d streams (%d completed, %d killed, %d pool executions)",
+		res.Streams, res.Resumes, res.ServerKills, res.Elapsed,
+		res.ParStreams, res.ParCompleted, res.ParFailed, res.ParEngineStreams)
 	stormLeakCheck(t, before)
 }
 
@@ -81,6 +89,9 @@ func TestStreamKillStormDeterministic(t *testing.T) {
 	}
 	if a.Streams != b.Streams || a.Completed != b.Completed || a.Failed != b.Failed || a.Mismatched != b.Mismatched {
 		t.Fatalf("same seed, different outcome books:\n%+v\n%+v", a, b)
+	}
+	if a.ParStreams != b.ParStreams || a.ParCompleted != b.ParCompleted || a.ParFailed != b.ParFailed {
+		t.Fatalf("same seed, different parallel-leg books:\n%+v\n%+v", a, b)
 	}
 }
 

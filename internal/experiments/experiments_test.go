@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // cell parses a numeric table cell.
@@ -341,6 +342,55 @@ func TestE10Shape(t *testing.T) {
 	for r := 1; r < len(tab.Rows); r++ {
 		if cell(t, tab, r, resp) < full-0.5 {
 			t.Errorf("ablation row %d (%s) beats the full configuration\n%s", r, tab.Rows[r][0], tab)
+		}
+	}
+}
+
+// TestE19Shape runs the morsel-parallelism sweep at a reduced scale: the
+// result must carry every (shape, dop) arm with dop-invariant cardinality
+// and server ops (parallel execution may not change what a query returns or
+// how much work it charges), and the engine counters must show the pool
+// engaging for dop > 1 and falling back for dop 1. The full-scale speedup
+// floor (agg dop4 >= 1.8x) is asserted by braid-bench -baseline runs, not
+// here — under the race detector the instrumented CPU work can swamp the
+// simulated stall, so the floor here is conservative.
+func TestE19Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP measurement in short mode")
+	}
+	d, err := RunE19(12000, 1, 1*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Shapes) != 12 { // 3 shapes x dop {1,2,4,8}
+		t.Fatalf("unexpected shape count %d: %+v", len(d.Shapes), d)
+	}
+	base := map[string]E19Shape{}
+	for _, s := range d.Shapes {
+		if s.DOP == 1 {
+			base[s.Shape] = s
+			continue
+		}
+		b := base[s.Shape]
+		if s.Tuples != b.Tuples || s.Ops != b.Ops {
+			t.Errorf("%s at dop %d: %d tuples / %d ops, serial returned %d / %d",
+				s.Shape, s.DOP, s.Tuples, s.Ops, b.Tuples, b.Ops)
+		}
+	}
+	if d.ParStreams == 0 || d.ParMorsels == 0 || d.ParWorkers == 0 {
+		t.Errorf("parallel counters never moved: %+v", d)
+	}
+	if d.ParFallbacks == 0 {
+		t.Errorf("dop-1 arms should count as serial fallbacks: %+v", d)
+	}
+	if d.FirstTupleSerialUS <= 0 || d.FirstTupleParUS <= 0 {
+		t.Errorf("first-tuple arm did not measure: %+v", d)
+	}
+	if raceEnabled {
+		t.Logf("race detector on: skipping speedup floor (agg dop4 %.2fx)", d.AggSpeedup4)
+	} else {
+		if !(d.AggSpeedup4 > 1.2) {
+			t.Errorf("agg dop4 speedup %.2fx under a 1ms morsel stall, want > 1.2x", d.AggSpeedup4)
 		}
 	}
 }

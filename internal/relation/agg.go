@@ -84,6 +84,28 @@ func (st *aggState) add(v Value) {
 	}
 }
 
+// merge folds another partial state into st. Every supported aggregate is
+// decomposable: COUNT and SUM add, MIN/MAX fold, and AVG is carried as
+// (sum, count) until result() divides — so partials computed over disjoint
+// input partitions merge into exactly the state a single pass would build.
+func (st *aggState) merge(o aggState) {
+	st.count += o.count
+	st.sum += o.sum
+	if !o.any {
+		return
+	}
+	if !st.any {
+		st.min, st.max, st.any = o.min, o.max, true
+		return
+	}
+	if o.min.Less(st.min) {
+		st.min = o.min
+	}
+	if st.max.Less(o.max) {
+		st.max = o.max
+	}
+}
+
 func (st *aggState) result(op AggOp) Value {
 	switch op {
 	case AggCount:
@@ -110,6 +132,90 @@ func (st *aggState) result(op AggOp) Value {
 	}
 }
 
+// aggGroup is one group's key and per-spec running states.
+type aggGroup struct {
+	key    Tuple
+	states []aggState
+}
+
+// AggAccum is a grouped-aggregation accumulator that supports merging:
+// partial accumulators built over disjoint slices of the input (one per
+// parallel worker, say) Merge into exactly the accumulator a single
+// sequential pass would have produced, because every supported aggregate is
+// decomposable (COUNT/SUM add, MIN/MAX fold, AVG carries sum+count).
+// Group emission order is first-seen order: Add order within an accumulator,
+// then Merge order across accumulators. Not safe for concurrent use; build
+// one per worker and merge on a single goroutine.
+type AggAccum struct {
+	groupBy []int
+	specs   []AggSpec
+	groups  map[string]*aggGroup
+	order   []string
+}
+
+// NewAggAccum returns an empty accumulator for the given grouping columns
+// and aggregate specs.
+func NewAggAccum(groupBy []int, specs []AggSpec) *AggAccum {
+	return &AggAccum{groupBy: groupBy, specs: specs, groups: make(map[string]*aggGroup)}
+}
+
+// Add folds one input tuple into its group.
+func (a *AggAccum) Add(t Tuple) {
+	k := t.KeyOn(a.groupBy)
+	g := a.groups[k]
+	if g == nil {
+		g = &aggGroup{key: t.Project(a.groupBy), states: make([]aggState, len(a.specs))}
+		a.groups[k] = g
+		a.order = append(a.order, k)
+	}
+	for i, spec := range a.specs {
+		if spec.Op == AggCount && spec.Col < 0 {
+			g.states[i].count++
+			continue
+		}
+		g.states[i].add(t[spec.Col])
+	}
+}
+
+// Merge folds another accumulator (built with the same groupBy/specs) into
+// this one. Groups unseen here keep o's key tuple and append in o's order.
+func (a *AggAccum) Merge(o *AggAccum) {
+	for _, k := range o.order {
+		og := o.groups[k]
+		g := a.groups[k]
+		if g == nil {
+			g = &aggGroup{key: og.key, states: make([]aggState, len(a.specs))}
+			a.groups[k] = g
+			a.order = append(a.order, k)
+		}
+		for i := range a.specs {
+			g.states[i].merge(og.states[i])
+		}
+	}
+}
+
+// Emit renders the group rows: group-by values followed by aggregate results
+// in specification order. With no groupBy columns a single output tuple is
+// produced even over empty input, matching SQL.
+func (a *AggAccum) Emit() []Tuple {
+	if len(a.groupBy) == 0 && len(a.groups) == 0 {
+		// Global aggregate over empty input still yields one row.
+		a.groups[""] = &aggGroup{key: Tuple{}, states: make([]aggState, len(a.specs))}
+		a.order = append(a.order, "")
+	}
+	out := make([]Tuple, 0, len(a.order))
+	for _, k := range a.order {
+		g := a.groups[k]
+		row := make(Tuple, 0, len(a.groupBy)+len(a.specs))
+		row = append(row, g.key...)
+		for i, spec := range a.specs {
+			row = append(row, g.states[i].result(spec.Op))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
 // Aggregate groups the input by the groupBy columns and computes the given
 // aggregates for each group. The output tuples are group-by values followed
 // by aggregate results, in specification order. With no groupBy columns a
@@ -117,49 +223,15 @@ func (st *aggState) result(op AggOp) Value {
 //
 // Aggregation is a blocking operator: the input is drained eagerly.
 func Aggregate(in Iterator, groupBy []int, specs []AggSpec) []Tuple {
-	type group struct {
-		key    Tuple
-		states []aggState
-	}
-	groups := make(map[string]*group)
-	var order []string
+	acc := NewAggAccum(groupBy, specs)
 	for {
 		t, ok := in.Next()
 		if !ok {
 			break
 		}
-		k := t.KeyOn(groupBy)
-		g := groups[k]
-		if g == nil {
-			g = &group{key: t.Project(groupBy), states: make([]aggState, len(specs))}
-			groups[k] = g
-			order = append(order, k)
-		}
-		for i, spec := range specs {
-			if spec.Op == AggCount && spec.Col < 0 {
-				g.states[i].count++
-				continue
-			}
-			g.states[i].add(t[spec.Col])
-		}
+		acc.Add(t)
 	}
-	if len(groupBy) == 0 && len(groups) == 0 {
-		// Global aggregate over empty input still yields one row.
-		g := &group{key: Tuple{}, states: make([]aggState, len(specs))}
-		groups[""] = g
-		order = append(order, "")
-	}
-	out := make([]Tuple, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		row := make(Tuple, 0, len(groupBy)+len(specs))
-		row = append(row, g.key...)
-		for i, spec := range specs {
-			row = append(row, g.states[i].result(spec.Op))
-		}
-		out = append(out, row)
-	}
-	return out
+	return acc.Emit()
 }
 
 // AggregateRel is the eager relation-level wrapper around Aggregate. Output

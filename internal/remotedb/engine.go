@@ -3,9 +3,11 @@ package remotedb
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/relation"
@@ -60,17 +62,42 @@ type Engine struct {
 	// fails, every subsequent mutation returns it rather than silently
 	// diverging memory from the log. Guarded by mu.
 	walErr error
+
+	// Morsel-driven parallel execution knobs (plan_parallel.go). parallelism
+	// is the worker-pool bound for eligible plans (<= 1: serial); parMinRows
+	// is the optimizer's cost threshold — a plan whose driver scan is
+	// estimated below it stays serial, so tiny inputs never pay fan-out
+	// overhead; morselSize is the scan split granularity (and the chunk at
+	// which the simulated per-morsel stall applies on the serial path).
+	parallelism atomic.Int32
+	parMinRows  atomic.Int64
+	morselSize  atomic.Int64
+	// morselStall is the per-morsel service-time model for experiments
+	// (E19), the same device E14 used for pooled QPS: each morsel charges a
+	// fixed simulated fetch latency on whichever executor reads it, so DOP
+	// scaling is measurable on any machine. Zero (the default) disables it.
+	morselStall atomic.Int64
+
+	// Parallel-execution counters (read-through metrics + ParallelStats).
+	parStreams   atomic.Int64 // executions that ran morsel-parallel
+	parMorselsCt atomic.Int64 // morsels dispatched to workers
+	parWorkerRt  atomic.Int64 // worker goroutines launched
+	parFallbacks atomic.Int64 // eligible plans that chose serial at open
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{
+	e := &Engine{
 		tables:   make(map[string]*relation.Relation),
 		indexes:  make(map[string][]*relation.Index),
 		versions: make(map[string]uint64),
 		meta:     make(map[string]*tableMeta),
 		plans:    newPlanCache(planCacheCap),
 	}
+	e.parallelism.Store(int32(runtime.NumCPU()))
+	e.parMinRows.Store(parDefaultMinRows)
+	e.morselSize.Store(defaultMorselTuples)
+	return e
 }
 
 // SetTracer installs (or, with nil, removes) the tracer recording
@@ -85,6 +112,68 @@ func (e *Engine) SetOptimizer(on bool) { e.noOpt.Store(!on) }
 
 // OptimizerEnabled reports whether the cost-based planner is active.
 func (e *Engine) OptimizerEnabled() bool { return !e.noOpt.Load() }
+
+// SetParallelism bounds the morsel-execution worker pool for eligible plans.
+// Values <= 1 force serial execution. The default is runtime.NumCPU(). Safe
+// to call while the engine serves queries; cached plans pick the new degree
+// up at their next open.
+func (e *Engine) SetParallelism(n int) { e.parallelism.Store(int32(n)) }
+
+// Parallelism returns the configured worker-pool bound.
+func (e *Engine) Parallelism() int { return int(e.parallelism.Load()) }
+
+// SetParallelMinRows sets the optimizer's serial/parallel cost threshold: a
+// plan whose driver scan is estimated to read fewer rows stays serial, so
+// small inputs never pay worker fan-out for work one goroutine finishes
+// first. Tests and experiments lower it to force the parallel path on small
+// corpora.
+func (e *Engine) SetParallelMinRows(n int64) { e.parMinRows.Store(n) }
+
+// ParallelMinRows returns the serial/parallel row threshold.
+func (e *Engine) ParallelMinRows() int64 { return e.parMinRows.Load() }
+
+// SetMorselSize sets the scan split granularity in tuples (<= 0 restores the
+// default). Smaller morsels improve load balance and cancellation latency at
+// the cost of more dispatch operations.
+func (e *Engine) SetMorselSize(n int) {
+	if n <= 0 {
+		n = defaultMorselTuples
+	}
+	e.morselSize.Store(int64(n))
+}
+
+// MorselSize returns the scan split granularity in tuples.
+func (e *Engine) MorselSize() int { return int(e.morselSize.Load()) }
+
+// SetMorselStall installs the experiment service-time model: every morsel of
+// base-table rows charges d of simulated fetch latency on whichever executor
+// reads it — the serial scan sleeps per morselSize rows, parallel workers
+// sleep per claimed morsel — so both arms of a DOP sweep pay identical total
+// stall and the measured speedup is genuine overlap (E19; the analogue of
+// E14's 1ms service-time model). Zero disables it; production paths never
+// set it.
+func (e *Engine) SetMorselStall(d time.Duration) { e.morselStall.Store(int64(d)) }
+
+// MorselStall returns the per-morsel simulated fetch latency.
+func (e *Engine) MorselStall() time.Duration { return time.Duration(e.morselStall.Load()) }
+
+// ParallelStats are cumulative morsel-execution counters.
+type ParallelStats struct {
+	Streams         int64 // executions that ran morsel-parallel
+	Morsels         int64 // morsels dispatched to workers
+	Workers         int64 // worker goroutines launched
+	SerialFallbacks int64 // eligible plans that chose serial at open time
+}
+
+// ParallelStats returns the cumulative morsel-execution counters.
+func (e *Engine) ParallelStats() ParallelStats {
+	return ParallelStats{
+		Streams:         e.parStreams.Load(),
+		Morsels:         e.parMorselsCt.Load(),
+		Workers:         e.parWorkerRt.Load(),
+		SerialFallbacks: e.parFallbacks.Load(),
+	}
+}
 
 // Epoch returns the current catalog generation. It rides wire responses so
 // clients (and through them the CMS) can detect that the backend has moved

@@ -216,6 +216,7 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 	// --- Per-alias subtrees: scan (+ prune) ---
 	subtree := make(map[string]planNode, len(scope.order))
 	prunedCols := make(map[string][]int, len(scope.order))
+	scanExamine := make(map[*scanNode]float64, len(scope.order))
 	for _, a := range scope.order {
 		acc := accs[a]
 		sn := &scanNode{
@@ -227,6 +228,7 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 			idxVals: acc.idxVals,
 			desc:    scanDesc(acc),
 		}
+		scanExamine[sn] = acc.examineEst
 		var node planNode = sn
 		arity := acc.sch.Arity()
 		keep := make([]int, 0, arity)
@@ -505,6 +507,10 @@ func (e *Engine) buildPlan(sel *SelectStmt) (*Plan, error) {
 		estRows: est,
 		estOps:  estOps,
 		nodeEst: nodeEst,
+		// Parallel eligibility is a pure shape property, so it is decided
+		// here, once per plan; the per-execution DOP decision stays at open
+		// time where the engine's settings are known.
+		par: findParSection(cur, scanExamine),
 	}, nil
 }
 

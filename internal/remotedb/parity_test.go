@@ -164,6 +164,76 @@ func runParity(t *testing.T, indexed bool) {
 func TestParityCorpus(t *testing.T)        { runParity(t, false) }
 func TestParityCorpusIndexed(t *testing.T) { runParity(t, true) }
 
+// TestParityCorpusParallel runs the whole corpus with morsel-parallel
+// execution forced on (row threshold 1, 32-tuple morsels, so the 300-row po
+// splits into ~10 morsels and a dop-4 pool gets real concurrency) at DOP 1
+// and 4. Every statement must bag-match the naive oracle on both the planned
+// and streamed paths, report no stream error, and charge exactly the serial
+// planned run's op count — the parallel agg merge and the partitioned join
+// build are the high-risk paths this pins down.
+func TestParityCorpusParallel(t *testing.T) {
+	for _, dop := range []int{1, 4} {
+		t.Run(fmt.Sprintf("dop%d", dop), func(t *testing.T) {
+			e := newParityEngine(t, false)
+			e.SetParallelMinRows(1)
+			e.SetMorselSize(32)
+			for _, tc := range parityCorpus {
+				t.Run(tc.sql, func(t *testing.T) {
+					e.SetOptimizer(false)
+					want, _, err := e.ExecuteSQL(tc.sql)
+					if err != nil {
+						t.Fatalf("naive: %v", err)
+					}
+					var full *relation.Relation
+					if tc.unlimited != "" {
+						if full, _, err = e.ExecuteSQL(tc.unlimited); err != nil {
+							t.Fatalf("naive unlimited: %v", err)
+						}
+					}
+					e.SetOptimizer(true)
+					e.SetParallelism(1)
+					_, serialOps, err := e.ExecuteSQL(tc.sql)
+					if err != nil {
+						t.Fatalf("serial planned: %v", err)
+					}
+					e.SetParallelism(dop)
+					got, parOps, err := e.ExecuteSQL(tc.sql)
+					if err != nil {
+						t.Fatalf("parallel planned: %v", err)
+					}
+					check := func(label string, res *relation.Relation) {
+						t.Helper()
+						if full != nil {
+							assertSubsetOf(t, label, res, full, want.Len())
+							return
+						}
+						assertSameResult(t, label, want, res, tc.ordered)
+					}
+					check("parallel planned", got)
+					if parOps != serialOps {
+						t.Errorf("ops diverge: parallel %d, serial %d", parOps, serialOps)
+					}
+
+					// The streamed path: plan streams must drain clean (nil
+					// Err) and agree; Close joins any worker pool.
+					st, ok := e.ExecuteSQLPipeline(tc.sql)
+					if !ok {
+						t.Fatalf("pipeline declined %q with optimizer on", tc.sql)
+					}
+					streamed := relation.Drain(st.Name(), st.Schema(), st)
+					if ps, ok := st.(*PlanStream); ok {
+						if err := ps.Err(); err != nil {
+							t.Fatalf("streamed: %v", err)
+						}
+						ps.Close()
+					}
+					check("parallel streamed", streamed)
+				})
+			}
+		})
+	}
+}
+
 func assertSameResult(t *testing.T, label string, want, got *relation.Relation, ordered bool) {
 	t.Helper()
 	if got.Len() != want.Len() {

@@ -32,6 +32,12 @@ type Plan struct {
 	// stamped at build time and rendered against actuals by EXPLAIN ANALYZE.
 	// Read-only after buildPlan, like the tree itself.
 	nodeEst map[planNode]float64
+
+	// par is the plan's parallelizable section (plan_parallel.go), or nil
+	// when the shape must stay serial. Eligibility is decided at build time;
+	// whether a given execution actually runs parallel is decided at open
+	// time from the engine's Parallelism and ParallelMinRows settings.
+	par *parSection
 }
 
 // EstRows is the optimizer's estimate of the result cardinality.
@@ -211,8 +217,18 @@ func (e *Engine) explainSelect(sel *SelectStmt) (*relation.Relation, int64, erro
 	if !e.OptimizerEnabled() {
 		mode = "off (naive materializing executor runs this statement)"
 	}
-	lines := []string{fmt.Sprintf("optimizer: %s | plan epoch %d | est rows %.0f | est cost %.1f sim-ms",
-		mode, p.epoch, p.estRows, p.EstCost(DefaultCosts()))}
+	header := fmt.Sprintf("optimizer: %s | plan epoch %d | est rows %.0f | est cost %.1f sim-ms",
+		mode, p.epoch, p.estRows, p.EstCost(DefaultCosts()))
+	if p.par != nil {
+		if dop := e.planDOP(p); dop > 1 {
+			header += fmt.Sprintf(" | parallel dop %d (driver est %.0f rows, morsel %d)",
+				dop, p.par.estRows, e.MorselSize())
+		} else {
+			header += fmt.Sprintf(" | parallel eligible, serial chosen (driver est %.0f rows, min %d, parallelism %d)",
+				p.par.estRows, e.ParallelMinRows(), e.Parallelism())
+		}
+	}
+	lines := []string{header}
 	lines = append(lines, p.Explain()...)
 	return planLinesRelation(lines), int64(len(lines)), nil
 }
@@ -281,6 +297,7 @@ func (e *Engine) explainAnalyzeSelect(ctx context.Context, sel *SelectStmt) (*re
 	if err != nil {
 		return nil, 0, err
 	}
+	defer ps.Close()
 	t0 := time.Now()
 	rows := int64(0)
 	for {
@@ -290,14 +307,22 @@ func (e *Engine) explainAnalyzeSelect(ctx context.Context, sel *SelectStmt) (*re
 		rows++
 	}
 	wall := time.Since(t0)
+	if err := ps.Err(); err != nil {
+		return nil, 0, err
+	}
 	p := ps.plan
 	cache := "miss"
 	if ps.cached {
 		cache = "hit"
 	}
 	lines := []string{fmt.Sprintf(
-		"optimizer: on | plan epoch %d | plan cache %s | est rows %.0f | actual rows %d | ops %d | time %.3fms",
-		p.epoch, cache, p.estRows, rows, ps.Ops(), float64(wall.Nanoseconds())/1e6)}
+		"optimizer: on | plan epoch %d | plan cache %s | est rows %.0f | actual rows %d | ops %d | time %.3fms | dop %d",
+		p.epoch, cache, p.estRows, rows, ps.Ops(), float64(wall.Nanoseconds())/1e6, ps.DOP())}
+	if ps.DOP() > 1 {
+		// Per-worker actuals: skewed partitions show up here as unbalanced
+		// rows/ops across workers, which node-level wall time cannot reveal.
+		lines = append(lines, ps.par.workerLines()...)
+	}
 	lines = append(lines, p.explainAnalyze(ps.run)...)
 	return planLinesRelation(lines), ps.Ops(), nil
 }

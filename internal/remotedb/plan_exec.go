@@ -19,6 +19,13 @@ import (
 type planRun struct {
 	ops   int64
 	scans map[*scanNode]scanBinding
+	// morsel is the scan split granularity; stall, when non-zero, is the
+	// simulated per-morsel fetch latency (Engine.SetMorselStall) experiments
+	// use as a service-time model. The serial scan pays the same stall per
+	// morselful of examined rows as a parallel worker pays per claimed
+	// morsel, so measured speedups isolate genuine overlap.
+	morsel int
+	stall  time.Duration
 	// analyze, when non-nil, collects per-node actuals (rows emitted,
 	// inclusive wall time, scan rows examined) for EXPLAIN ANALYZE. It is nil
 	// on ordinary executions, so the hot path pays nothing.
@@ -92,9 +99,15 @@ func (run *planRun) openNode(n planNode) relation.Iterator {
 
 // open binds the plan to the live catalog. With analyze set, the run records
 // per-node actuals. It fails with errPlanStale when the catalog epoch moved
-// past the plan (the caller drops the cache entry and replans).
-func (p *Plan) open(e *Engine, analyze bool) (*PlanStream, error) {
-	run := &planRun{scans: make(map[*scanNode]scanBinding)}
+// past the plan (the caller drops the cache entry and replans). When the plan
+// has a parallel section and the open-time DOP decision picks parallelism,
+// the stream carries a parExec; otherwise it runs the ordinary serial tree.
+func (p *Plan) open(ctx context.Context, e *Engine, analyze bool) (*PlanStream, error) {
+	run := &planRun{
+		scans:  make(map[*scanNode]scanBinding),
+		morsel: e.MorselSize(),
+		stall:  e.MorselStall(),
+	}
 	if analyze {
 		run.analyze = make(map[planNode]*nodeActual)
 	}
@@ -106,7 +119,23 @@ func (p *Plan) open(e *Engine, analyze bool) (*PlanStream, error) {
 	if err := bindScans(p.root, e, run); err != nil {
 		return nil, err
 	}
-	return &PlanStream{plan: p, run: run}, nil
+	ps := &PlanStream{plan: p, run: run}
+	if p.par != nil {
+		if dop := e.planDOP(p); dop > 1 {
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			pctx, cancel := context.WithCancel(ctx)
+			ps.par = &parExec{
+				e: e, plan: p, run: run, sec: p.par,
+				dop: dop, morsel: run.morsel, stall: run.stall,
+				ctx: pctx, cancel: cancel,
+			}
+		} else {
+			e.parFallbacks.Add(1)
+		}
+	}
+	return ps, nil
 }
 
 func bindScans(n planNode, e *Engine, run *planRun) error {
@@ -157,6 +186,22 @@ func (n *scanNode) open(run *planRun) relation.Iterator {
 	} else {
 		src = relation.NewSliceIterator(b.rows)
 	}
+	if run.stall > 0 {
+		// Serial arm of the experiment service-time model: one simulated fetch
+		// stall per morselful of examined rows, the same total a parallel run
+		// pays across its workers (one stall per claimed morsel).
+		inner, n := src, 0
+		src = relation.IteratorFunc(func() (relation.Tuple, bool) {
+			t, ok := inner.Next()
+			if ok {
+				if n%run.morsel == 0 {
+					time.Sleep(run.stall)
+				}
+				n++
+			}
+			return t, ok
+		})
+	}
 	src = run.counted(src)
 	if na := run.actualFor(n); na != nil {
 		inner := src
@@ -202,7 +247,12 @@ func (n *aggNode) open(run *planRun) relation.Iterator {
 }
 
 func (n *sortNode) open(run *planRun) relation.Iterator {
-	in := run.counted(run.openNode(n.child))
+	return n.openOn(run.counted(run.openNode(n.child)))
+}
+
+// openOn runs the sort over an explicit input iterator; the parallel
+// consumer chain substitutes the exchange here.
+func (n *sortNode) openOn(in relation.Iterator) relation.Iterator {
 	if n.limit >= 0 {
 		return relation.NewSliceIterator(relation.TopN(in, n.cols, n.limit))
 	}
@@ -229,11 +279,19 @@ func (n *sortNode) open(run *planRun) relation.Iterator {
 }
 
 func (n *distinctNode) open(run *planRun) relation.Iterator {
-	return relation.Distinct(run.counted(run.openNode(n.child)))
+	return n.openOn(run.counted(run.openNode(n.child)))
+}
+
+func (n *distinctNode) openOn(in relation.Iterator) relation.Iterator {
+	return relation.Distinct(in)
 }
 
 func (n *limitNode) open(run *planRun) relation.Iterator {
-	return relation.Limit(run.openNode(n.child), n.n)
+	return n.openOn(run.openNode(n.child))
+}
+
+func (n *limitNode) openOn(in relation.Iterator) relation.Iterator {
+	return relation.Limit(in, n.n)
 }
 
 // PlanStream executes a bound plan as a pull stream: Next drives the
@@ -245,6 +303,9 @@ type PlanStream struct {
 	run    *planRun
 	it     relation.Iterator
 	cached bool // the plan came out of the plan cache (slow-query log field)
+	// par, when non-nil, executes the plan's parallel section on a morsel
+	// worker pool (plan_parallel.go); nil means the ordinary serial tree.
+	par *parExec
 }
 
 // Schema returns the result schema.
@@ -253,8 +314,14 @@ func (s *PlanStream) Schema() *relation.Schema { return s.plan.schema }
 // Name returns the result relation name.
 func (s *PlanStream) Name() string { return "result" }
 
-// Ops returns the server-side tuple operations performed so far.
-func (s *PlanStream) Ops() int64 { return s.run.ops }
+// Ops returns the server-side tuple operations performed so far (for a
+// parallel run: the consumer chain's plus every finished worker's).
+func (s *PlanStream) Ops() int64 {
+	if s.par != nil {
+		return s.run.ops + s.par.ops()
+	}
+	return s.run.ops
+}
 
 // Plan returns the compiled plan backing this stream.
 func (s *PlanStream) Plan() *Plan { return s.plan }
@@ -265,10 +332,45 @@ func (s *PlanStream) Cached() bool { return s.cached }
 // Next returns the next result tuple. The iterator tree is built on the
 // first call; hash-join builds and sorts run then.
 func (s *PlanStream) Next() (relation.Tuple, bool) {
+	if s.par != nil {
+		return s.par.next()
+	}
 	if s.it == nil {
 		s.it = s.run.openNode(s.plan.root)
 	}
 	return s.it.Next()
+}
+
+// Err reports why the stream stopped before delivering every tuple — a
+// cancellation observed at a worker checkpoint, for a parallel run — or nil
+// for a complete result. Consumers that drain a PlanStream must check Err
+// before treating the result as complete: parallel streams carry no resume
+// token, so this is what keeps an interrupted run from reading as a
+// silently truncated one.
+func (s *PlanStream) Err() error {
+	if s.par != nil {
+		return s.par.err()
+	}
+	return nil
+}
+
+// DOP returns the degree of parallelism the stream executes with (1 for the
+// serial tree).
+func (s *PlanStream) DOP() int {
+	if s.par != nil {
+		return s.par.dop
+	}
+	return 1
+}
+
+// Close releases the stream's resources. For a parallel run it cancels and
+// joins every morsel worker — abandoning a partially-drained stream leaks no
+// goroutines. Serial streams have nothing to release. Idempotent.
+func (s *PlanStream) Close() error {
+	if s.par != nil {
+		s.par.shutdown()
+	}
+	return nil
 }
 
 // planFor returns the cached plan for sel, compiling (and caching) it on a
@@ -322,7 +424,7 @@ func (e *Engine) openPlan(ctx context.Context, sel *SelectStmt, analyze bool) (*
 		if err != nil {
 			return nil, err
 		}
-		ps, err := p.open(e, analyze)
+		ps, err := p.open(ctx, e, analyze)
 		if err == errPlanStale && attempt < 4 {
 			e.plans.remove(p.key)
 			continue
@@ -343,6 +445,10 @@ func (e *Engine) executeSelectPlanned(ctx context.Context, sel *SelectStmt) (*re
 	if err != nil {
 		return nil, 0, err
 	}
+	defer ps.Close()
 	rel := relation.Drain("result", ps.Schema(), ps)
+	if err := ps.Err(); err != nil {
+		return nil, 0, err
+	}
 	return rel, ps.Ops(), nil
 }

@@ -195,6 +195,21 @@ func NewServerWithOptions(engine *Engine, opts ServerOptions) *Server {
 			})
 		s.frameLat = reg.Histogram("braid_server_frame_write_us",
 			"Latency of one response frame write, microseconds.")
+		reg.CounterFunc("braid_engine_parallel_streams_total",
+			"Plan executions that ran on the morsel-parallel worker pool.",
+			func() int64 { return engine.ParallelStats().Streams })
+		reg.CounterFunc("braid_engine_parallel_morsels_total",
+			"Morsels claimed by parallel workers across all executions.",
+			func() int64 { return engine.ParallelStats().Morsels })
+		reg.CounterFunc("braid_engine_parallel_workers_total",
+			"Parallel worker goroutines launched across all executions.",
+			func() int64 { return engine.ParallelStats().Workers })
+		reg.CounterFunc("braid_engine_parallel_fallbacks_total",
+			"Parallel-eligible plans executed serially (below the row threshold or parallelism 1).",
+			func() int64 { return engine.ParallelStats().SerialFallbacks })
+		reg.GaugeFunc("braid_engine_parallelism",
+			"Configured worker-pool bound for morsel-parallel execution.",
+			func() float64 { return float64(engine.Parallelism()) })
 	}
 	return s
 }
@@ -421,7 +436,9 @@ func (s *Server) slowClock() time.Time {
 
 // logSlow emits one slow-query record when logging is enabled and the request
 // ran at least SlowQuery. start is the slowClock() value (zero: disabled).
-func (s *Server) logSlow(start time.Time, sql string, cached bool, rows, frames int64) {
+// dop is the degree of parallelism the statement executed with (1: serial),
+// so a slow record shows whether the parallel path was even in play.
+func (s *Server) logSlow(start time.Time, sql string, cached bool, rows, frames int64, dop int) {
 	if start.IsZero() {
 		return
 	}
@@ -434,6 +451,7 @@ func (s *Server) logSlow(start time.Time, sql string, cached bool, rows, frames 
 		"plan_cache_hit", cached,
 		"rows", rows,
 		"frames", frames,
+		"dop", dop,
 		"dur_ms", float64(d.Nanoseconds())/1e6,
 	)
 }
@@ -450,7 +468,7 @@ func (s *Server) handle(ctx context.Context, req *wireRequest) wireResponse {
 		if rel != nil {
 			rows = int64(len(rel.Tuples()))
 		}
-		s.logSlow(start, req.SQL, false, rows, 0)
+		s.logSlow(start, req.SQL, false, rows, 0, 1)
 		return wireResponse{Rel: toWireRelation(rel), Ops: ops}
 	case "schema":
 		sch, err := s.engine.Schema(req.Name)

@@ -241,18 +241,19 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 				if sc, ok := s.engine.ResumeSQLStream(req.SQL, tok, req.Skip); ok {
 					s.streamResumes.Add(1)
 					rows, frames := fc.streamScan(ctx, id, sc, delay, release, true, killer)
-					s.logSlow(start, req.SQL, false, rows, frames)
+					s.logSlow(start, req.SQL, false, rows, frames, 1)
 					return
 				}
 			}
 		}
 		if sc, ok := s.engine.ExecuteSQLPipelineCtx(ctx, req.SQL); ok {
 			rows, frames := fc.streamScan(ctx, id, sc, delay, release, false, killer)
-			cached := false
+			cached, dop := false, 1
 			if ps, ok := sc.(*PlanStream); ok {
 				cached = ps.Cached()
+				dop = ps.DOP()
 			}
-			s.logSlow(start, req.SQL, cached, rows, frames)
+			s.logSlow(start, req.SQL, cached, rows, frames, dop)
 			return
 		}
 		resp, canceled := s.runBounded(ctx, req, delay, release)
@@ -266,7 +267,7 @@ func (fc *framedConn) handleStream(ctx context.Context, id uint64, req *wireRequ
 			return
 		}
 		rows, frames := fc.streamResult(ctx, id, &resp, killer)
-		s.logSlow(start, req.SQL, false, rows, frames)
+		s.logSlow(start, req.SQL, false, rows, frames, 1)
 		return
 	}
 
@@ -386,6 +387,14 @@ func (s *Server) runBounded(ctx context.Context, req *wireRequest, delay time.Du
 func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc EngineStream, delay time.Duration, release func(), resumed bool, killer *streamKiller) (rows, frames int64) {
 	s := fc.s
 	defer release()
+	// Parallel plan streams own worker goroutines; closing on every exit path
+	// (deadline, cancel, write failure, kill fault, normal end) joins them, so
+	// an abandoned stream leaks nothing. Serial streams have a no-op Close.
+	defer func() {
+		if c, ok := sc.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}()
 	var timerC <-chan time.Time
 	if s.opts.RequestTimeout > 0 {
 		timer := time.NewTimer(s.opts.RequestTimeout)
@@ -465,6 +474,17 @@ func (fc *framedConn) streamScan(ctx context.Context, id uint64, sc EngineStream
 			if killer.afterWrite() {
 				return
 			}
+		}
+	}
+	// A stream that stopped early (a parallel worker hit its cancellation
+	// checkpoint) must not read as a complete result: report it as canceled,
+	// never as a silently truncated ok-end.
+	if es, ok := sc.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			s.streamsCanceled.Add(1)
+			fc.writeEnd(id, wireCodeCanceled, err.Error(), sc.Ops())
+			frames++
+			return rows, frames
 		}
 	}
 	fc.writeEnd(id, wireCodeNone, "", sc.Ops())
